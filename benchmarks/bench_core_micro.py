@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the core algorithms and substrate primitives.
+
+Unlike the figure-level benches (which run once and print paper-style
+tables), these use pytest-benchmark's statistical timing over multiple
+rounds, so regressions in the hot paths (FPA peeling, articulation points,
+truss decomposition, modularity evaluation) show up directly in the
+``--benchmark-only`` report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fpa, nca
+from repro.graph import articulation_points, core_numbers, truss_numbers
+from repro.modularity import density_modularity
+
+
+@pytest.fixture(scope="module")
+def lfr_graph(lfr_default):
+    return lfr_default.graph
+
+
+@pytest.fixture(scope="module")
+def lfr_query(lfr_default):
+    # a node inside the first ground-truth community
+    return next(iter(lfr_default.communities[0]))
+
+
+def test_micro_fpa_on_karate(benchmark, karate):
+    result = benchmark(lambda: fpa(karate.graph, [0]))
+    assert 0 in result.nodes
+
+
+def test_micro_nca_on_karate(benchmark, karate):
+    result = benchmark(lambda: nca(karate.graph, [0]))
+    assert 0 in result.nodes
+
+
+def test_micro_fpa_on_lfr(benchmark, lfr_graph, lfr_query):
+    result = benchmark.pedantic(
+        lambda: fpa(lfr_graph, [lfr_query]), rounds=3, iterations=1
+    )
+    assert lfr_query in result.nodes
+
+
+def test_micro_fpa_without_pruning_on_lfr(benchmark, lfr_graph, lfr_query):
+    result = benchmark.pedantic(
+        lambda: fpa(lfr_graph, [lfr_query], layer_pruning=False), rounds=3, iterations=1
+    )
+    assert lfr_query in result.nodes
+
+
+def test_micro_articulation_points_on_lfr(benchmark, lfr_graph):
+    points = benchmark(lambda: articulation_points(lfr_graph))
+    assert isinstance(points, set)
+
+
+def test_micro_core_decomposition_on_lfr(benchmark, lfr_graph):
+    cores = benchmark(lambda: core_numbers(lfr_graph))
+    assert len(cores) == lfr_graph.number_of_nodes()
+
+
+def test_micro_truss_decomposition_on_lfr(benchmark, lfr_graph):
+    truss = benchmark.pedantic(lambda: truss_numbers(lfr_graph), rounds=3, iterations=1)
+    assert len(truss) == lfr_graph.number_of_edges()
+
+
+def test_micro_density_modularity_on_lfr(benchmark, lfr_default):
+    community = set(lfr_default.communities[0])
+    value = benchmark(lambda: density_modularity(lfr_default.graph, community))
+    assert value == value  # not NaN

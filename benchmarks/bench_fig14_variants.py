@@ -1,0 +1,38 @@
+"""Figure 14 — the four (removable nodes) × (selection rule) variants.
+
+NCA ((a)+(c)), NCA-DR ((a)+(d)), FPA-DMG ((b)+(c)) and FPA ((b)+(d)).
+The paper's findings: NCA-DR is faster than NCA, FPA-DMG matches FPA's
+accuracy but is far slower (the gain Λ is unstable), and FPA is the best
+overall trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import default_lfr_config, run_once
+
+from repro.experiments import format_table, variant_comparison
+
+
+def _run():
+    return variant_comparison(
+        config=default_lfr_config(seed=7), num_queries=4, seed=7, time_budget_seconds=240.0
+    )
+
+
+def test_fig14_algorithm_variants(benchmark):
+    results = run_once(benchmark, _run)
+    rows = [
+        {
+            "variant": name,
+            "NMI": agg.median_nmi,
+            "ARI": agg.median_ari,
+            "seconds/query": agg.mean_seconds,
+        }
+        for name, agg in results.items()
+    ]
+    print()
+    print(format_table(rows, title="Figure 14: variants of the proposed algorithms"))
+    # headline shape: FPA is the fastest of the four variants
+    fpa_time = results["FPA"].mean_seconds
+    assert fpa_time <= results["FPA-DMG"].mean_seconds
+    assert fpa_time <= results["NCA"].mean_seconds

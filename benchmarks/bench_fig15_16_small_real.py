@@ -1,0 +1,78 @@
+"""Figures 15 & 16 — accuracy and running time on small real-world graphs.
+
+The paper evaluates all thirteen algorithms on Dolphin, Karate, Mexican and
+Polblogs.  Karate is the embedded real network; the other three are the
+surrogate datasets of DESIGN.md §3.  Expected shape: NCA and FPA lead the
+baselines on NMI/ARI on most datasets, GN/clique/wu2015 are the slowest
+(GN gets a small time budget here, mirroring its 24-hour NA on Polblogs).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets import (
+    load_dolphin_surrogate,
+    load_karate,
+    load_mexican_surrogate,
+    load_polblogs_surrogate,
+)
+from repro.experiments import dataset_comparison, format_table
+
+ALGORITHMS = [
+    "clique",
+    "kc",
+    "kt",
+    "kecc",
+    "GN",
+    "CNM",
+    "icwi2008",
+    "huang2015",
+    "wu2015",
+    "highcore",
+    "hightruss",
+    "NCA",
+    "FPA",
+]
+NUM_QUERIES = 5
+# per-algorithm total budget; GN on the polblogs surrogate exceeds it and is
+# reported as failed, matching the paper's "NA within 24 hours" entry
+TIME_BUDGET = 60.0
+
+
+def _datasets():
+    return [
+        load_dolphin_surrogate(),
+        load_karate(),
+        load_mexican_surrogate(),
+        load_polblogs_surrogate(scale=0.12),
+    ]
+
+
+def _run():
+    return dataset_comparison(
+        _datasets(), ALGORITHMS, num_queries=NUM_QUERIES, seed=8, time_budget_seconds=TIME_BUDGET
+    )
+
+
+def test_fig15_16_small_real_graphs(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    for dataset_name, per_algorithm in results.items():
+        rows = [
+            {
+                "algorithm": name,
+                "NMI": agg.median_nmi,
+                "ARI": agg.median_ari,
+                "seconds/query": agg.mean_seconds,
+                "failures": agg.failures,
+            }
+            for name, agg in per_algorithm.items()
+        ]
+        print(format_table(rows, title=f"Figures 15/16: {dataset_name}"))
+        print()
+    # headline shape on the real (non-surrogate) karate network: the proposed
+    # algorithms beat the parameterised kc baseline
+    karate_results = results["karate"]
+    assert karate_results["FPA"].median_nmi >= karate_results["kc"].median_nmi
+    assert karate_results["NCA"].median_nmi >= karate_results["kc"].median_nmi

@@ -1,0 +1,48 @@
+"""Figure 19 — sensitivity of the baselines to the user parameter k.
+
+The paper varies k ∈ {3, 4, 5, 6} for kc, kt and kecc on DBLP and Youtube
+and shows their accuracy swings with k while the parameter-free FPA stays
+on top for every k.  The bench reproduces the sweep on the scaled surrogates.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, scaled
+
+from repro.datasets import load_dblp_surrogate, load_youtube_surrogate
+from repro.experiments import format_series, varying_k_sweep
+
+K_VALUES = [3, 4, 5, 6]
+NUM_QUERIES = 5
+
+
+def _run():
+    datasets = {
+        "dblp": load_dblp_surrogate(num_nodes=scaled(1000, minimum=400)),
+        "youtube": load_youtube_surrogate(num_nodes=scaled(1200, minimum=500)),
+    }
+    return {
+        name: varying_k_sweep(dataset, K_VALUES, num_queries=NUM_QUERIES, seed=10)
+        for name, dataset in datasets.items()
+    }
+
+
+def test_fig19_varying_k(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    for dataset_name, sweep in results.items():
+        series = {
+            algorithm: {k: agg.median_nmi for k, agg in per_k.items()}
+            for algorithm, per_k in sweep.items()
+        }
+        print(
+            format_series(
+                series, x_label="algorithm", title=f"Figure 19: median NMI vs k — {dataset_name}"
+            )
+        )
+        print()
+        # headline shape: FPA (parameter-free) is at least as good as kc and
+        # kecc at every k
+        for k in K_VALUES:
+            assert sweep["FPA"][k].median_nmi >= sweep["kc"][k].median_nmi
+            assert sweep["FPA"][k].median_nmi >= sweep["kecc"][k].median_nmi

@@ -1,0 +1,40 @@
+"""Figure 4 — frequency of ground-truth community diameters.
+
+The paper reports that ~80% of DBLP communities and ~94% of Youtube
+communities have diameter at most 4, which motivates FPA's distance-based
+peeling.  This bench reproduces the histogram on the (scaled) surrogates and
+prints the fraction of communities with diameter ≤ 4.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, scaled
+
+from repro.datasets import load_dblp_surrogate, load_youtube_surrogate
+from repro.experiments import community_diameter_histogram, format_histogram
+
+
+def _histograms():
+    dblp = load_dblp_surrogate(num_nodes=scaled(1200, minimum=400))
+    youtube = load_youtube_surrogate(num_nodes=scaled(1500, minimum=500))
+    return {
+        "DBLP (surrogate)": community_diameter_histogram(dblp, max_communities=150, seed=0),
+        "Youtube (surrogate)": community_diameter_histogram(youtube, max_communities=150, seed=0),
+    }
+
+
+def _fraction_at_most(histogram: dict[int, int], threshold: int) -> float:
+    total = sum(histogram.values())
+    small = sum(count for diameter, count in histogram.items() if diameter <= threshold)
+    return small / total if total else 0.0
+
+
+def test_fig4_community_diameter_distribution(benchmark):
+    histograms = run_once(benchmark, _histograms)
+    print()
+    for name, histogram in histograms.items():
+        print(format_histogram(histogram, title=f"Figure 4: community diameters — {name}"))
+        fraction = _fraction_at_most(histogram, 4)
+        print(f"fraction of communities with diameter <= 4: {fraction:.2%}\n")
+        # paper: the vast majority of ground-truth communities are small-diameter
+        assert fraction >= 0.6

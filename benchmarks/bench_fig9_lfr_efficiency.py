@@ -1,0 +1,48 @@
+"""Figure 9 — efficiency (running time) on LFR benchmark networks.
+
+Same sweep as Figure 8 but reporting mean per-query running time.  Expected
+shape: kc / kt / highcore / hightruss / FPA in the same fast band, NCA the
+slowest of the proposed algorithms (it recomputes articulation points every
+iteration), and the heavier baselines (huang2015) in between.
+"""
+
+from __future__ import annotations
+
+from conftest import default_lfr_config, run_once
+
+from repro.experiments import format_series, lfr_parameter_sweep
+
+ALGORITHMS = ["kc", "kt", "kecc", "huang2015", "wu2015", "highcore", "hightruss", "NCA", "FPA"]
+NUM_QUERIES = 4
+MU_VALUES = [0.2, 0.3, 0.4]
+
+
+def _run_sweep():
+    return lfr_parameter_sweep(
+        ALGORITHMS,
+        "mu",
+        MU_VALUES,
+        base_config=default_lfr_config(),
+        num_queries=NUM_QUERIES,
+        seed=2,
+        time_budget_seconds=120.0,
+    )
+
+
+def test_fig9_lfr_efficiency(benchmark):
+    results = run_once(benchmark, _run_sweep)
+    series = {
+        algorithm: {value: agg.mean_seconds for value, agg in per_value.items()}
+        for algorithm, per_value in results.items()
+    }
+    print()
+    print(
+        format_series(
+            series,
+            x_label="algorithm",
+            title="Figure 9: mean seconds per query while varying mu",
+        )
+    )
+    # headline shape: FPA is much faster than NCA
+    for mu in MU_VALUES:
+        assert results["FPA"][mu].mean_seconds <= results["NCA"][mu].mean_seconds

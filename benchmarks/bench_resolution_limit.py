@@ -1,0 +1,45 @@
+"""Example 3 / Figure 2 — the resolution-limit example as a benchmark.
+
+Prints the classic-vs-density modularity scores of the merged and split
+communities on the ring of 30 six-node cliques and verifies the exact values
+reported in Example 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.datasets import ring_of_cliques_dataset
+from repro.experiments import format_table
+from repro.modularity import classic_modularity, density_modularity
+
+
+def _scores():
+    dataset = ring_of_cliques_dataset(30, 6)
+    graph = dataset.graph
+    split = set(dataset.communities[0])
+    merged = split | set(dataset.communities[1])
+    return {
+        "classic merged": classic_modularity(graph, merged),
+        "classic split": classic_modularity(graph, split),
+        "density merged": density_modularity(graph, merged),
+        "density split": density_modularity(graph, split),
+    }
+
+
+def test_example3_resolution_limit_scores(benchmark):
+    scores = run_once(benchmark, _scores)
+    rows = [
+        {"objective": "classic modularity", "merged": scores["classic merged"], "split": scores["classic split"]},
+        {"objective": "density modularity", "merged": scores["density merged"], "split": scores["density split"]},
+    ]
+    print()
+    print(format_table(rows, title="Example 3: ring of 30 six-node cliques"))
+    assert scores["classic merged"] == pytest.approx(0.06013889, abs=1e-6)
+    assert scores["classic split"] == pytest.approx(0.03013889, abs=1e-6)
+    assert scores["density merged"] == pytest.approx(2.405556, abs=1e-5)
+    assert scores["density split"] == pytest.approx(2.411111, abs=1e-5)
+    # classic modularity prefers the merged pair of cliques; density modularity does not
+    assert scores["classic merged"] > scores["classic split"]
+    assert scores["density split"] > scores["density merged"]

@@ -1,0 +1,44 @@
+"""Table 1 — real-world dataset statistics.
+
+Prints the |V| / |E| / |C| / overlap table of Section 6.1.  The karate club
+is the embedded real network; the remaining rows are the surrogates described
+in DESIGN.md §3 (the SNAP graphs are scaled down, so their |V| / |E| are the
+surrogate sizes, not the original 317K–4M node counts).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, scaled
+
+from repro.datasets import (
+    load_dblp_surrogate,
+    load_dolphin_surrogate,
+    load_karate,
+    load_livejournal_surrogate,
+    load_mexican_surrogate,
+    load_polblogs_surrogate,
+    load_youtube_surrogate,
+)
+from repro.experiments import format_table
+
+
+def _build_table1():
+    datasets = [
+        load_dolphin_surrogate(),
+        load_karate(),
+        load_polblogs_surrogate(scale=0.15),
+        load_mexican_surrogate(),
+        load_dblp_surrogate(num_nodes=scaled(1200, minimum=400)),
+        load_youtube_surrogate(num_nodes=scaled(1500, minimum=500)),
+        load_livejournal_surrogate(num_nodes=scaled(1800, minimum=600)),
+    ]
+    return [dataset.statistics() for dataset in datasets]
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = run_once(benchmark, _build_table1)
+    print()
+    print(format_table(rows, title="Table 1: dataset statistics (karate real; others surrogate)"))
+    assert len(rows) == 7
+    karate_row = next(row for row in rows if row["name"] == "karate")
+    assert karate_row["|V|"] == 34 and karate_row["|E|"] == 78

@@ -1,0 +1,45 @@
+"""Table 2 — synthetic (LFR) network configuration.
+
+Prints the parameter grid of Table 2 and, for each default cell, the
+statistics of one generated instance so the generator's fidelity (size,
+average degree, empirical mixing) is visible in the bench output.
+"""
+
+from __future__ import annotations
+
+from conftest import default_lfr_config, run_once
+
+from repro.datasets import PAPER_LFR_SWEEP, load_lfr
+from repro.experiments import format_table
+
+
+def _describe_default_instance():
+    dataset = load_lfr(default_lfr_config())
+    graph = dataset.graph
+    membership = dataset.membership()
+    external = sum(1 for u, v, _ in graph.iter_edges() if membership[u] != membership[v])
+    return {
+        "|V|": graph.number_of_nodes(),
+        "|E|": graph.number_of_edges(),
+        "avg degree": round(2 * graph.number_of_edges() / graph.number_of_nodes(), 2),
+        "empirical mu": round(external / graph.number_of_edges(), 3),
+        "|C|": dataset.num_communities,
+    }
+
+
+def test_table2_lfr_configuration(benchmark):
+    stats = run_once(benchmark, _describe_default_instance)
+    sweep = PAPER_LFR_SWEEP
+    rows = [
+        {"parameter": "|V|", "values": "5,000 (paper) / scaled here", "default": sweep.defaults.num_nodes},
+        {"parameter": "d_avg", "values": ", ".join(map(str, sweep.avg_degree_values)), "default": 30},
+        {"parameter": "d_max", "values": ", ".join(map(str, sweep.max_degree_values)), "default": 400},
+        {"parameter": "mu", "values": ", ".join(map(str, sweep.mu_values)), "default": 0.3},
+        {"parameter": "min C", "values": "20", "default": 20},
+        {"parameter": "max C", "values": "1,000", "default": 1000},
+    ]
+    print()
+    print(format_table(rows, title="Table 2: LFR configuration (paper grid)"))
+    print(format_table([stats], title="Generated default instance (scaled)"))
+    assert stats["|V|"] >= 150
+    assert stats["|C|"] >= 2

@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4 for the index).  The workloads are scaled down so that the
+whole suite finishes in minutes of pure Python; the ``REPRO_BENCH_SCALE``
+environment variable multiplies the graph sizes for longer, higher-fidelity
+runs (e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import LFRConfig
+
+
+def bench_scale() -> float:
+    """Return the global size multiplier taken from ``REPRO_BENCH_SCALE``."""
+    try:
+        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an integer workload size by the global multiplier."""
+    return max(minimum, int(round(value * bench_scale())))
+
+
+def default_lfr_config(seed: int = 1, mu: float = 0.3) -> LFRConfig:
+    """The Table-2 default configuration scaled for the bench suite."""
+    return LFRConfig(
+        num_nodes=scaled(400, minimum=150),
+        avg_degree=20,
+        max_degree=60,
+        mu=mu,
+        min_community=20,
+        max_community=60,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def lfr_default():
+    """One shared default LFR dataset for the single-configuration figures."""
+    from repro.datasets import load_lfr
+
+    return load_lfr(default_lfr_config())
+
+
+@pytest.fixture(scope="session")
+def karate():
+    from repro.datasets import load_karate
+
+    return load_karate()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment sweeps are deterministic and relatively heavy, so a single
+    round gives the wall-clock number we want without multiplying the suite's
+    runtime.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

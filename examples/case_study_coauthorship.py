@@ -1,0 +1,40 @@
+"""Case study: searching the community of a hub author (Section 6.3.2).
+
+Run with::
+
+    python examples/case_study_coauthorship.py
+
+The paper queries the DBLP co-authorship graph with Philip S. Yu and
+compares the communities returned by FPA, 3-truss and 3-core.  Without the
+proprietary crawl we use the scaled DBLP surrogate and its highest-degree
+node as the hub author; the qualitative picture is the same: FPA returns a
+small, query-centric community where the hub has the top centrality ranks,
+while the truss/core baselines return much larger groups where the hub is
+adjacent to only a small fraction of the members.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dblp_surrogate
+from repro.experiments import case_study, format_table
+
+
+def main() -> None:
+    dataset = load_dblp_surrogate(num_nodes=800, seed=12)
+    graph = dataset.graph
+    hub = max(graph.iter_nodes(), key=graph.degree)
+    print(
+        f"DBLP surrogate: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges; "
+        f"hub node {hub} has degree {graph.degree(hub)}\n"
+    )
+    report = case_study(dataset=dataset, query_node=hub)
+    rows = [{"algorithm": name, **metrics} for name, metrics in report.items()]
+    print(format_table(rows, title="Case study: community of the hub author"))
+    print()
+    print("Reading the table: 'query_adjacent_fraction' is the share of community")
+    print("members directly connected to the hub, and the rank columns give the hub's")
+    print("position by betweenness / eigenvector centrality inside each community.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Future-work extension: density-modularity community *detection*.
+
+Run with::
+
+    python examples/community_detection_extension.py
+
+The paper's conclusion suggests using density modularity for community
+detection, since it mitigates the resolution limit of classic modularity.
+This example runs the library's :func:`repro.core.dmcs_detection` extension
+(repeated DMCS extraction) on the karate club and on a ring of cliques, and
+compares it with Louvain (classic modularity) on both.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import louvain_partition
+from repro.core import dmcs_detection, partition_density_modularity
+from repro.datasets import load_karate
+from repro.graph import ring_of_cliques
+from repro.metrics import normalized_mutual_information
+from repro.modularity import partition_modularity
+
+
+def labels_of(communities, nodes):
+    """Return the label vector induced by a community list."""
+    mapping = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            mapping[node] = index
+    return [mapping[node] for node in nodes]
+
+
+def karate_study() -> None:
+    karate = load_karate()
+    graph = karate.graph
+    nodes = graph.nodes()
+    truth = labels_of([set(c) for c in karate.communities], nodes)
+
+    detected = dmcs_detection(graph, min_community_size=3)
+    louvain = louvain_partition(graph, seed=1)
+
+    print("Karate club")
+    for name, partition in (("DMCS detection", detected), ("Louvain", louvain)):
+        nmi = normalized_mutual_information(truth, labels_of(partition, nodes))
+        print(
+            f"  {name:<15} communities={len(partition):<3} "
+            f"NMI vs factions={nmi:.3f} "
+            f"classic Q={partition_modularity(graph, partition):.3f} "
+            f"density Q={partition_density_modularity(graph, partition):.3f}"
+        )
+    print()
+
+
+def ring_study() -> None:
+    graph = ring_of_cliques(20, 5)
+    truth_communities = [{(i, j) for j in range(5)} for i in range(20)]
+    nodes = graph.nodes()
+    truth = labels_of(truth_communities, nodes)
+
+    detected = dmcs_detection(graph, min_community_size=3)
+    louvain = louvain_partition(graph, seed=1)
+
+    print("Ring of 20 five-node cliques (resolution-limit stress test)")
+    for name, partition in (("DMCS detection", detected), ("Louvain", louvain)):
+        nmi = normalized_mutual_information(truth, labels_of(partition, nodes))
+        print(
+            f"  {name:<15} communities={len(partition):<3} NMI vs cliques={nmi:.3f}"
+        )
+    print()
+    print("Density-modularity detection keeps the cliques separate, illustrating the")
+    print("resolution-limit benefit the paper proves for community search.")
+
+
+if __name__ == "__main__":
+    karate_study()
+    ring_study()

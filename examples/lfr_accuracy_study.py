@@ -1,0 +1,40 @@
+"""A miniature Figure-8 study: accuracy on LFR graphs as the mixing grows.
+
+Run with::
+
+    python examples/lfr_accuracy_study.py
+
+Sweeps the LFR mixing parameter mu over {0.2, 0.3, 0.4} and prints the
+median NMI/ARI of FPA and four baselines, using the same experiment harness
+the benchmark suite uses.  Expect FPA on top and the fixed-parameter
+baselines near zero, with everything degrading as mu grows.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import LFRConfig
+from repro.experiments import format_series, lfr_parameter_sweep
+
+
+def main() -> None:
+    base = LFRConfig(
+        num_nodes=300, avg_degree=18, max_degree=50, mu=0.3, min_community=20, max_community=60, seed=21
+    )
+    algorithms = ["FPA", "NCA", "kc", "huang2015", "highcore"]
+    results = lfr_parameter_sweep(
+        algorithms, "mu", [0.2, 0.3, 0.4], base_config=base, num_queries=5, seed=21
+    )
+    for metric in ("median_nmi", "median_ari"):
+        series = {
+            algorithm: {mu: getattr(agg, metric) for mu, agg in per_mu.items()}
+            for algorithm, per_mu in results.items()
+        }
+        print(format_series(series, x_label="algorithm", title=f"{metric} while varying mu"))
+        print()
+    print("Larger mu means more inter-community edges, so every algorithm degrades;")
+    print("FPA keeps the lead because its density-modularity objective balances the")
+    print("internal and external structure without any user parameter.")
+
+
+if __name__ == "__main__":
+    main()

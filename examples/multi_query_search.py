@@ -1,0 +1,60 @@
+"""Multi-query community search on an LFR benchmark graph.
+
+Run with::
+
+    python examples/multi_query_search.py
+
+The script generates an LFR benchmark network with ground-truth communities
+(Table 2 configuration, scaled down), samples a target community, and asks
+FPA and the baselines for the community of 1, 4 and 8 query nodes drawn from
+it — the Figure-10 experiment in miniature.  More query nodes give the
+search more evidence, so the accuracy of FPA improves while the
+parameterised baselines keep returning the same large subgraphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import fpa, nca
+from repro.baselines import kcore_community
+from repro.datasets import LFRConfig, load_lfr
+from repro.metrics import community_nmi
+
+
+def main() -> None:
+    config = LFRConfig(
+        num_nodes=400, avg_degree=20, max_degree=60, mu=0.3, min_community=20, max_community=60, seed=11
+    )
+    dataset = load_lfr(config)
+    graph = dataset.graph
+    print(f"LFR graph: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges, "
+          f"{dataset.num_communities} ground-truth communities\n")
+
+    rng = random.Random(0)
+    target = max(dataset.communities, key=len)
+    members = sorted(target)
+    print(f"Target ground-truth community has {len(members)} members\n")
+
+    universe = graph.nodes()
+    header = f"{'|Q|':>4} | {'algorithm':<10} | {'|C|':>6} | {'NMI':>6}"
+    print(header)
+    print("-" * len(header))
+    for query_size in (1, 4, 8):
+        queries = rng.sample(members, query_size)
+        for name, runner in (
+            ("FPA", lambda g, q: fpa(g, q)),
+            ("NCA", lambda g, q: nca(g, q)),
+            ("kc", lambda g, q: kcore_community(g, q, k=3)),
+        ):
+            result = runner(graph, queries)
+            nmi = community_nmi(universe, result.nodes, target) if result.nodes else 0.0
+            print(f"{query_size:>4} | {name:<10} | {result.size:>6} | {nmi:>6.3f}")
+        print("-" * len(header))
+
+    print("\nFPA's accuracy improves as the query set grows (the queries pin down the")
+    print("target community), while the k-core baseline is insensitive to |Q|.")
+
+
+if __name__ == "__main__":
+    main()

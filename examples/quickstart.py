@@ -1,0 +1,60 @@
+"""Quickstart: density-modularity community search on the karate club.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script loads the embedded Zachary karate club, runs the paper's two
+algorithms (FPA and NCA) plus two classic baselines for the query node 0
+(the club's instructor), and prints the returned communities together with
+their density modularity and accuracy against the ground-truth faction.
+"""
+
+from __future__ import annotations
+
+from repro import fpa, nca
+from repro.baselines import kcore_community, ktruss_community
+from repro.datasets import load_karate
+from repro.metrics import community_ari, community_nmi
+from repro.modularity import classic_modularity, density_modularity
+
+
+def describe(name, result, dataset, truth):
+    """Print a one-paragraph summary of a community-search result."""
+    graph = dataset.graph
+    nodes = set(result.nodes)
+    print(f"--- {name} ---")
+    if not nodes:
+        print("  no community found:", result.extra.get("reason", "unknown reason"))
+        print()
+        return
+    print(f"  community ({len(nodes)} nodes): {sorted(nodes)}")
+    print(f"  density modularity : {density_modularity(graph, nodes):.4f}")
+    print(f"  classic modularity : {classic_modularity(graph, nodes):.4f}")
+    print(f"  NMI vs ground truth: {community_nmi(graph.nodes(), nodes, truth):.4f}")
+    print(f"  ARI vs ground truth: {community_ari(graph.nodes(), nodes, truth):.4f}")
+    print(f"  runtime            : {result.elapsed_seconds * 1000:.1f} ms")
+    print()
+
+
+def main() -> None:
+    dataset = load_karate()
+    graph = dataset.graph
+    query = 0  # the instructor, "Mr. Hi"
+    truth = next(c for c in dataset.communities if query in c)
+
+    print(f"Karate club: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
+    print(f"Query node: {query} (ground-truth faction has {len(truth)} members)\n")
+
+    describe("FPA (Fast Peeling Algorithm)", fpa(graph, [query]), dataset, truth)
+    describe("NCA (Non-articulation Cancellation)", nca(graph, [query]), dataset, truth)
+    describe("k-core baseline (k=3)", kcore_community(graph, [query], k=3), dataset, truth)
+    describe("k-truss baseline (k=4)", ktruss_community(graph, [query], k=4), dataset, truth)
+
+    print("Note how the parameterised baselines return much larger communities that")
+    print("mix both factions, while FPA/NCA stay inside the query's faction — the")
+    print("free-rider / parameter-sensitivity story of the paper's introduction.")
+
+
+if __name__ == "__main__":
+    main()

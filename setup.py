@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` works on offline
+machines that have setuptools but no ``wheel`` package (PEP 517 editable
+installs require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of *DMCS: Density Modularity based Community Search* (SIGMOD 2022).
+
+The package is organised as:
+
+* :mod:`repro.graph` — the graph substrate (data structure, traversal,
+  decompositions, generators, IO);
+* :mod:`repro.modularity` — community goodness functions, including the
+  paper's density modularity;
+* :mod:`repro.core` — the DMCS algorithms (NCA, FPA and their variants);
+* :mod:`repro.baselines` — the community-search / detection baselines the
+  paper compares against;
+* :mod:`repro.metrics` — NMI, ARI, F-score, centralities;
+* :mod:`repro.datasets` — built-in and surrogate datasets;
+* :mod:`repro.experiments` — the benchmark harness reproducing the paper's
+  tables and figures.
+
+Quickstart
+----------
+>>> from repro import fpa, datasets
+>>> karate = datasets.load_karate()
+>>> result = fpa(karate.graph, query_nodes=[0])
+>>> 0 in result.nodes
+True
+"""
+
+from . import baselines, core, datasets, experiments, graph, metrics, modularity
+from .core import CommunityResult, fpa, fpa_search, nca, nca_search
+from .graph import Graph, GraphError
+from .modularity import classic_modularity, density_modularity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "CommunityResult",
+    "fpa",
+    "fpa_search",
+    "nca",
+    "nca_search",
+    "classic_modularity",
+    "density_modularity",
+    "graph",
+    "modularity",
+    "core",
+    "baselines",
+    "metrics",
+    "datasets",
+    "experiments",
+    "__version__",
+]

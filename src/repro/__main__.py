@@ -1,0 +1,10 @@
+"""Module entry point so that ``python -m repro`` runs the CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

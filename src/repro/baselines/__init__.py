@@ -1,0 +1,35 @@
+"""Baseline community search / detection algorithms the paper compares against."""
+
+from .clique import clique_community, k_clique_communities, maximal_cliques
+from .closest_truss import closest_truss_community
+from .cnm import cnm_community, cnm_dendrogram
+from .girvan_newman import edge_betweenness, girvan_newman_community
+from .kcore import highest_core_community, kcore_community
+from .kecc import kecc_community
+from .ktruss import highest_truss_community, ktruss_community
+from .local_modularity import icwi2008_community, local_modularity
+from .louvain import louvain_community, louvain_partition
+from .wu2015 import query_biased_density, random_walk_with_restart, wu2015_community
+
+__all__ = [
+    "kcore_community",
+    "highest_core_community",
+    "ktruss_community",
+    "highest_truss_community",
+    "kecc_community",
+    "clique_community",
+    "k_clique_communities",
+    "maximal_cliques",
+    "girvan_newman_community",
+    "edge_betweenness",
+    "cnm_community",
+    "cnm_dendrogram",
+    "louvain_community",
+    "louvain_partition",
+    "icwi2008_community",
+    "local_modularity",
+    "closest_truss_community",
+    "wu2015_community",
+    "query_biased_density",
+    "random_walk_with_restart",
+]

@@ -1,0 +1,128 @@
+"""Clauset–Newman–Moore agglomerative modularity clustering (``CNM``).
+
+CNM starts from singleton communities and repeatedly merges the pair of
+connected communities whose merge increases classic modularity the most,
+until a single community remains.  Following Section 6.1, among the
+intermediate merged communities that contain all query nodes we return the
+one with the largest density modularity.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from ..core.result import CommunityResult
+from ..graph import Graph, GraphError, Node
+from ..modularity import density_modularity
+
+__all__ = ["cnm_community", "cnm_dendrogram"]
+
+
+def cnm_dendrogram(graph: Graph) -> list[tuple[set[Node], set[Node]]]:
+    """Run CNM to completion and return the sequence of merges.
+
+    Each entry is ``(community_a, community_b)`` in the order the merges were
+    applied; the merged community is ``community_a | community_b``.
+    """
+    merges: list[tuple[set[Node], set[Node]]] = []
+    num_edges = graph.number_of_edges()
+    if num_edges == 0:
+        return merges
+    two_m = 2.0 * num_edges
+
+    # community id -> member set / total degree; e[(a, b)] = fraction of edges between a and b
+    members: dict[int, set[Node]] = {}
+    degree_fraction: dict[int, float] = {}
+    node_community: dict[Node, int] = {}
+    for index, node in enumerate(graph.iter_nodes()):
+        members[index] = {node}
+        degree_fraction[index] = graph.degree(node) / two_m
+        node_community[node] = index
+
+    between: dict[tuple[int, int], float] = {}
+    for u, v, _ in graph.iter_edges():
+        a, b = node_community[u], node_community[v]
+        key = (min(a, b), max(a, b))
+        between[key] = between.get(key, 0.0) + 1.0 / two_m
+
+    neighbors: dict[int, set[int]] = {index: set() for index in members}
+    for a, b in between:
+        neighbors[a].add(b)
+        neighbors[b].add(a)
+
+    while len(members) > 1:
+        # find the merge with maximum ΔQ = 2 (e_ab - a_a a_b)
+        best_pair: Optional[tuple[int, int]] = None
+        best_delta = float("-inf")
+        for (a, b), e_ab in between.items():
+            delta = 2.0 * (e_ab - degree_fraction[a] * degree_fraction[b])
+            if delta > best_delta:
+                best_delta = delta
+                best_pair = (a, b)
+        if best_pair is None:
+            break  # remaining communities are disconnected from each other
+        a, b = best_pair
+        merges.append((set(members[a]), set(members[b])))
+        # merge b into a
+        members[a] |= members.pop(b)
+        degree_fraction[a] += degree_fraction.pop(b)
+        for c in list(neighbors[b]):
+            if c == a:
+                continue
+            key_bc = (min(b, c), max(b, c))
+            key_ac = (min(a, c), max(a, c))
+            between[key_ac] = between.get(key_ac, 0.0) + between.pop(key_bc, 0.0)
+            neighbors[c].discard(b)
+            neighbors[c].add(a)
+            neighbors[a].add(c)
+        between.pop((min(a, b), max(a, b)), None)
+        neighbors[a].discard(b)
+        neighbors.pop(b, None)
+    return merges
+
+
+def cnm_community(graph: Graph, query_nodes: Sequence[Node]) -> CommunityResult:
+    """Return the best intermediate CNM community containing the query nodes."""
+    start = time.perf_counter()
+    queries = frozenset(query_nodes)
+    if not queries:
+        raise GraphError("community search needs at least one query node")
+    for node in queries:
+        if not graph.has_node(node):
+            raise GraphError(f"query node {node!r} is not in the graph")
+
+    best_nodes: Optional[set[Node]] = None
+    best_value = float("-inf")
+
+    def consider(community: set[Node]) -> None:
+        nonlocal best_nodes, best_value
+        if not queries <= community:
+            return
+        value = density_modularity(graph, community)
+        if value > best_value:
+            best_value = value
+            best_nodes = set(community)
+
+    if len(queries) == 1:
+        consider(set(queries))
+    # replay the dendrogram; every merge produces one intermediate community
+    for merge_a, merge_b in cnm_dendrogram(graph):
+        merged = merge_a | merge_b
+        consider(merged)
+
+    elapsed = time.perf_counter() - start
+    if best_nodes is None:
+        return CommunityResult.empty(
+            queries, "CNM", reason="no merged community contained all query nodes"
+        )
+    return CommunityResult(
+        nodes=frozenset(best_nodes),
+        query_nodes=queries,
+        algorithm="CNM",
+        score=best_value,
+        objective_name="density_modularity",
+        elapsed_seconds=elapsed,
+        extra={},
+    )

@@ -1,0 +1,95 @@
+"""k-core based community search (the ``kc`` and ``highcore`` baselines).
+
+``kc`` follows Sozio & Gionis (KDD 2010): the community is the connected
+component of the maximal subgraph with minimum degree ``k`` that contains
+every query node.  ``highcore`` instead maximises ``k``: it returns the
+connected ``k``-core containing the queries for the largest feasible ``k``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from ..core.result import CommunityResult
+from ..graph import (
+    Graph,
+    GraphError,
+    Node,
+    connected_component_containing,
+    core_numbers,
+    k_core_subgraph,
+)
+
+__all__ = ["kcore_community", "highest_core_community"]
+
+
+def kcore_community(graph: Graph, query_nodes: Sequence[Node], k: int = 3) -> CommunityResult:
+    """Return the connected ``k``-core community containing the query nodes.
+
+    Returns a failed result when some query node does not survive the
+    ``k``-core peeling or the query nodes end up in different components.
+    """
+    start = time.perf_counter()
+    queries = frozenset(query_nodes)
+    if not queries:
+        raise GraphError("community search needs at least one query node")
+    for node in queries:
+        if not graph.has_node(node):
+            raise GraphError(f"query node {node!r} is not in the graph")
+    core = k_core_subgraph(graph, k)
+    missing = [node for node in queries if not core.has_node(node)]
+    if missing:
+        return CommunityResult.empty(
+            queries, "kc", reason=f"query nodes {missing!r} are not in the {k}-core"
+        )
+    component = connected_component_containing(core, next(iter(queries)))
+    if not queries <= component:
+        return CommunityResult.empty(
+            queries, "kc", reason="query nodes lie in different components of the k-core"
+        )
+    elapsed = time.perf_counter() - start
+    return CommunityResult(
+        nodes=frozenset(component),
+        query_nodes=queries,
+        algorithm="kc",
+        score=float(k),
+        objective_name="min_degree",
+        elapsed_seconds=elapsed,
+        extra={"k": k},
+    )
+
+
+def highest_core_community(graph: Graph, query_nodes: Sequence[Node]) -> CommunityResult:
+    """Return the connected core community with the largest feasible ``k``.
+
+    The feasible ``k`` is bounded by the smallest core number among the
+    query nodes; the algorithm walks down from that bound until the query
+    nodes sit in one connected component of the ``k``-core.
+    """
+    start = time.perf_counter()
+    queries = frozenset(query_nodes)
+    if not queries:
+        raise GraphError("community search needs at least one query node")
+    for node in queries:
+        if not graph.has_node(node):
+            raise GraphError(f"query node {node!r} is not in the graph")
+    coreness = core_numbers(graph)
+    upper = min(coreness[node] for node in queries)
+    for k in range(upper, 0, -1):
+        core = k_core_subgraph(graph, k)
+        if not all(core.has_node(node) for node in queries):
+            continue
+        component = connected_component_containing(core, next(iter(queries)))
+        if queries <= component:
+            elapsed = time.perf_counter() - start
+            return CommunityResult(
+                nodes=frozenset(component),
+                query_nodes=queries,
+                algorithm="highcore",
+                score=float(k),
+                objective_name="min_degree",
+                elapsed_seconds=elapsed,
+                extra={"k": k},
+            )
+    return CommunityResult.empty(queries, "highcore", reason="no connected core contains the queries")

@@ -1,0 +1,180 @@
+"""Louvain modularity clustering.
+
+The Louvain method (Blondel et al., 2008) is the strongest classic
+modularity optimiser discussed in the paper's related work.  It is included
+both as a community-*detection* utility (used by tests as an independent
+sanity check of the generators' planted structure) and, through
+:func:`louvain_community`, as an additional community-*search* baseline that
+returns the detected community containing the query nodes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from ..core.result import CommunityResult
+from ..graph import Graph, GraphError, Node
+from ..modularity import density_modularity
+
+__all__ = ["louvain_partition", "louvain_community"]
+
+
+def louvain_partition(
+    graph: Graph, max_passes: int = 10, seed: int = 0, resolution: float = 1.0
+) -> list[set[Node]]:
+    """Return a partition of the graph found by the Louvain method.
+
+    Parameters
+    ----------
+    graph:
+        Host graph (edge weights are honoured).
+    max_passes:
+        Maximum number of level-0 local-move passes per level.
+    seed:
+        Seed controlling the node visiting order.
+    resolution:
+        Resolution parameter γ of the modularity objective (1.0 = classic).
+    """
+    if graph.number_of_edges() == 0:
+        return [{node} for node in graph.iter_nodes()]
+    rng = random.Random(seed)
+
+    working = graph.copy()
+    # each working node is a "super node" standing for a set of original nodes;
+    # self_loops[n] holds the total weight of edges internal to the super node
+    # (our Graph type is simple, so self-loop mass is carried separately)
+    super_members: dict[Node, set[Node]] = {node: {node} for node in graph.iter_nodes()}
+    self_loops: dict[Node, float] = {node: 0.0 for node in graph.iter_nodes()}
+
+    while True:
+        moved = _one_level(working, self_loops, rng, max_passes, resolution)
+        groups = _group_by_community(moved)
+        if len(groups) == working.number_of_nodes():
+            break  # no merges happened at this level; we have converged
+        # dense relabelling: original community label -> 0..k-1
+        dense = {label: index for index, label in enumerate(groups)}
+        new_super_members: dict[Node, set[Node]] = {}
+        new_self_loops: dict[Node, float] = {}
+        for label, super_nodes in groups.items():
+            merged: set[Node] = set()
+            loop_weight = 0.0
+            for super_node in super_nodes:
+                merged |= super_members[super_node]
+                loop_weight += self_loops[super_node]
+            new_super_members[dense[label]] = merged
+            new_self_loops[dense[label]] = loop_weight
+        # build the condensed graph for the next level; intra-community edge
+        # weight is folded into the community's self-loop mass
+        condensed = Graph(nodes=new_super_members.keys())
+        for u, v, weight in working.iter_edges():
+            cu, cv = dense[moved[u]], dense[moved[v]]
+            if cu == cv:
+                new_self_loops[cu] += weight
+                continue
+            if condensed.has_edge(cu, cv):
+                condensed.add_edge(cu, cv, condensed.edge_weight(cu, cv) + weight)
+            else:
+                condensed.add_edge(cu, cv, weight)
+        working = condensed
+        super_members = new_super_members
+        self_loops = new_self_loops
+        if working.number_of_edges() == 0:
+            break
+
+    return [set(members) for members in super_members.values()]
+
+
+def _one_level(
+    graph: Graph,
+    self_loops: dict[Node, float],
+    rng: random.Random,
+    max_passes: int,
+    resolution: float,
+) -> dict[Node, int]:
+    """Perform local moves until no node improves modularity; return labels."""
+    # a super node's degree includes twice its internal (self-loop) mass
+    def degree_of(node: Node) -> float:
+        return graph.weighted_degree(node) + 2.0 * self_loops.get(node, 0.0)
+
+    two_m = sum(degree_of(node) for node in graph.iter_nodes())
+    if two_m == 0.0:
+        return {node: index for index, node in enumerate(graph.iter_nodes())}
+    community: dict[Node, int] = {node: index for index, node in enumerate(graph.iter_nodes())}
+    community_degree: dict[int, float] = {
+        community[node]: degree_of(node) for node in graph.iter_nodes()
+    }
+    nodes = graph.nodes()
+
+    for _ in range(max_passes):
+        improved = False
+        rng.shuffle(nodes)
+        for node in nodes:
+            node_degree = degree_of(node)
+            current = community[node]
+            # weights from `node` to each neighbouring community
+            links: dict[int, float] = {}
+            for neighbor, weight in graph.adjacency(node).items():
+                links[community[neighbor]] = links.get(community[neighbor], 0.0) + weight
+            community_degree[current] -= node_degree
+            best_community = current
+            best_gain = links.get(current, 0.0) - resolution * community_degree[current] * node_degree / two_m
+            for candidate, link_weight in links.items():
+                if candidate == current:
+                    continue
+                gain = link_weight - resolution * community_degree[candidate] * node_degree / two_m
+                if gain > best_gain:
+                    best_gain = gain
+                    best_community = candidate
+            community_degree[best_community] = community_degree.get(best_community, 0.0) + node_degree
+            if best_community != current:
+                community[node] = best_community
+                improved = True
+        if not improved:
+            break
+    return community
+
+
+def _group_by_community(labels: dict[Node, int]) -> dict[int, set[Node]]:
+    """Group working-graph nodes by their community label."""
+    groups: dict[int, set[Node]] = {}
+    for node, label in labels.items():
+        groups.setdefault(label, set()).add(node)
+    return groups
+
+
+def louvain_community(
+    graph: Graph, query_nodes: Sequence[Node], seed: int = 0
+) -> CommunityResult:
+    """Return the Louvain community containing the query nodes.
+
+    When the query nodes fall into different detected communities, the union
+    of those communities is returned (the result must contain every query
+    node to be comparable with the other search algorithms).
+    """
+    start = time.perf_counter()
+    queries = frozenset(query_nodes)
+    if not queries:
+        raise GraphError("community search needs at least one query node")
+    for node in queries:
+        if not graph.has_node(node):
+            raise GraphError(f"query node {node!r} is not in the graph")
+    partition = louvain_partition(graph, seed=seed)
+    selected: set[Node] = set()
+    for community in partition:
+        if community & queries:
+            selected |= community
+    elapsed = time.perf_counter() - start
+    if not queries <= selected:
+        return CommunityResult.empty(queries, "louvain", reason="queries not covered by partition")
+    return CommunityResult(
+        nodes=frozenset(selected),
+        query_nodes=queries,
+        algorithm="louvain",
+        score=density_modularity(graph, selected),
+        objective_name="density_modularity",
+        elapsed_seconds=elapsed,
+        extra={"num_communities": len(partition)},
+    )

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four sub-commands expose the library without writing any code:
+
+* ``datasets`` — list the built-in datasets with their Table-1 statistics;
+* ``algorithms`` — list the registered community-search algorithms;
+* ``search`` — run one algorithm for a query on a built-in dataset or an
+  edge-list file and print the community plus its quality scores;
+* ``evaluate`` — run one or more algorithms over generated query sets and
+  print the aggregated NMI / ARI / runtime table (a one-dataset slice of the
+  paper's accuracy figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from .datasets import Dataset, list_datasets, load_dataset
+from .experiments import (
+    aggregate,
+    evaluate_algorithm,
+    format_table,
+    generate_query_sets,
+    get_algorithm,
+    list_algorithms,
+)
+from .graph import read_edge_list
+from .metrics import community_ari, community_nmi
+from .modularity import classic_modularity, density_modularity
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Density Modularity based Community Search (DMCS) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list built-in datasets")
+    subparsers.add_parser("algorithms", help="list registered algorithms")
+
+    search = subparsers.add_parser("search", help="run one community search")
+    search.add_argument("--dataset", help="built-in dataset name", default=None)
+    search.add_argument("--edge-list", help="path to a whitespace edge list", default=None)
+    search.add_argument("--algorithm", default="FPA", help="algorithm name (default FPA)")
+    search.add_argument(
+        "--query", nargs="+", required=True, help="query node id(s); parsed as int when possible"
+    )
+    search.add_argument("--k", type=int, default=None, help="k for the parameterised baselines")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate algorithms on a dataset")
+    evaluate.add_argument("--dataset", required=True, help="built-in dataset name")
+    evaluate.add_argument(
+        "--algorithms", nargs="+", default=["FPA", "NCA", "kc", "kt"], help="algorithms to compare"
+    )
+    evaluate.add_argument("--queries", type=int, default=10, help="number of query sets")
+    evaluate.add_argument("--query-size", type=int, default=1, help="query nodes per set")
+    evaluate.add_argument("--seed", type=int, default=0, help="query sampling seed")
+    return parser
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _load_graph(args) -> tuple[object, Optional[Dataset]]:
+    """Return ``(graph, dataset or None)`` from the --dataset / --edge-list flags."""
+    if args.dataset and args.edge_list:
+        raise SystemExit("pass either --dataset or --edge-list, not both")
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+        return dataset.graph, dataset
+    if args.edge_list:
+        return read_edge_list(args.edge_list), None
+    raise SystemExit("one of --dataset or --edge-list is required")
+
+
+def _command_datasets() -> int:
+    rows = []
+    for name in list_datasets():
+        dataset = load_dataset(name)
+        rows.append(dataset.statistics())
+    print(format_table(rows, title="Built-in datasets"))
+    return 0
+
+
+def _command_algorithms() -> int:
+    for name in list_algorithms():
+        print(name)
+    return 0
+
+
+def _command_search(args) -> int:
+    graph, dataset = _load_graph(args)
+    queries = [_parse_node(token) for token in args.query]
+    overrides = {"k": args.k} if args.k is not None else {}
+    runner = get_algorithm(args.algorithm, **overrides)
+    result = runner(graph, queries)
+    if not result.nodes:
+        print(f"{args.algorithm} found no community: {result.extra.get('reason', 'unknown')}")
+        return 1
+    print(result.summary())
+    print(f"members ({result.size}): {sorted(result.nodes, key=repr)}")
+    print(f"density modularity: {density_modularity(graph, result.nodes):.6f}")
+    print(f"classic modularity: {classic_modularity(graph, result.nodes):.6f}")
+    if dataset is not None:
+        truths = [c for c in dataset.communities if set(queries) <= set(c)]
+        if truths:
+            best = max(
+                (community_nmi(graph.nodes(), result.nodes, truth) for truth in truths)
+            )
+            best_ari = max(
+                (community_ari(graph.nodes(), result.nodes, truth) for truth in truths)
+            )
+            print(f"NMI vs ground truth: {best:.4f}")
+            print(f"ARI vs ground truth: {best_ari:.4f}")
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    dataset = load_dataset(args.dataset)
+    query_sets = generate_query_sets(
+        dataset, num_sets=args.queries, query_size=args.query_size, seed=args.seed
+    )
+    rows = []
+    for algorithm in args.algorithms:
+        records = evaluate_algorithm(dataset, algorithm, query_sets)
+        rows.append(aggregate(records).as_row())
+    print(format_table(rows, title=f"Evaluation on {dataset.name} ({len(query_sets)} query sets)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "algorithms":
+            return _command_algorithms()
+        if args.command == "search":
+            return _command_search(args)
+        if args.command == "evaluate":
+            return _command_evaluate(args)
+    except BrokenPipeError:
+        # piping into `head` and friends closes stdout early; exit quietly
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

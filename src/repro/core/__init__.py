@@ -1,0 +1,27 @@
+"""The paper's contribution: DMCS peeling algorithms (NCA, FPA and variants)."""
+
+from .detection import dmcs_detection, partition_density_modularity
+from .fpa import fpa, fpa_search
+from .framework import greedy_peel, prepare_search
+from .nca import nca, nca_search
+from .objectives import SUBGRAPH_OBJECTIVES, evaluate_objective
+from .result import CommunityResult
+from .variants import ALGORITHM_VARIANTS, fpa_dmg, fpa_without_pruning, nca_dr
+
+__all__ = [
+    "CommunityResult",
+    "greedy_peel",
+    "prepare_search",
+    "nca",
+    "nca_search",
+    "fpa",
+    "fpa_search",
+    "nca_dr",
+    "fpa_dmg",
+    "fpa_without_pruning",
+    "ALGORITHM_VARIANTS",
+    "SUBGRAPH_OBJECTIVES",
+    "evaluate_objective",
+    "dmcs_detection",
+    "partition_density_modularity",
+]

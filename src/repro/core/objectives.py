@@ -1,0 +1,55 @@
+"""Subgraph-selection objectives shared by the peeling algorithms.
+
+Figure 12 of the paper swaps the objective FPA uses to pick the best
+intermediate subgraph (density modularity vs classic modularity vs
+generalized modularity density).  All three can be evaluated in O(1) from
+the incrementally maintained :class:`~repro.modularity.CommunityStatistics`,
+which is what this module does.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphError
+from ..modularity import CommunityStatistics
+
+__all__ = ["SUBGRAPH_OBJECTIVES", "evaluate_objective"]
+
+SUBGRAPH_OBJECTIVES = (
+    "density_modularity",
+    "classic_modularity",
+    "generalized_modularity_density",
+)
+
+
+def evaluate_objective(graph: Graph, stats: CommunityStatistics, objective: str) -> float:
+    """Return the requested objective for the community tracked by ``stats``.
+
+    Parameters
+    ----------
+    graph:
+        Host graph (supplies ``|E|``).
+    stats:
+        Incrementally maintained ``l_C`` / ``d_C`` / ``|C|`` of the community.
+    objective:
+        One of :data:`SUBGRAPH_OBJECTIVES`.
+    """
+    if stats.size == 0:
+        raise GraphError("cannot evaluate an objective on an empty community")
+    num_edges = graph.number_of_edges()
+    l_c = stats.internal_edges
+    d_c = stats.degree_sum
+    size = stats.size
+    numerator = 2.0 * l_c - (d_c * d_c) / (2.0 * num_edges)
+    if objective == "density_modularity":
+        return numerator / (2.0 * size)
+    if objective == "classic_modularity":
+        return numerator / (2.0 * num_edges)
+    if objective == "generalized_modularity_density":
+        if size == 1:
+            internal_density = 0.0
+        else:
+            internal_density = 2.0 * l_c / (size * (size - 1))
+        return (numerator / (2.0 * num_edges)) * internal_density
+    raise GraphError(
+        f"unknown objective {objective!r}; expected one of {', '.join(SUBGRAPH_OBJECTIVES)}"
+    )

@@ -1,0 +1,96 @@
+"""Result container returned by every community-search algorithm in this library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graph import Graph, Node
+from ..modularity import density_modularity
+
+__all__ = ["CommunityResult"]
+
+
+@dataclass(frozen=True)
+class CommunityResult:
+    """A community returned by a search algorithm.
+
+    Attributes
+    ----------
+    nodes:
+        The community node set (always contains every query node when the
+        search succeeded).
+    query_nodes:
+        The query set the search was asked for.
+    algorithm:
+        Short name of the algorithm that produced the result (``"FPA"``,
+        ``"NCA"``, ``"kc"``...).
+    score:
+        The value of the algorithm's own objective for ``nodes`` (density
+        modularity for NCA/FPA, ``k`` for k-core style baselines, ...).
+    objective_name:
+        Name of what ``score`` measures.
+    elapsed_seconds:
+        Wall-clock runtime of the search.
+    removal_order:
+        For peeling algorithms, the order nodes were removed in (useful for
+        the Figure-5 style removal-order analysis); empty otherwise.
+    trace:
+        For peeling algorithms, the objective value after each removal.
+    extra:
+        Algorithm-specific metadata (e.g. chosen ``k``, layer statistics).
+    """
+
+    nodes: frozenset[Node]
+    query_nodes: frozenset[Node]
+    algorithm: str
+    score: float = 0.0
+    objective_name: str = "density_modularity"
+    elapsed_seconds: float = 0.0
+    removal_order: tuple[Node, ...] = ()
+    trace: tuple[float, ...] = ()
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", frozenset(self.nodes))
+        object.__setattr__(self, "query_nodes", frozenset(self.query_nodes))
+        object.__setattr__(self, "removal_order", tuple(self.removal_order))
+        object.__setattr__(self, "trace", tuple(self.trace))
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the community."""
+        return len(self.nodes)
+
+    def contains_queries(self) -> bool:
+        """Return ``True`` when every query node is inside the community."""
+        return self.query_nodes <= self.nodes
+
+    def density_modularity(self, graph: Graph) -> float:
+        """Return the density modularity of the community within ``graph``."""
+        return density_modularity(graph, self.nodes)
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"{self.algorithm}: |C|={self.size}, {self.objective_name}={self.score:.4f}, "
+            f"time={self.elapsed_seconds * 1000:.1f} ms"
+        )
+
+    @staticmethod
+    def empty(
+        query_nodes: frozenset[Node] | set[Node],
+        algorithm: str,
+        reason: Optional[str] = None,
+    ) -> "CommunityResult":
+        """Return an empty (failed) result, e.g. when queries are disconnected."""
+        extra = {"failed": True}
+        if reason:
+            extra["reason"] = reason
+        return CommunityResult(
+            nodes=frozenset(),
+            query_nodes=frozenset(query_nodes),
+            algorithm=algorithm,
+            score=float("-inf"),
+            extra=extra,
+        )

@@ -1,0 +1,56 @@
+"""Named algorithm variants evaluated in Section 6.2.5 (Figure 14).
+
+The paper's two key functions — *how removable nodes are found* ((a)
+non-articulation nodes vs (b) farthest nodes) and *how the best node to
+remove is chosen* ((c) density modularity gain vs (d) density ratio) — give
+four combinations:
+
+=========  ==========================  =====================
+variant    removable nodes             selection
+=========  ==========================  =====================
+NCA        (a) non-articulation        (c) gain Λ
+NCA-DR     (a) non-articulation        (d) ratio Θ
+FPA-DMG    (b) farthest layers         (c) gain Λ
+FPA        (b) farthest layers         (d) ratio Θ
+=========  ==========================  =====================
+
+Each helper below simply forwards to :func:`repro.core.nca` or
+:func:`repro.core.fpa` with the matching parameters so experiment code can
+refer to the variants by their paper names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..graph import Graph, Node
+from .fpa import fpa
+from .nca import nca
+from .result import CommunityResult
+
+__all__ = ["nca_dr", "fpa_dmg", "fpa_without_pruning", "ALGORITHM_VARIANTS"]
+
+
+def nca_dr(graph: Graph, query_nodes: Sequence[Node], **kwargs) -> CommunityResult:
+    """NCA with the density ratio Θ as the selection rule ((a) + (d))."""
+    return nca(graph, query_nodes, selection="ratio", **kwargs)
+
+
+def fpa_dmg(graph: Graph, query_nodes: Sequence[Node], **kwargs) -> CommunityResult:
+    """FPA with the density modularity gain Λ as the selection rule ((b) + (c))."""
+    kwargs.setdefault("layer_pruning", False)
+    return fpa(graph, query_nodes, selection="gain", **kwargs)
+
+
+def fpa_without_pruning(graph: Graph, query_nodes: Sequence[Node], **kwargs) -> CommunityResult:
+    """Plain Algorithm 2: FPA without the layer-based pruning strategy."""
+    return fpa(graph, query_nodes, layer_pruning=False, **kwargs)
+
+
+# Registry used by the Figure-14 experiment: paper name -> callable.
+ALGORITHM_VARIANTS: dict[str, Callable[..., CommunityResult]] = {
+    "NCA": nca,
+    "NCA-DR": nca_dr,
+    "FPA-DMG": fpa_dmg,
+    "FPA": fpa,
+}

@@ -1,0 +1,44 @@
+"""Built-in datasets: the paper's Table 1 (real + surrogate) and Table 2 (LFR)."""
+
+from .base import Dataset
+from .karate import KARATE_EDGES, KARATE_MR_HI, KARATE_OFFICER, karate_graph, load_karate
+from .lfr import PAPER_LFR_SWEEP, LFRConfig, load_lfr
+from .registry import DATASET_LOADERS, list_datasets, load_dataset, table1_datasets
+from .surrogates import (
+    load_dblp_surrogate,
+    load_dolphin_surrogate,
+    load_livejournal_surrogate,
+    load_mexican_surrogate,
+    load_polblogs_surrogate,
+    load_youtube_surrogate,
+    make_overlapping_surrogate,
+    make_two_community_surrogate,
+)
+from .toy import figure1_dataset, figure1_network, ring_of_cliques_dataset
+
+__all__ = [
+    "Dataset",
+    "load_karate",
+    "karate_graph",
+    "KARATE_EDGES",
+    "KARATE_MR_HI",
+    "KARATE_OFFICER",
+    "figure1_network",
+    "figure1_dataset",
+    "ring_of_cliques_dataset",
+    "make_two_community_surrogate",
+    "make_overlapping_surrogate",
+    "load_dolphin_surrogate",
+    "load_mexican_surrogate",
+    "load_polblogs_surrogate",
+    "load_dblp_surrogate",
+    "load_youtube_surrogate",
+    "load_livejournal_surrogate",
+    "LFRConfig",
+    "PAPER_LFR_SWEEP",
+    "load_lfr",
+    "DATASET_LOADERS",
+    "load_dataset",
+    "list_datasets",
+    "table1_datasets",
+]

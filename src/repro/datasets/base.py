@@ -1,0 +1,101 @@
+"""The :class:`Dataset` container shared by every built-in dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graph import Graph, Node
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A graph together with its ground-truth communities.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"karate"``, ``"dblp-surrogate"``...).
+    graph:
+        The network.
+    communities:
+        Ground-truth communities as node sets.  For overlapping datasets a
+        node may appear in several communities.
+    overlapping:
+        Whether community membership overlaps (Table 1's "overlap" column).
+    description:
+        One-line description including provenance (real / surrogate).
+    metadata:
+        Free-form extras such as generator parameters.
+    """
+
+    name: str
+    graph: Graph
+    communities: tuple[frozenset[Node], ...]
+    overlapping: bool = False
+    description: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "communities", tuple(frozenset(community) for community in self.communities)
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        """``|V|`` of the dataset graph."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` of the dataset graph."""
+        return self.graph.number_of_edges()
+
+    @property
+    def num_communities(self) -> int:
+        """``|C|``: the number of ground-truth communities."""
+        return len(self.communities)
+
+    def membership(self) -> dict[Node, int]:
+        """Return ``{node: community index}`` for non-overlapping datasets.
+
+        Overlapping datasets raise ``ValueError`` because a single index per
+        node is not well defined there; use :attr:`communities` directly.
+        """
+        if self.overlapping:
+            raise ValueError(f"dataset {self.name!r} has overlapping communities")
+        labels: dict[Node, int] = {}
+        for index, community in enumerate(self.communities):
+            for node in community:
+                labels[node] = index
+        return labels
+
+    def communities_containing(self, node: Node) -> list[frozenset[Node]]:
+        """Return every ground-truth community that contains ``node``."""
+        return [community for community in self.communities if node in community]
+
+    def ground_truth_for(self, query_nodes) -> Optional[frozenset[Node]]:
+        """Return a ground-truth community containing all ``query_nodes``.
+
+        For overlapping datasets the smallest such community is returned
+        (the paper compares against each and keeps the best; the harness does
+        that at evaluation time, this helper is for single-truth protocols).
+        Returns ``None`` when no community contains every query node.
+        """
+        queries = set(query_nodes)
+        matching = [community for community in self.communities if queries <= community]
+        if not matching:
+            return None
+        return min(matching, key=len)
+
+    def statistics(self) -> dict[str, Any]:
+        """Return the Table-1 style statistics row for this dataset."""
+        return {
+            "name": self.name,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "|C|": self.num_communities,
+            "overlap": self.overlapping,
+        }

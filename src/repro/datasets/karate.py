@@ -1,0 +1,50 @@
+"""Zachary's karate club network (Zachary, 1977) with its two ground-truth factions.
+
+This is the one real-world dataset of Table 1 that is small enough to embed
+verbatim: 34 members, 78 edges, and the split into Mr. Hi's faction and the
+Officer's faction after the club's conflict.  The edge list below is the
+standard one (identical to the widely distributed copy shipped with
+networkx and igraph).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph
+from .base import Dataset
+
+__all__ = ["karate_graph", "load_karate", "KARATE_EDGES", "KARATE_MR_HI", "KARATE_OFFICER"]
+
+KARATE_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+    (0, 10), (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
+    (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
+    (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
+    (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
+    (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+    (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32),
+    (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27),
+    (24, 31), (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32),
+    (29, 33), (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+)
+
+KARATE_MR_HI: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21)
+KARATE_OFFICER: tuple[int, ...] = (
+    9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33,
+)
+
+
+def karate_graph() -> Graph:
+    """Return the 34-node, 78-edge karate club graph."""
+    return Graph(edges=KARATE_EDGES)
+
+
+def load_karate() -> Dataset:
+    """Return the karate club as a :class:`Dataset` with its two factions."""
+    return Dataset(
+        name="karate",
+        graph=karate_graph(),
+        communities=(frozenset(KARATE_MR_HI), frozenset(KARATE_OFFICER)),
+        overlapping=False,
+        description="Zachary's karate club (real data, embedded): 34 nodes, 78 edges, 2 factions",
+        metadata={"source": "Zachary (1977)"},
+    )

@@ -1,0 +1,51 @@
+"""Dataset registry: one place to enumerate every built-in dataset loader."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import Dataset
+from .karate import load_karate
+from .lfr import load_lfr
+from .surrogates import (
+    load_dblp_surrogate,
+    load_dolphin_surrogate,
+    load_livejournal_surrogate,
+    load_mexican_surrogate,
+    load_polblogs_surrogate,
+    load_youtube_surrogate,
+)
+from .toy import figure1_dataset, ring_of_cliques_dataset
+
+__all__ = ["DATASET_LOADERS", "load_dataset", "list_datasets", "table1_datasets"]
+
+# name -> zero-argument loader returning a Dataset
+DATASET_LOADERS: dict[str, Callable[[], Dataset]] = {
+    "figure1": figure1_dataset,
+    "ring-of-cliques": ring_of_cliques_dataset,
+    "karate": load_karate,
+    "dolphin": load_dolphin_surrogate,
+    "mexican": load_mexican_surrogate,
+    "polblogs": load_polblogs_surrogate,
+    "dblp": load_dblp_surrogate,
+    "youtube": load_youtube_surrogate,
+    "livejournal": load_livejournal_surrogate,
+    "lfr": load_lfr,
+}
+
+
+def load_dataset(name: str) -> Dataset:
+    """Load a built-in dataset by name; raises ``KeyError`` for unknown names."""
+    if name not in DATASET_LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {', '.join(sorted(DATASET_LOADERS))}")
+    return DATASET_LOADERS[name]()
+
+
+def list_datasets() -> list[str]:
+    """Return the names of every built-in dataset."""
+    return sorted(DATASET_LOADERS)
+
+
+def table1_datasets() -> list[str]:
+    """Return the dataset names that make up the paper's Table 1."""
+    return ["dolphin", "karate", "polblogs", "mexican", "dblp", "youtube", "livejournal"]

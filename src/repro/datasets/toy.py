@@ -1,0 +1,76 @@
+"""Hand-built example networks from the paper.
+
+* :func:`figure1_network` — the 16-node toy network of Figure 1 whose exact
+  modularity values the paper computes in Examples 1 and 2
+  (``|E| = 26``, ``l_A = 6``, ``d_A = 14``, ``l_{A∪B} = 14``, ``d_{A∪B} = 28``).
+* :func:`ring_of_cliques_dataset` — the Figure-2 ring of 30 six-node cliques
+  used in Example 3 to illustrate the resolution limit.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, ring_of_cliques
+from .base import Dataset
+
+__all__ = ["figure1_network", "figure1_dataset", "ring_of_cliques_dataset"]
+
+# Community A: a 4-clique on u1..u4 (6 internal edges, degree sum 14 because
+# of the two bridges into B).  Community B: a 4-clique on u5..u8.  A and B are
+# joined by two edges, so l_{A∪B} = 14 and d_{A∪B} = 28.  The remaining eight
+# nodes form two further 4-cliques, bringing the total edge count to 26.
+_A_NODES = ("u1", "u2", "u3", "u4")
+_B_NODES = ("u5", "u6", "u7", "u8")
+_REST_1 = ("u9", "u10", "u11", "u12")
+_REST_2 = ("u13", "u14", "u15", "u16")
+_BRIDGES = (("u3", "u5"), ("u4", "u6"))
+
+
+def figure1_network() -> tuple[Graph, set[str], set[str]]:
+    """Return ``(graph, community_A, community_B)`` of the Figure-1 toy network."""
+    graph = Graph()
+    for block in (_A_NODES, _B_NODES, _REST_1, _REST_2):
+        members = list(block)
+        graph.add_nodes_from(members)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                graph.add_edge(members[i], members[j])
+    for u, v in _BRIDGES:
+        graph.add_edge(u, v)
+    return graph, set(_A_NODES), set(_B_NODES)
+
+
+def figure1_dataset() -> Dataset:
+    """Return the Figure-1 network as a :class:`Dataset` with A and B as truth."""
+    graph, community_a, community_b = figure1_network()
+    return Dataset(
+        name="figure1",
+        graph=graph,
+        communities=(
+            frozenset(community_a),
+            frozenset(community_b),
+            frozenset(_REST_1),
+            frozenset(_REST_2),
+        ),
+        overlapping=False,
+        description="Figure 1 toy network (16 nodes, 26 edges) used in Examples 1-2",
+        metadata={"query_node": "u1"},
+    )
+
+
+def ring_of_cliques_dataset(num_cliques: int = 30, clique_size: int = 6) -> Dataset:
+    """Return the Figure-2 ring of cliques with each clique as a ground-truth community."""
+    graph = ring_of_cliques(num_cliques, clique_size)
+    communities = tuple(
+        frozenset((i, j) for j in range(clique_size)) for i in range(num_cliques)
+    )
+    return Dataset(
+        name="ring-of-cliques",
+        graph=graph,
+        communities=communities,
+        overlapping=False,
+        description=(
+            f"Ring of {num_cliques} cliques of {clique_size} nodes (Figure 2, Example 3: "
+            "the resolution-limit example)"
+        ),
+        metadata={"num_cliques": num_cliques, "clique_size": clique_size},
+    )

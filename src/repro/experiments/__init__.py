@@ -1,0 +1,68 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from .queries import QuerySet, generate_query_sets
+from .registry import (
+    ALGORITHMS,
+    PAPER_BASELINES,
+    PROPOSED_ALGORITHMS,
+    get_algorithm,
+    list_algorithms,
+    run_algorithm,
+)
+from .reporting import format_histogram, format_series, format_table, print_series, print_table
+from .runner import (
+    AggregateResult,
+    EvaluationRecord,
+    aggregate,
+    evaluate_algorithm,
+    evaluate_algorithms,
+    score_result,
+)
+from .sweeps import (
+    case_study,
+    community_diameter_histogram,
+    dataset_comparison,
+    lfr_parameter_sweep,
+    multi_query_sweep,
+    objective_community_sizes,
+    objective_comparison,
+    pruning_comparison,
+    removal_order_comparison,
+    scalability_sweep,
+    variant_comparison,
+    varying_k_sweep,
+)
+
+__all__ = [
+    "QuerySet",
+    "generate_query_sets",
+    "ALGORITHMS",
+    "PAPER_BASELINES",
+    "PROPOSED_ALGORITHMS",
+    "get_algorithm",
+    "list_algorithms",
+    "run_algorithm",
+    "EvaluationRecord",
+    "AggregateResult",
+    "evaluate_algorithm",
+    "evaluate_algorithms",
+    "aggregate",
+    "score_result",
+    "format_table",
+    "format_series",
+    "format_histogram",
+    "print_table",
+    "print_series",
+    "community_diameter_histogram",
+    "removal_order_comparison",
+    "lfr_parameter_sweep",
+    "multi_query_sweep",
+    "scalability_sweep",
+    "objective_comparison",
+    "objective_community_sizes",
+    "pruning_comparison",
+    "variant_comparison",
+    "dataset_comparison",
+    "varying_k_sweep",
+    "case_study",
+]

@@ -1,0 +1,87 @@
+"""Plain-text reporting helpers: the benches print paper-style tables with these."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_series", "print_table", "print_series", "format_histogram"]
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_fmt(row.get(column, ""))))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[Any, float]], x_label: str = "x", title: str = ""
+) -> str:
+    """Render ``{series name: {x: y}}`` as a table with one column per x value.
+
+    This matches the figure layout of the paper: one line per algorithm, one
+    column per swept parameter value.
+    """
+    x_values: list[Any] = []
+    for values in series.values():
+        for x in values:
+            if x not in x_values:
+                x_values.append(x)
+    rows = []
+    for name, values in series.items():
+        row: dict[str, Any] = {x_label: name}
+        for x in x_values:
+            row[str(x)] = values.get(x, "")
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_histogram(histogram: Mapping[Any, int], title: str = "", width: int = 50) -> str:
+    """Render ``{bucket: count}`` as a text histogram with proportional bars."""
+    lines = [title] if title else []
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(histogram.values()) or 1
+    for bucket in sorted(histogram):
+        count = histogram[bucket]
+        bar = "#" * max(1, int(width * count / peak)) if count else ""
+        lines.append(f"{bucket!s:>8} | {count:>6} {bar}")
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, Any]], title: str = "") -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title=title))
+
+
+def print_series(series: Mapping[str, Mapping[Any, float]], x_label: str = "x", title: str = "") -> None:
+    """Print :func:`format_series` output."""
+    print(format_series(series, x_label=x_label, title=title))
+
+
+def _fmt(value: Any) -> str:
+    """Format one cell: floats get 4 decimals, everything else ``str``."""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

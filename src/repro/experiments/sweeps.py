@@ -1,0 +1,398 @@
+"""Figure-level experiment sweeps.
+
+Each function here regenerates the data behind one of the paper's figures
+(Figures 4–20) at a configurable scale.  The benchmark scripts in
+``benchmarks/`` call these with small default sizes so the whole suite runs
+in minutes on a laptop; every knob (graph size, number of query sets,
+algorithm list) can be raised towards the paper's configuration.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Optional
+
+from ..core import SUBGRAPH_OBJECTIVES, fpa
+from ..datasets import Dataset, LFRConfig, load_dblp_surrogate, load_lfr
+from ..graph import Graph, Node, diameter, planted_partition
+from ..metrics import betweenness_centrality, eigenvector_centrality
+from .queries import generate_query_sets
+from .registry import get_algorithm
+from .runner import AggregateResult, aggregate, evaluate_algorithm
+
+__all__ = [
+    "community_diameter_histogram",
+    "removal_order_comparison",
+    "lfr_parameter_sweep",
+    "multi_query_sweep",
+    "scalability_sweep",
+    "objective_comparison",
+    "pruning_comparison",
+    "variant_comparison",
+    "dataset_comparison",
+    "varying_k_sweep",
+    "case_study",
+]
+
+# ----------------------------------------------------------------------------
+# Figure 4 — frequency of ground-truth community diameters
+# ----------------------------------------------------------------------------
+
+
+def community_diameter_histogram(
+    dataset: Dataset, max_communities: Optional[int] = None, seed: int = 0
+) -> dict[int, int]:
+    """Return ``{diameter: number of ground-truth communities}`` for ``dataset``.
+
+    Disconnected communities contribute the diameter of their largest
+    connected part (the same convention the substrate's ``diameter`` uses).
+    """
+    import random
+
+    communities = list(dataset.communities)
+    if max_communities is not None and len(communities) > max_communities:
+        rng = random.Random(seed)
+        communities = rng.sample(communities, max_communities)
+    histogram: dict[int, int] = {}
+    for community in communities:
+        subgraph = dataset.graph.subgraph(community)
+        value = diameter(subgraph, exact=len(community) <= 200, sample_size=8, seed=seed)
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+# ----------------------------------------------------------------------------
+# Figure 5 — node-removal order under Λ vs Θ
+# ----------------------------------------------------------------------------
+
+
+def removal_order_comparison(graph: Graph, query_node: Node) -> dict[str, dict[Node, int]]:
+    """Return the removal rank of every node under the Λ and Θ objectives.
+
+    Rank 1 is the first node removed.  Nodes never removed (the query and the
+    final community core) get rank 0.  The paper plots this comparison on the
+    karate network to argue the two objectives produce near-identical orders.
+    """
+    gain_result = fpa(graph, [query_node], selection="gain", layer_pruning=False)
+    ratio_result = fpa(graph, [query_node], selection="ratio", layer_pruning=False)
+    orders: dict[str, dict[Node, int]] = {"gain": {}, "ratio": {}}
+    for name, result in (("gain", gain_result), ("ratio", ratio_result)):
+        ranks = {node: 0 for node in graph.iter_nodes()}
+        for rank, node in enumerate(result.removal_order, start=1):
+            ranks[node] = rank
+        orders[name] = ranks
+    return orders
+
+
+# ----------------------------------------------------------------------------
+# Figures 8 & 9 — accuracy / runtime on LFR while varying mu, d_avg, d_max
+# ----------------------------------------------------------------------------
+
+
+def lfr_parameter_sweep(
+    algorithms: list[str],
+    parameter: str,
+    values: list,
+    base_config: Optional[LFRConfig] = None,
+    num_queries: int = 10,
+    query_size: int = 1,
+    seed: int = 0,
+    time_budget_seconds: Optional[float] = None,
+) -> dict[str, dict[Any, AggregateResult]]:
+    """Sweep one LFR parameter and evaluate every algorithm at each value.
+
+    ``parameter`` is one of ``"mu"``, ``"avg_degree"`` or ``"max_degree"``
+    (the three sweeps of Figures 8 and 9).  Returns
+    ``{algorithm: {value: AggregateResult}}``.
+    """
+    if parameter not in ("mu", "avg_degree", "max_degree"):
+        raise ValueError(f"unknown LFR sweep parameter {parameter!r}")
+    base = base_config if base_config is not None else LFRConfig()
+    results: dict[str, dict[Any, AggregateResult]] = {name: {} for name in algorithms}
+    for value in values:
+        dataset = load_lfr(base, **{parameter: value, "seed": seed})
+        query_sets = generate_query_sets(
+            dataset, num_sets=num_queries, query_size=query_size, seed=seed
+        )
+        for algorithm in algorithms:
+            records = evaluate_algorithm(
+                dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds
+            )
+            results[algorithm][value] = aggregate(records)
+    return results
+
+
+# ----------------------------------------------------------------------------
+# Figure 10 — effect of the number of query nodes
+# ----------------------------------------------------------------------------
+
+
+def multi_query_sweep(
+    algorithms: list[str],
+    query_sizes: list[int],
+    config: Optional[LFRConfig] = None,
+    num_queries: int = 10,
+    seed: int = 0,
+    time_budget_seconds: Optional[float] = None,
+) -> dict[str, dict[int, AggregateResult]]:
+    """Evaluate algorithms on the default LFR graph with growing query sets."""
+    dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    results: dict[str, dict[int, AggregateResult]] = {name: {} for name in algorithms}
+    for query_size in query_sizes:
+        query_sets = generate_query_sets(
+            dataset,
+            num_sets=num_queries,
+            query_size=query_size,
+            seed=seed + query_size,
+            min_community_size=query_size,
+        )
+        for algorithm in algorithms:
+            records = evaluate_algorithm(
+                dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds
+            )
+            results[algorithm][query_size] = aggregate(records)
+    return results
+
+
+# ----------------------------------------------------------------------------
+# Figure 11 — scalability on growing synthetic graphs
+# ----------------------------------------------------------------------------
+
+
+def scalability_sweep(
+    algorithms: list[str],
+    node_counts: list[int],
+    community_size: int = 50,
+    p_in: float = 0.3,
+    p_out: float = 0.002,
+    num_queries: int = 3,
+    seed: int = 0,
+    time_budget_seconds: Optional[float] = None,
+) -> dict[str, dict[int, float]]:
+    """Return mean runtime (seconds) per algorithm as the graph grows.
+
+    Uses planted-partition graphs (the community structure does not matter
+    for a runtime-only figure) and reports mean wall-clock seconds per query.
+    """
+    results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
+    for n in node_counts:
+        num_communities = max(2, n // community_size)
+        graph, membership = planted_partition(
+            num_communities, community_size, p_in, p_out, seed=seed
+        )
+        communities: dict[int, set[int]] = {}
+        for node, block in membership.items():
+            communities.setdefault(block, set()).add(node)
+        dataset = Dataset(
+            name=f"planted-{n}",
+            graph=graph,
+            communities=tuple(frozenset(nodes) for nodes in communities.values()),
+            overlapping=False,
+            description="planted partition scalability workload",
+        )
+        query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed, truss_k=2)
+        for algorithm in algorithms:
+            records = evaluate_algorithm(
+                dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds
+            )
+            results[algorithm][n] = statistics.fmean(
+                record.elapsed_seconds for record in records
+            )
+    return results
+
+
+# ----------------------------------------------------------------------------
+# Figure 12 — FPA with different best-subgraph objectives
+# ----------------------------------------------------------------------------
+
+
+def objective_comparison(
+    objectives: Optional[list[str]] = None,
+    config: Optional[LFRConfig] = None,
+    num_queries: int = 10,
+    seed: int = 0,
+) -> dict[str, AggregateResult]:
+    """Compare FPA selecting the best subgraph by different modularity scores.
+
+    Returns ``{objective: AggregateResult}``; also records the mean returned
+    community size in ``extra`` of the per-record results, which is how the
+    paper quantifies the free-rider effect of the classic modularity.
+    """
+    chosen = objectives if objectives is not None else list(SUBGRAPH_OBJECTIVES)
+    dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed)
+    results: dict[str, AggregateResult] = {}
+    for objective in chosen:
+        records = evaluate_algorithm(dataset, "FPA", query_sets, objective=objective)
+        results[objective] = aggregate(records)
+    return results
+
+
+def objective_community_sizes(
+    objectives: Optional[list[str]] = None,
+    config: Optional[LFRConfig] = None,
+    num_queries: int = 10,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Return the mean community size per objective (the 18x free-rider statistic)."""
+    chosen = objectives if objectives is not None else list(SUBGRAPH_OBJECTIVES)
+    dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed)
+    sizes: dict[str, float] = {}
+    for objective in chosen:
+        records = evaluate_algorithm(dataset, "FPA", query_sets, objective=objective)
+        sizes[objective] = statistics.fmean(record.community_size for record in records)
+    return sizes
+
+
+# ----------------------------------------------------------------------------
+# Figure 13 — layer-based pruning ablation
+# ----------------------------------------------------------------------------
+
+
+def pruning_comparison(
+    config: Optional[LFRConfig] = None, num_queries: int = 10, seed: int = 0
+) -> dict[str, AggregateResult]:
+    """Compare FPA with and without the layer-based pruning strategy."""
+    dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed)
+    return {
+        "FPA": aggregate(evaluate_algorithm(dataset, "FPA", query_sets)),
+        "FPA w/o pruning": aggregate(evaluate_algorithm(dataset, "FPA-NP", query_sets)),
+    }
+
+
+# ----------------------------------------------------------------------------
+# Figure 14 — the four (removable nodes) x (selection) variants
+# ----------------------------------------------------------------------------
+
+
+def variant_comparison(
+    config: Optional[LFRConfig] = None,
+    num_queries: int = 5,
+    seed: int = 0,
+    time_budget_seconds: Optional[float] = None,
+) -> dict[str, AggregateResult]:
+    """Compare NCA, NCA-DR, FPA-DMG and FPA on the default LFR graph."""
+    dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed)
+    variants = ["NCA", "NCA-DR", "FPA-DMG", "FPA"]
+    return {
+        name: aggregate(
+            evaluate_algorithm(dataset, name, query_sets, time_budget_seconds=time_budget_seconds)
+        )
+        for name in variants
+    }
+
+
+# ----------------------------------------------------------------------------
+# Figures 15-18 — real-world (and surrogate) dataset comparisons
+# ----------------------------------------------------------------------------
+
+
+def dataset_comparison(
+    datasets: list[Dataset],
+    algorithms: list[str],
+    num_queries: int = 10,
+    query_size: int = 1,
+    seed: int = 0,
+    time_budget_seconds: Optional[float] = None,
+) -> dict[str, dict[str, AggregateResult]]:
+    """Evaluate every algorithm on every dataset; returns ``{dataset: {algo: agg}}``."""
+    results: dict[str, dict[str, AggregateResult]] = {}
+    for dataset in datasets:
+        query_sets = generate_query_sets(
+            dataset, num_sets=num_queries, query_size=query_size, seed=seed
+        )
+        per_dataset: dict[str, AggregateResult] = {}
+        for algorithm in algorithms:
+            records = evaluate_algorithm(
+                dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds
+            )
+            per_dataset[algorithm] = aggregate(records)
+        results[dataset.name] = per_dataset
+    return results
+
+
+# ----------------------------------------------------------------------------
+# Figure 19 — varying the user parameter k of the baselines
+# ----------------------------------------------------------------------------
+
+
+def varying_k_sweep(
+    dataset: Dataset,
+    k_values: list[int],
+    num_queries: int = 10,
+    seed: int = 0,
+) -> dict[str, dict[int, AggregateResult]]:
+    """Evaluate kc/kt/kecc for each ``k`` against the parameter-free FPA."""
+    query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed)
+    results: dict[str, dict[int, AggregateResult]] = {"kc": {}, "kt": {}, "kecc": {}, "FPA": {}}
+    fpa_aggregate = aggregate(evaluate_algorithm(dataset, "FPA", query_sets))
+    for k in k_values:
+        results["kc"][k] = aggregate(evaluate_algorithm(dataset, "kc", query_sets, k=k))
+        results["kt"][k] = aggregate(evaluate_algorithm(dataset, "kt", query_sets, k=max(k, 2)))
+        results["kecc"][k] = aggregate(evaluate_algorithm(dataset, "kecc", query_sets, k=k))
+        results["FPA"][k] = fpa_aggregate
+    return results
+
+
+# ----------------------------------------------------------------------------
+# Figure 20 / Section 6.3.2 — case study around a hub node
+# ----------------------------------------------------------------------------
+
+
+def case_study(
+    dataset: Optional[Dataset] = None, query_node: Optional[Node] = None, seed: int = 0
+) -> dict[str, dict[str, Any]]:
+    """Reproduce the case-study comparison of FPA vs 3-truss vs 3-core.
+
+    Returns, per algorithm, the community size, the fraction of members
+    adjacent to the query node, and the query node's rank by betweenness and
+    eigenvector centrality inside the returned community.
+    """
+    chosen_dataset = dataset if dataset is not None else load_dblp_surrogate(seed=seed, num_nodes=800)
+    graph = chosen_dataset.graph
+    if query_node is None:
+        # emulate "Philip S. Yu": take the highest-degree node
+        query_node = max(graph.iter_nodes(), key=graph.degree)
+
+    algorithms = {
+        "FPA": get_algorithm("FPA"),
+        "3-truss": get_algorithm("kt", k=3),
+        "3-core": get_algorithm("kc", k=3),
+    }
+    report: dict[str, dict[str, Any]] = {}
+    for name, runner in algorithms.items():
+        start = time.perf_counter()
+        result = runner(graph, [query_node])
+        elapsed = time.perf_counter() - start
+        members = set(result.nodes)
+        if not members:
+            report[name] = {"size": 0, "failed": True}
+            continue
+        adjacency = set(graph.adjacency(query_node))
+        connected_fraction = (
+            len(adjacency & (members - {query_node})) / max(1, len(members) - 1)
+        )
+        subgraph = graph.subgraph(members)
+        betweenness = betweenness_centrality(subgraph)
+        try:
+            eigen = eigenvector_centrality(subgraph, max_iterations=500)
+        except Exception:  # pragma: no cover - defensive: oscillating power iteration
+            eigen = {node: float(subgraph.degree(node)) for node in subgraph.iter_nodes()}
+        report[name] = {
+            "size": len(members),
+            "query_adjacent_fraction": round(connected_fraction, 4),
+            "betweenness_rank": _rank_of(betweenness, query_node),
+            "eigenvector_rank": _rank_of(eigen, query_node),
+            "elapsed_seconds": elapsed,
+        }
+    return report
+
+
+def _rank_of(scores: dict[Node, float], node: Node) -> int:
+    """Return the 1-based rank of ``node`` when sorting scores descending."""
+    ordered = sorted(scores, key=scores.get, reverse=True)
+    return ordered.index(node) + 1

@@ -1,0 +1,148 @@
+"""Articulation points (cut vertices) via the Hopcroft–Tarjan DFS-tree rule.
+
+Section 5.2.1 of the paper computes removable nodes as *non-articulation*
+nodes using exactly this DFS-tree characterisation:
+
+* the DFS root is an articulation node iff it has at least two DFS children;
+* a non-root node ``x`` is an articulation node iff it has a child ``y`` such
+  that no node in the subtree rooted at ``y`` has a back edge to a proper
+  ancestor of ``x``.
+
+The implementation below is iterative (explicit stack) so it works on graphs
+whose DFS depth exceeds Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, Node
+
+__all__ = ["articulation_points", "non_articulation_nodes", "biconnected_components"]
+
+
+def articulation_points(graph: Graph) -> set[Node]:
+    """Return the set of articulation points of ``graph``.
+
+    Works per connected component; isolated nodes are never articulation
+    points.
+    """
+    visited: set[Node] = set()
+    discovery: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node] = {}
+    points: set[Node] = set()
+    timer = 0
+
+    for root in graph.iter_nodes():
+        if root in visited:
+            continue
+        root_children = 0
+        # stack of (node, iterator over neighbors)
+        stack: list[tuple[Node, iter]] = []
+        visited.add(root)
+        discovery[root] = low[root] = timer
+        timer += 1
+        stack.append((root, iter(graph.adjacency(root))))
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in visited:
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    visited.add(neighbor)
+                    discovery[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    stack.append((neighbor, iter(graph.adjacency(neighbor))))
+                    advanced = True
+                    break
+                if neighbor != parent.get(node):
+                    low[node] = min(low[node], discovery[neighbor])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                parent_node = stack[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+                if parent_node != root and low[node] >= discovery[parent_node]:
+                    points.add(parent_node)
+        if root_children >= 2:
+            points.add(root)
+    return points
+
+
+def non_articulation_nodes(graph: Graph) -> set[Node]:
+    """Return nodes whose removal keeps their component connected."""
+    return set(graph.iter_nodes()) - articulation_points(graph)
+
+
+def biconnected_components(graph: Graph) -> list[set[Node]]:
+    """Return the biconnected components (as node sets) of ``graph``.
+
+    Provided for completeness of the substrate (it is the natural companion
+    of articulation points and is useful when analysing the peel traces).
+    Bridges yield 2-node components; isolated nodes yield singleton
+    components.
+    """
+    visited: set[Node] = set()
+    discovery: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node] = {}
+    components: list[set[Node]] = []
+    edge_stack: list[tuple[Node, Node]] = []
+    timer = 0
+
+    def pop_component(u: Node, v: Node) -> None:
+        component: set[Node] = set()
+        while edge_stack:
+            a, b = edge_stack.pop()
+            component.add(a)
+            component.add(b)
+            if (a, b) == (u, v) or (b, a) == (u, v):
+                break
+        if component:
+            components.append(component)
+
+    for root in graph.iter_nodes():
+        if root in visited:
+            continue
+        if graph.degree(root) == 0:
+            components.append({root})
+            visited.add(root)
+            continue
+        visited.add(root)
+        discovery[root] = low[root] = timer
+        timer += 1
+        stack: list[tuple[Node, iter]] = [(root, iter(graph.adjacency(root)))]
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in visited:
+                    parent[neighbor] = node
+                    edge_stack.append((node, neighbor))
+                    visited.add(neighbor)
+                    discovery[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    stack.append((neighbor, iter(graph.adjacency(neighbor))))
+                    advanced = True
+                    break
+                if neighbor != parent.get(node) and discovery[neighbor] < discovery[node]:
+                    edge_stack.append((node, neighbor))
+                    low[node] = min(low[node], discovery[neighbor])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                parent_node = stack[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+                if low[node] >= discovery[parent_node]:
+                    pop_component(parent_node, node)
+        if edge_stack:
+            component: set[Node] = set()
+            while edge_stack:
+                a, b = edge_stack.pop()
+                component.add(a)
+                component.add(b)
+            components.append(component)
+    return components

@@ -1,0 +1,85 @@
+"""Connected components and related helpers."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from .graph import Graph, GraphError, Node
+
+__all__ = [
+    "connected_components",
+    "connected_component_containing",
+    "is_connected",
+    "nodes_in_same_component",
+    "largest_component",
+]
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Return all connected components as a list of node sets.
+
+    Components are returned in order of first-seen node, so the output is
+    deterministic for a deterministic insertion order.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.iter_nodes():
+        if start in seen:
+            continue
+        component: set[Node] = {start}
+        queue: deque[Node] = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.adjacency(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def connected_component_containing(graph: Graph, node: Node) -> set[Node]:
+    """Return the node set of the component that contains ``node``."""
+    if not graph.has_node(node):
+        raise GraphError(f"node {node!r} is not in the graph")
+    component: set[Node] = {node}
+    queue: deque[Node] = deque([node])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.adjacency(current):
+            if neighbor not in component:
+                component.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` when the graph is connected (empty graphs count as connected)."""
+    if graph.is_empty():
+        return True
+    first = next(graph.iter_nodes())
+    return len(connected_component_containing(graph, first)) == graph.number_of_nodes()
+
+
+def nodes_in_same_component(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return ``True`` when every node in ``nodes`` lies in one component.
+
+    This is the feasibility check both NCA and FPA perform before peeling:
+    if the query nodes are disconnected, DMCS has no feasible solution.
+    """
+    node_list = list(nodes)
+    if not node_list:
+        return True
+    component = connected_component_containing(graph, node_list[0])
+    return all(node in component for node in node_list[1:])
+
+
+def largest_component(graph: Graph) -> Optional[set[Node]]:
+    """Return the node set of the largest connected component (``None`` if empty)."""
+    components = connected_components(graph)
+    if not components:
+        return None
+    return max(components, key=len)

@@ -1,0 +1,112 @@
+"""k-core decomposition.
+
+The k-core based community-search baselines of the paper (``kc`` and
+``highcore``) and the query-set generation procedure both rely on the core
+decomposition.  The decomposition below is the linear-time bucket peeling of
+Batagelj & Zaveršnik.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from .graph import Graph, GraphError, Node
+
+__all__ = ["core_numbers", "k_core_subgraph", "max_core_number", "degeneracy_ordering"]
+
+
+def core_numbers(graph: Graph) -> dict[Node, int]:
+    """Return the core number (coreness) of every node.
+
+    The core number of ``v`` is the largest ``k`` such that ``v`` belongs to
+    a subgraph whose minimum degree is at least ``k``.  The implementation is
+    the classic minimum-degree peel with a lazy-deletion heap, which runs in
+    ``O(|E| log |V|)``.
+    """
+    import heapq
+
+    degrees = graph.degree_map()
+    if not degrees:
+        return {}
+    current = dict(degrees)
+    counter = 0
+    heap = []
+    for node, degree in degrees.items():
+        heap.append((degree, counter, node))
+        counter += 1
+    heapq.heapify(heap)
+    removed: set[Node] = set()
+    core: dict[Node, int] = {}
+    k = 0
+    while heap:
+        degree, _, node = heapq.heappop(heap)
+        if node in removed or current[node] != degree:
+            continue
+        k = max(k, degree)
+        core[node] = k
+        removed.add(node)
+        for neighbor in graph.adjacency(node):
+            if neighbor not in removed:
+                current[neighbor] -= 1
+                heapq.heappush(heap, (current[neighbor], counter, neighbor))
+                counter += 1
+    return core
+
+
+def degeneracy_ordering(graph: Graph) -> list[Node]:
+    """Return a degeneracy ordering (smallest-degree-first peel order)."""
+    import heapq
+
+    degrees = graph.degree_map()
+    order: list[Node] = []
+    removed: set[Node] = set()
+    counter = 0
+    heap = []
+    for node, degree in degrees.items():
+        heap.append((degree, counter, node))
+        counter += 1
+    heapq.heapify(heap)
+    current = dict(degrees)
+    while heap:
+        degree, _, node = heapq.heappop(heap)
+        if node in removed or current[node] != degree:
+            continue
+        removed.add(node)
+        order.append(node)
+        for neighbor in graph.adjacency(node):
+            if neighbor not in removed:
+                current[neighbor] -= 1
+                heapq.heappush(heap, (current[neighbor], counter, neighbor))
+                counter += 1
+    return order
+
+
+def k_core_subgraph(graph: Graph, k: int, within: Optional[Iterable[Node]] = None) -> Graph:
+    """Return the maximal subgraph whose minimum degree is at least ``k``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    k:
+        Minimum-degree threshold; must be non-negative.
+    within:
+        Optional node subset: the k-core is computed on the induced
+        subgraph ``graph[within]``.
+    """
+    if k < 0:
+        raise GraphError(f"k must be non-negative, got {k}")
+    working = graph.subgraph(within) if within is not None else graph.copy()
+    changed = True
+    while changed:
+        low = [node for node in working.iter_nodes() if working.degree(node) < k]
+        changed = bool(low)
+        working.remove_nodes_from(low)
+    return working
+
+
+def max_core_number(graph: Graph) -> int:
+    """Return the degeneracy of the graph (largest core number)."""
+    core = core_numbers(graph)
+    return max(core.values()) if core else 0

@@ -1,0 +1,384 @@
+"""Synthetic graph generators.
+
+These generators build every synthetic workload the paper evaluates on:
+
+* :func:`lfr_benchmark` — the LFR benchmark of Lancichinetti, Fortunato &
+  Radicchi (2008) with power-law degree and community-size distributions and
+  a mixing parameter ``mu`` (Table 2 and Figures 8–14).
+* :func:`planted_partition` / :func:`stochastic_block_model` — surrogates for
+  the real-world graphs whose raw edge lists are unavailable offline
+  (Figures 15–19) and the scalability workload (Figure 11).
+* :func:`ring_of_cliques` — the resolution-limit example of Figure 2.
+* :func:`figure1_network` lives in :mod:`repro.datasets.toy` (it is a named
+  dataset rather than a parametric generator).
+* Classic random graphs (Erdős–Rényi, Barabási–Albert) used in property
+  tests and ablations.
+
+All generators are deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .graph import Graph, GraphError
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "ring_of_cliques",
+    "planted_partition",
+    "stochastic_block_model",
+    "powerlaw_sequence",
+    "lfr_benchmark",
+    "LFRResult",
+]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """Return a G(n, p) random graph on nodes ``0..n-1``."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` nodes and attaches each new node to
+    ``m`` distinct existing nodes chosen proportionally to degree.
+    """
+    if m < 1 or n < m + 1:
+        raise GraphError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n))
+    # repeated-nodes list implements preferential attachment
+    repeated: list[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        repeated.extend((0, v))
+    for new_node in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated.extend((new_node, target))
+    return graph
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """Return a ring of cliques (the Figure-2 resolution-limit example).
+
+    ``num_cliques`` cliques of ``clique_size`` nodes each are connected in a
+    ring by a single edge between consecutive cliques.  Node ``(i, j)`` is the
+    ``j``-th node of clique ``i``; the ring edges join ``(i, 0)`` and
+    ``(i+1 mod num_cliques, 1)`` so no ring edge is duplicated.
+    """
+    if num_cliques < 3:
+        raise GraphError(f"need at least 3 cliques for a ring, got {num_cliques}")
+    if clique_size < 2:
+        raise GraphError(f"cliques need at least 2 nodes, got {clique_size}")
+    graph = Graph()
+    for i in range(num_cliques):
+        members = [(i, j) for j in range(clique_size)]
+        graph.add_nodes_from(members)
+        for a in range(clique_size):
+            for b in range(a + 1, clique_size):
+                graph.add_edge(members[a], members[b])
+    for i in range(num_cliques):
+        graph.add_edge((i, 0), ((i + 1) % num_cliques, 1))
+    return graph
+
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> tuple[Graph, dict[int, int]]:
+    """Return a planted-partition graph and its ground-truth membership.
+
+    Every community has exactly ``community_size`` nodes; intra-community
+    edges appear with probability ``p_in`` and inter-community edges with
+    probability ``p_out``.  Returns ``(graph, {node: community_id})``.
+    """
+    sizes = [community_size] * num_communities
+    return stochastic_block_model(sizes, p_in, p_out, seed=seed)
+
+
+def stochastic_block_model(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> tuple[Graph, dict[int, int]]:
+    """Return an SBM graph with diagonal probability ``p_in`` and off-diagonal ``p_out``.
+
+    Nodes are integers ``0..n-1`` assigned to blocks in order of
+    ``community_sizes``.  Returns ``(graph, membership)``.
+    """
+    if not community_sizes:
+        raise GraphError("community_sizes must not be empty")
+    for probability in (p_in, p_out):
+        if not 0.0 <= probability <= 1.0:
+            raise GraphError(f"probabilities must be in [0, 1], got {probability}")
+    rng = random.Random(seed)
+    membership: dict[int, int] = {}
+    node = 0
+    for block, size in enumerate(community_sizes):
+        if size < 1:
+            raise GraphError(f"community sizes must be positive, got {size}")
+        for _ in range(size):
+            membership[node] = block
+            node += 1
+    n = node
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = p_in if membership[u] == membership[v] else p_out
+            if probability > 0.0 and rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph, membership
+
+
+def powerlaw_sequence(
+    n: int, exponent: float, minimum: int, maximum: int, seed: int = 0
+) -> list[int]:
+    """Return ``n`` integers drawn from a truncated power law.
+
+    Values fall in ``[minimum, maximum]`` with density proportional to
+    ``x ** -exponent`` (inverse-CDF sampling on the continuous law, rounded).
+    """
+    if minimum < 1 or maximum < minimum:
+        raise GraphError(f"need 1 <= minimum <= maximum, got [{minimum}, {maximum}]")
+    if exponent <= 1.0:
+        raise GraphError(f"power-law exponent must exceed 1, got {exponent}")
+    rng = random.Random(seed)
+    values: list[int] = []
+    alpha = 1.0 - exponent
+    low = minimum ** alpha
+    high = maximum ** alpha
+    for _ in range(n):
+        u = rng.random()
+        x = (low + u * (high - low)) ** (1.0 / alpha)
+        values.append(int(min(maximum, max(minimum, round(x)))))
+    return values
+
+
+class LFRResult:
+    """Output of :func:`lfr_benchmark`: the graph plus ground-truth communities."""
+
+    __slots__ = ("graph", "communities", "membership", "parameters")
+
+    def __init__(
+        self,
+        graph: Graph,
+        communities: list[set[int]],
+        membership: dict[int, int],
+        parameters: dict,
+    ) -> None:
+        self.graph = graph
+        self.communities = communities
+        self.membership = membership
+        self.parameters = parameters
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LFRResult(|V|={self.graph.number_of_nodes()}, "
+            f"|E|={self.graph.number_of_edges()}, |C|={len(self.communities)})"
+        )
+
+
+def lfr_benchmark(
+    n: int = 1000,
+    avg_degree: int = 20,
+    max_degree: int = 200,
+    mu: float = 0.2,
+    min_community: int = 20,
+    max_community: int = 1000,
+    degree_exponent: float = 2.5,
+    community_exponent: float = 1.5,
+    seed: int = 0,
+) -> LFRResult:
+    """Generate an LFR-style benchmark graph with ground-truth communities.
+
+    The generator follows the structure of Lancichinetti et al. (2008):
+
+    1. draw node degrees from a truncated power law with mean close to
+       ``avg_degree`` and maximum ``max_degree``;
+    2. draw community sizes from a truncated power law in
+       ``[min_community, max_community]`` until they cover all nodes;
+    3. assign nodes to communities such that each node's internal degree
+       ``(1 - mu) * degree`` fits in its community;
+    4. wire ``(1 - mu)`` of each node's stubs inside its community and ``mu``
+       of them to random outside nodes, avoiding duplicates and self-loops.
+
+    The result is a simple graph whose empirical mixing is close to ``mu``.
+    The defaults mirror Table 2 of the paper, scaled from 5,000 to 1,000
+    nodes so that pure-Python sweeps complete quickly; callers can pass
+    ``n=5000`` for the paper's exact configuration.
+    """
+    if not 0.0 <= mu <= 1.0:
+        raise GraphError(f"mu must be in [0, 1], got {mu}")
+    if avg_degree < 2 or max_degree < avg_degree:
+        raise GraphError("need max_degree >= avg_degree >= 2")
+    if min_community < 2 or max_community < min_community:
+        raise GraphError("need max_community >= min_community >= 2")
+    rng = random.Random(seed)
+
+    # -- 1. degree sequence -------------------------------------------------
+    min_degree = _solve_min_degree(avg_degree, max_degree, degree_exponent)
+    degrees = powerlaw_sequence(n, degree_exponent, min_degree, max_degree, seed=seed + 1)
+
+    # -- 2. community sizes -------------------------------------------------
+    max_community = min(max_community, n)
+    sizes: list[int] = []
+    remaining = n
+    size_seed = seed + 2
+    while remaining > 0:
+        size = powerlaw_sequence(1, community_exponent, min_community, max_community, seed=size_seed)[0]
+        size_seed += 1
+        if size > remaining:
+            size = remaining
+            if size < min_community and sizes:
+                # merge the remainder into the smallest existing community
+                sizes[sizes.index(min(sizes))] += size
+                remaining = 0
+                break
+        sizes.append(size)
+        remaining -= size
+
+    # -- 3. assign nodes to communities -------------------------------------
+    # Internal degree of node i is round((1 - mu) * degree[i]); it must be
+    # strictly smaller than its community size.
+    internal_target = [max(1, round((1.0 - mu) * degree)) for degree in degrees]
+    community_of: dict[int, int] = {}
+    capacity = list(sizes)
+    # place high-degree nodes first so that large internal degrees land in
+    # large communities
+    order = sorted(range(n), key=lambda i: -internal_target[i])
+    community_indices = sorted(range(len(sizes)), key=lambda c: -sizes[c])
+    for node in order:
+        placed = False
+        for community in community_indices:
+            if capacity[community] > 0 and internal_target[node] < sizes[community]:
+                community_of[node] = community
+                capacity[community] -= 1
+                placed = True
+                break
+        if not placed:
+            # clamp: put the node in the largest community with free capacity
+            for community in community_indices:
+                if capacity[community] > 0:
+                    community_of[node] = community
+                    capacity[community] -= 1
+                    internal_target[node] = max(1, sizes[community] - 1)
+                    placed = True
+                    break
+        if not placed:
+            raise GraphError("LFR assignment failed: no community capacity left")
+
+    members: list[list[int]] = [[] for _ in sizes]
+    for node, community in community_of.items():
+        members[community].append(node)
+
+    # -- 4. wire edges -------------------------------------------------------
+    graph = Graph(nodes=range(n))
+    # 4a. internal edges per community via stub matching
+    for community, nodes in enumerate(members):
+        stubs: list[int] = []
+        for node in nodes:
+            target = min(internal_target[node], len(nodes) - 1)
+            stubs.extend([node] * target)
+        rng.shuffle(stubs)
+        _match_stubs(graph, stubs, rng, allowed=set(nodes))
+    # 4b. external edges: each node gets ~mu * degree stubs wired outside
+    external_stubs: list[int] = []
+    for node in range(n):
+        external = max(0, degrees[node] - internal_target[node])
+        external_stubs.extend([node] * external)
+    rng.shuffle(external_stubs)
+    _match_external_stubs(graph, external_stubs, community_of, rng)
+
+    communities = [set(nodes) for nodes in members if nodes]
+    membership = dict(community_of)
+    parameters = {
+        "n": n,
+        "avg_degree": avg_degree,
+        "max_degree": max_degree,
+        "mu": mu,
+        "min_community": min_community,
+        "max_community": max_community,
+        "seed": seed,
+    }
+    return LFRResult(graph, communities, membership, parameters)
+
+
+def _solve_min_degree(avg_degree: float, max_degree: int, exponent: float) -> int:
+    """Find the power-law lower cutoff whose mean is closest to ``avg_degree``."""
+    best_min, best_gap = 1, float("inf")
+    for candidate in range(1, max_degree + 1):
+        mean = _powerlaw_mean(candidate, max_degree, exponent)
+        gap = abs(mean - avg_degree)
+        if gap < best_gap:
+            best_min, best_gap = candidate, gap
+        if mean > avg_degree:
+            break
+    return best_min
+
+
+def _powerlaw_mean(minimum: int, maximum: int, exponent: float) -> float:
+    """Mean of the continuous truncated power law on [minimum, maximum]."""
+    if minimum == maximum:
+        return float(minimum)
+    a = exponent
+    num = (maximum ** (2 - a) - minimum ** (2 - a)) / (2 - a)
+    den = (maximum ** (1 - a) - minimum ** (1 - a)) / (1 - a)
+    return num / den
+
+
+def _match_stubs(graph: Graph, stubs: list[int], rng: random.Random, allowed: set[int]) -> None:
+    """Randomly pair stubs into edges inside ``allowed``, skipping duplicates."""
+    attempts = 0
+    max_attempts = 10 * max(1, len(stubs))
+    stubs = list(stubs)
+    while len(stubs) > 1 and attempts < max_attempts:
+        attempts += 1
+        u = stubs.pop()
+        v = stubs.pop()
+        if u == v or graph.has_edge(u, v) or u not in allowed or v not in allowed:
+            # re-insert at random positions and retry
+            stubs.insert(rng.randrange(len(stubs) + 1), u)
+            stubs.insert(rng.randrange(len(stubs) + 1), v)
+            continue
+        graph.add_edge(u, v)
+
+
+def _match_external_stubs(
+    graph: Graph, stubs: list[int], community_of: dict[int, int], rng: random.Random
+) -> None:
+    """Pair stubs across communities, skipping intra-community pairs."""
+    attempts = 0
+    max_attempts = 10 * max(1, len(stubs))
+    stubs = list(stubs)
+    while len(stubs) > 1 and attempts < max_attempts:
+        attempts += 1
+        u = stubs.pop()
+        v = stubs.pop()
+        same_community = community_of[u] == community_of[v]
+        if u == v or graph.has_edge(u, v) or same_community:
+            stubs.insert(rng.randrange(len(stubs) + 1), u)
+            stubs.insert(rng.randrange(len(stubs) + 1), v)
+            continue
+        graph.add_edge(u, v)

@@ -1,0 +1,271 @@
+"""Core undirected weighted graph data structure.
+
+The whole reproduction is built on this small, dependency-free graph class.
+It stores an undirected (optionally weighted) simple graph as a
+dictionary-of-dictionaries adjacency structure::
+
+    adjacency = {node: {neighbor: weight, ...}, ...}
+
+Nodes may be any hashable object.  Edge weights default to ``1.0`` which
+makes the unweighted definitions in the paper a special case of the weighted
+ones (Definition 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class GraphError(Exception):
+    """Raised for invalid graph operations (missing nodes, bad edges...)."""
+
+
+class Graph:
+    """An undirected, optionally weighted, simple graph.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` or ``(u, v, weight)`` tuples used to
+        initialise the graph.
+    nodes:
+        Optional iterable of isolated nodes to add up front.
+
+    Examples
+    --------
+    >>> g = Graph([(1, 2), (2, 3, 2.5)])
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (3, 2)
+    >>> g.degree(2)
+    2
+    >>> g.weighted_degree(2)
+    3.5
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_total_weight")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[tuple]] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self._num_edges: int = 0
+        self._total_weight: float = 0.0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 2:
+                    self.add_edge(edge[0], edge[1])
+                elif len(edge) == 3:
+                    self.add_edge(edge[0], edge[1], float(edge[2]))
+                else:
+                    raise GraphError(f"edge tuples must have 2 or 3 items, got {edge!r}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op if it already exists)."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add the undirected edge ``(u, v)`` with the given weight.
+
+        Self-loops are rejected (the paper's model is a simple graph).
+        Adding an existing edge overwrites its weight.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not supported (node {u!r})")
+        if weight <= 0:
+            raise GraphError(f"edge weights must be positive, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._adj[u]:
+            old = self._adj[u][v]
+            self._total_weight += weight - old
+        else:
+            self._num_edges += 1
+            self._total_weight += weight
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def add_edges_from(self, edges: Iterable[tuple]) -> None:
+        """Add every edge in ``edges`` (2- or 3-tuples)."""
+        for edge in edges:
+            if len(edge) == 2:
+                self.add_edge(edge[0], edge[1])
+            else:
+                self.add_edge(edge[0], edge[1], float(edge[2]))
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        weight = self._adj[u].pop(v)
+        self._adj[v].pop(u)
+        self._num_edges -= 1
+        self._total_weight -= weight
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        for neighbor in list(self._adj[node]):
+            self.remove_edge(node, neighbor)
+        del self._adj[node]
+
+    def remove_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Remove every node in ``nodes`` (and their incident edges)."""
+        for node in nodes:
+            self.remove_node(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def nodes(self) -> list[Node]:
+        """Return the node list (insertion order)."""
+        return list(self._adj)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate over nodes without materialising a list."""
+        return iter(self._adj)
+
+    def edges(self) -> list[Edge]:
+        """Return each undirected edge exactly once."""
+        seen: set[Node] = set()
+        result: list[Edge] = []
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    result.append((u, v))
+            seen.add(u)
+        return result
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Iterate over ``(u, v, weight)`` with each edge reported once."""
+        seen: set[Node] = set()
+        for u, neighbors in self._adj.items():
+            for v, w in neighbors.items():
+                if v not in seen:
+                    yield (u, v, w)
+            seen.add(u)
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Return the neighbours of ``node``."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return list(self._adj[node])
+
+    def adjacency(self, node: Node) -> Mapping[Node, float]:
+        """Return the neighbour→weight mapping of ``node`` (read-only view)."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Return the number of neighbours of ``node``."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return len(self._adj[node])
+
+    def weighted_degree(self, node: Node) -> float:
+        """Return the sum of incident edge weights of ``node``.
+
+        The paper calls this the *node weight* (Definition 2).
+        """
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return sum(self._adj[node].values())
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Return the weight of edge ``(u, v)``."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        return self._adj[u][v]
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|``."""
+        return self._num_edges
+
+    def total_edge_weight(self) -> float:
+        """Return the sum of all edge weights (``w_G`` in Definition 2)."""
+        return self._total_weight
+
+    def degree_map(self) -> dict[Node, int]:
+        """Return ``{node: degree}`` for all nodes."""
+        return {node: len(nbrs) for node, nbrs in self._adj.items()}
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when the graph has no nodes."""
+        return not self._adj
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the induced subgraph ``G[nodes]`` as a new :class:`Graph`."""
+        keep = set(nodes)
+        missing = keep - self._adj.keys()
+        if missing:
+            raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))[:5]}")
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for neighbor, weight in self._adj[node].items():
+                if neighbor in keep and not sub.has_edge(node, neighbor):
+                    sub.add_edge(node, neighbor, weight)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph()
+        clone._adj = {node: dict(nbrs) for node, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        clone._total_weight = self._total_weight
+        return clone
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.number_of_nodes()}, |E|={self.number_of_edges()})"

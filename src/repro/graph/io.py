@@ -1,0 +1,124 @@
+"""Edge-list and community-file input/output.
+
+The SNAP datasets used in the paper ship as whitespace-separated edge lists
+plus one-community-per-line ground-truth files; these helpers read and write
+that format so that users with the real data can drop it in directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Optional, Union
+
+from .graph import Graph, GraphError, Node
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_communities",
+    "write_communities",
+    "parse_edge_list",
+]
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(lines: Iterable[str], weighted: bool = False, comments: str = "#") -> Graph:
+    """Build a graph from an iterable of edge-list lines.
+
+    Each non-comment line must contain two node tokens (and a weight when
+    ``weighted`` is true); node tokens are parsed as integers when possible
+    and kept as strings otherwise.
+    """
+    graph = Graph()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comments):
+            continue
+        parts = line.split()
+        if weighted:
+            if len(parts) < 3:
+                raise GraphError(f"line {line_number}: expected 'u v w', got {line!r}")
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            graph.add_edge(u, v, float(parts[2]))
+        else:
+            if len(parts) < 2:
+                raise GraphError(f"line {line_number}: expected 'u v', got {line!r}")
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            if u == v:
+                continue  # drop self-loops silently; SNAP files contain a few
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def read_edge_list(path: PathLike, weighted: bool = False, comments: str = "#") -> Graph:
+    """Read a whitespace-separated edge list from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_edge_list(handle, weighted=weighted, comments=comments)
+
+
+def write_edge_list(graph: Graph, path: PathLike, weighted: bool = False) -> None:
+    """Write the graph as a whitespace-separated edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v, weight in graph.iter_edges():
+            if weighted:
+                handle.write(f"{u} {v} {weight}\n")
+            else:
+                handle.write(f"{u} {v}\n")
+
+
+def read_communities(path: PathLike, comments: str = "#") -> list[set[Node]]:
+    """Read ground-truth communities, one whitespace-separated community per line."""
+    communities: list[set[Node]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith(comments):
+                continue
+            members = {_parse_node(token) for token in line.split()}
+            if members:
+                communities.append(members)
+    return communities
+
+
+def write_communities(communities: Iterable[Iterable[Node]], path: PathLike) -> None:
+    """Write communities, one whitespace-separated community per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for community in communities:
+            handle.write(" ".join(str(node) for node in community) + "\n")
+
+
+def _parse_node(token: str) -> Node:
+    """Parse a node token as int when possible, string otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def to_networkx(graph: Graph, weighted: bool = True):
+    """Convert to a :class:`networkx.Graph` (optional dependency)."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.iter_nodes())
+    for u, v, weight in graph.iter_edges():
+        if weighted:
+            nx_graph.add_edge(u, v, weight=weight)
+        else:
+            nx_graph.add_edge(u, v)
+    return nx_graph
+
+
+def from_networkx(nx_graph, weight_attribute: Optional[str] = "weight") -> Graph:
+    """Convert a :class:`networkx.Graph` into a :class:`repro.graph.Graph`."""
+    graph = Graph()
+    graph.add_nodes_from(nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        weight = float(data.get(weight_attribute, 1.0)) if weight_attribute else 1.0
+        graph.add_edge(u, v, weight)
+    return graph

@@ -1,0 +1,126 @@
+"""Steiner-style connectors for multiple query nodes.
+
+Section 5.6 of the paper: with multiple query nodes FPA first finds a small
+connected subgraph containing all of them, then treats that subgraph as the
+"query" so that peeling farthest layers can never disconnect the queries.
+The paper's procedure is: pick one query node, compute shortest paths to all
+other nodes, keep the paths ending at query nodes and merge them.  We
+implement that procedure (:func:`query_connector`) plus the classic
+2-approximate Steiner tree on the metric closure
+(:func:`steiner_tree_nodes`) for comparison and testing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from .graph import Graph, GraphError, Node
+from .traversal import bfs_distances, shortest_path
+
+__all__ = ["query_connector", "steiner_tree_nodes", "connector_subgraph"]
+
+
+def query_connector(graph: Graph, query_nodes: Sequence[Node], seed: int = 0) -> set[Node]:
+    """Return a connected node set containing every query node.
+
+    Implements the 5-step procedure of Section 5.6:
+
+    1. pick one query node ``q`` (deterministically from ``seed``),
+    2. compute shortest paths from ``q``,
+    3. keep the shortest paths whose endpoints are query nodes,
+    4. merge those paths,
+    5. return the merged node set.
+
+    Raises :class:`GraphError` when some query node is unreachable from the
+    chosen root, i.e. the queries do not lie in one connected component.
+    """
+    import random
+
+    queries = list(dict.fromkeys(query_nodes))
+    if not queries:
+        raise GraphError("query_connector needs at least one query node")
+    for node in queries:
+        if not graph.has_node(node):
+            raise GraphError(f"query node {node!r} is not in the graph")
+    if len(queries) == 1:
+        return {queries[0]}
+    rng = random.Random(seed)
+    root = queries[rng.randrange(len(queries))]
+    connector: set[Node] = {root}
+    for target in queries:
+        if target == root:
+            continue
+        path = shortest_path(graph, root, target)
+        if path is None:
+            raise GraphError(
+                f"query nodes {root!r} and {target!r} are not in the same connected component"
+            )
+        connector.update(path)
+    return connector
+
+
+def steiner_tree_nodes(
+    graph: Graph, terminals: Sequence[Node], weighted: bool = False
+) -> Optional[set[Node]]:
+    """Return the node set of a 2-approximate Steiner tree over ``terminals``.
+
+    Uses the classic metric-closure MST approximation: build the complete
+    graph over terminals weighted by shortest-path distance, take its minimum
+    spanning tree, and expand every MST edge back to an actual path.
+    Returns ``None`` when the terminals are not mutually reachable.
+    """
+    from .traversal import dijkstra
+
+    terms = list(dict.fromkeys(terminals))
+    if not terms:
+        return set()
+    for node in terms:
+        if not graph.has_node(node):
+            raise GraphError(f"terminal {node!r} is not in the graph")
+    if len(terms) == 1:
+        return {terms[0]}
+
+    # pairwise shortest-path distances between terminals
+    distances: dict[Node, dict[Node, float]] = {}
+    for term in terms:
+        dist = dijkstra(graph, term) if weighted else bfs_distances(graph, term)
+        distances[term] = {other: dist[other] for other in terms if other in dist}
+    for term in terms:
+        if len(distances[term]) < len(terms):
+            return None
+
+    # Prim's MST on the metric closure
+    import heapq
+
+    in_tree: set[Node] = {terms[0]}
+    tree_edges: list[tuple[Node, Node]] = []
+    heap: list[tuple[float, int, Node, Node]] = []
+    counter = 0
+    for other in terms[1:]:
+        heapq.heappush(heap, (distances[terms[0]][other], counter, terms[0], other))
+        counter += 1
+    while len(in_tree) < len(terms):
+        weight, _, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        tree_edges.append((u, v))
+        for other in terms:
+            if other not in in_tree:
+                heapq.heappush(heap, (distances[v][other], counter, v, other))
+                counter += 1
+
+    # expand MST edges back into graph paths
+    nodes: set[Node] = set(terms)
+    for u, v in tree_edges:
+        path = shortest_path(graph, u, v)
+        if path is None:
+            return None
+        nodes.update(path)
+    return nodes
+
+
+def connector_subgraph(graph: Graph, query_nodes: Iterable[Node], seed: int = 0) -> Graph:
+    """Return the induced subgraph over :func:`query_connector`'s node set."""
+    return graph.subgraph(query_connector(graph, list(query_nodes), seed=seed))

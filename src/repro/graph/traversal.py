@@ -1,0 +1,199 @@
+"""Graph traversal primitives: BFS, multi-source BFS, Dijkstra, diameter.
+
+The peeling algorithms in the paper depend on shortest-path distances from
+the query nodes (Sections 5.2.2 and 5.5), which in the unweighted case are
+breadth-first distances.  Weighted graphs fall back to Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from .graph import Graph, GraphError, Node
+
+__all__ = [
+    "bfs_distances",
+    "bfs_order",
+    "multi_source_bfs",
+    "dijkstra",
+    "multi_source_dijkstra",
+    "shortest_path",
+    "eccentricity",
+    "diameter",
+    "distance_layers",
+]
+
+
+def bfs_distances(graph: Graph, source: Node, limit: Optional[int] = None) -> dict[Node, int]:
+    """Return hop distances from ``source`` to every reachable node.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    source:
+        Starting node.
+    limit:
+        If given, stop expanding beyond this distance.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} is not in the graph")
+    distances: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        dist = distances[node]
+        if limit is not None and dist >= limit:
+            continue
+        for neighbor in graph.adjacency(node):
+            if neighbor not in distances:
+                distances[neighbor] = dist + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_order(graph: Graph, source: Node) -> list[Node]:
+    """Return nodes reachable from ``source`` in BFS visitation order."""
+    return list(bfs_distances(graph, source))
+
+
+def multi_source_bfs(graph: Graph, sources: Iterable[Node]) -> dict[Node, int]:
+    """Return the minimum hop distance from any node in ``sources``.
+
+    This is the ``dist(v) = min_q dist(q, v)`` of Section 5.6 used by FPA to
+    handle multiple query nodes.
+    """
+    source_list = list(sources)
+    if not source_list:
+        raise GraphError("multi_source_bfs needs at least one source")
+    distances: dict[Node, int] = {}
+    queue: deque[Node] = deque()
+    for source in source_list:
+        if not graph.has_node(source):
+            raise GraphError(f"source node {source!r} is not in the graph")
+        if source not in distances:
+            distances[source] = 0
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        dist = distances[node]
+        for neighbor in graph.adjacency(node):
+            if neighbor not in distances:
+                distances[neighbor] = dist + 1
+                queue.append(neighbor)
+    return distances
+
+
+def dijkstra(graph: Graph, source: Node) -> dict[Node, float]:
+    """Return weighted shortest-path distances from ``source``."""
+    return multi_source_dijkstra(graph, [source])
+
+
+def multi_source_dijkstra(graph: Graph, sources: Iterable[Node]) -> dict[Node, float]:
+    """Return the minimum weighted distance from any node in ``sources``."""
+    source_list = list(sources)
+    if not source_list:
+        raise GraphError("multi_source_dijkstra needs at least one source")
+    distances: dict[Node, float] = {}
+    heap: list[tuple[float, int, Node]] = []
+    counter = 0
+    for source in source_list:
+        if not graph.has_node(source):
+            raise GraphError(f"source node {source!r} is not in the graph")
+        heapq.heappush(heap, (0.0, counter, source))
+        counter += 1
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        for neighbor, weight in graph.adjacency(node).items():
+            if neighbor not in distances:
+                heapq.heappush(heap, (dist + weight, counter, neighbor))
+                counter += 1
+    return distances
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[list[Node]]:
+    """Return one unweighted shortest path from ``source`` to ``target``.
+
+    Returns ``None`` when ``target`` is unreachable.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} is not in the graph")
+    if not graph.has_node(target):
+        raise GraphError(f"target node {target!r} is not in the graph")
+    if source == target:
+        return [source]
+    parents: dict[Node, Node] = {source: source}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.adjacency(node):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Return the eccentricity of ``node`` within its connected component."""
+    distances = bfs_distances(graph, node)
+    return max(distances.values()) if distances else 0
+
+
+def diameter(graph: Graph, exact: bool = True, sample_size: int = 16, seed: int = 0) -> int:
+    """Return the diameter of the graph (largest eccentricity).
+
+    With ``exact=False`` a double-sweep / sampling lower bound is returned,
+    which is what Figure 4 of the paper needs (community diameters of large
+    networks).  The graph is assumed to be connected; for a disconnected
+    graph the largest component-wise diameter is returned.
+    """
+    import random
+
+    nodes = graph.nodes()
+    if not nodes:
+        return 0
+    if exact:
+        best = 0
+        for node in nodes:
+            best = max(best, eccentricity(graph, node))
+        return best
+    rng = random.Random(seed)
+    sample = nodes if len(nodes) <= sample_size else rng.sample(nodes, sample_size)
+    best = 0
+    for node in sample:
+        distances = bfs_distances(graph, node)
+        if not distances:
+            continue
+        farthest = max(distances, key=distances.get)
+        # double sweep: run a second BFS from the farthest node found
+        second = bfs_distances(graph, farthest)
+        best = max(best, max(second.values(), default=0))
+    return best
+
+
+def distance_layers(graph: Graph, sources: Iterable[Node]) -> dict[int, list[Node]]:
+    """Group nodes by their minimum hop distance from ``sources``.
+
+    Returns ``{distance: [nodes...]}``; this is the layer structure
+    ``L_1, ..., L_g`` used by the layer-based pruning strategy (Section 5.7)
+    and the farthest-node groups ``S_1, ..., S_D`` of Section 5.2.2.
+    Unreachable nodes are not included.
+    """
+    distances = multi_source_bfs(graph, sources)
+    layers: dict[int, list[Node]] = {}
+    for node, dist in distances.items():
+        layers.setdefault(dist, []).append(node)
+    return layers

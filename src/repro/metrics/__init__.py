@@ -1,0 +1,34 @@
+"""Evaluation metrics: NMI, ARI, F-score, centralities and clustering."""
+
+from .ari import adjusted_rand_index, community_ari
+from .binary import ConfusionCounts, confusion_counts, membership_labels
+from .centrality import betweenness_centrality, degree_centrality, eigenvector_centrality
+from .clustering import (
+    average_clustering,
+    global_clustering_coefficient,
+    local_clustering_coefficient,
+    triangle_count,
+)
+from .fscore import community_fscore, fscore, precision, recall
+from .nmi import community_nmi, normalized_mutual_information
+
+__all__ = [
+    "normalized_mutual_information",
+    "community_nmi",
+    "adjusted_rand_index",
+    "community_ari",
+    "fscore",
+    "community_fscore",
+    "precision",
+    "recall",
+    "ConfusionCounts",
+    "confusion_counts",
+    "membership_labels",
+    "betweenness_centrality",
+    "eigenvector_centrality",
+    "degree_centrality",
+    "local_clustering_coefficient",
+    "average_clustering",
+    "triangle_count",
+    "global_clustering_coefficient",
+]

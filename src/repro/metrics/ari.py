@@ -1,0 +1,74 @@
+"""Adjusted Rand Index (Hubert & Arabie, 1985)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from ..graph import Node
+from .binary import membership_labels
+
+__all__ = ["adjusted_rand_index", "community_ari"]
+
+
+def _comb2(x: int) -> int:
+    """Return ``x choose 2``."""
+    return x * (x - 1) // 2
+
+
+def adjusted_rand_index(labels_a: Sequence, labels_b: Sequence) -> float:
+    """Return the ARI of two label sequences of equal length.
+
+    1.0 for identical partitions, about 0.0 for random agreement and
+    negative for worse-than-random.  When both partitions are trivial
+    (single cluster each or all singletons each) the index is 1.0 if they
+    agree exactly, matching the usual convention.
+    """
+    if len(labels_a) != len(labels_b):
+        raise ValueError(
+            f"label sequences must have equal length, got {len(labels_a)} and {len(labels_b)}"
+        )
+    n = len(labels_a)
+    if n == 0:
+        raise ValueError("label sequences must not be empty")
+
+    count_a = Counter(labels_a)
+    count_b = Counter(labels_b)
+    joint = Counter(zip(labels_a, labels_b))
+
+    sum_joint = sum(_comb2(c) for c in joint.values())
+    sum_a = sum(_comb2(c) for c in count_a.values())
+    sum_b = sum(_comb2(c) for c in count_b.values())
+    total_pairs = _comb2(n)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_a * sum_b / total_pairs
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        # both partitions trivially identical in pair structure
+        return 1.0 if labels_match(labels_a, labels_b) else 0.0
+    return (sum_joint - expected) / (max_index - expected)
+
+
+def labels_match(labels_a: Sequence, labels_b: Sequence) -> bool:
+    """Return ``True`` when the two labelings induce identical partitions."""
+    mapping: dict = {}
+    reverse: dict = {}
+    for a, b in zip(labels_a, labels_b):
+        if mapping.setdefault(a, b) != b:
+            return False
+        if reverse.setdefault(b, a) != a:
+            return False
+    return True
+
+
+def community_ari(
+    universe: Iterable[Node], predicted: Iterable[Node], truth: Iterable[Node]
+) -> float:
+    """Return the ARI of the binary community-membership labelings."""
+    universe_list = list(universe)
+    predicted_labels = membership_labels(universe_list, predicted)
+    truth_labels = membership_labels(universe_list, truth)
+    ordered_a = [predicted_labels[node] for node in universe_list]
+    ordered_b = [truth_labels[node] for node in universe_list]
+    return adjusted_rand_index(ordered_a, ordered_b)

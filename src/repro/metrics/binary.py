@@ -1,0 +1,53 @@
+"""Binary-classification view of community search accuracy.
+
+Section 6.1 ("Evaluation Metric"): the paper converts community search into
+a binary classification problem — the ground-truth community containing the
+query nodes provides positive labels, everything else negative — and then
+computes NMI, ARI and Fscore between the predicted membership indicator and
+the true one.  This module builds those indicator vectors and the confusion
+counts shared by all three metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import NamedTuple
+
+from ..graph import Node
+
+__all__ = ["ConfusionCounts", "membership_labels", "confusion_counts"]
+
+
+class ConfusionCounts(NamedTuple):
+    """Confusion-matrix counts for a predicted community vs a true community."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.false_negative + self.true_negative
+
+
+def membership_labels(universe: Iterable[Node], community: Iterable[Node]) -> dict[Node, int]:
+    """Return ``{node: 1 if node in community else 0}`` over ``universe``."""
+    members = set(community)
+    return {node: 1 if node in members else 0 for node in universe}
+
+
+def confusion_counts(
+    universe: Iterable[Node],
+    predicted: Iterable[Node],
+    truth: Iterable[Node],
+) -> ConfusionCounts:
+    """Return confusion counts of ``predicted`` against ``truth`` over ``universe``."""
+    universe_set = set(universe)
+    predicted_set = set(predicted) & universe_set
+    truth_set = set(truth) & universe_set
+    tp = len(predicted_set & truth_set)
+    fp = len(predicted_set - truth_set)
+    fn = len(truth_set - predicted_set)
+    tn = len(universe_set) - tp - fp - fn
+    return ConfusionCounts(tp, fp, fn, tn)

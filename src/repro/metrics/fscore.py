@@ -1,0 +1,58 @@
+"""Precision, recall and F-score for community search results."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graph import Node
+from .binary import confusion_counts
+
+__all__ = ["precision", "recall", "fscore", "community_fscore"]
+
+
+def precision(predicted: Iterable[Node], truth: Iterable[Node]) -> float:
+    """Return ``|predicted ∩ truth| / |predicted|`` (0.0 for an empty prediction)."""
+    predicted_set = set(predicted)
+    if not predicted_set:
+        return 0.0
+    return len(predicted_set & set(truth)) / len(predicted_set)
+
+
+def recall(predicted: Iterable[Node], truth: Iterable[Node]) -> float:
+    """Return ``|predicted ∩ truth| / |truth|`` (0.0 for an empty truth set)."""
+    truth_set = set(truth)
+    if not truth_set:
+        return 0.0
+    return len(set(predicted) & truth_set) / len(truth_set)
+
+
+def fscore(predicted: Iterable[Node], truth: Iterable[Node], beta: float = 1.0) -> float:
+    """Return the F_beta score of ``predicted`` against ``truth``.
+
+    The paper reports F1 (``beta = 1``) and notes that, being insensitive to
+    true negatives, it tends to be over-optimistic for community search —
+    which is why Figures 15–19 drop it in favour of NMI/ARI.
+    """
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p == 0.0 and r == 0.0:
+        return 0.0
+    beta_sq = beta * beta
+    return (1.0 + beta_sq) * p * r / (beta_sq * p + r)
+
+
+def community_fscore(
+    universe: Iterable[Node], predicted: Iterable[Node], truth: Iterable[Node], beta: float = 1.0
+) -> float:
+    """Return the F-score restricted to nodes of ``universe``.
+
+    Equivalent to :func:`fscore` after intersecting both sets with the
+    universe; the confusion-count path is kept for symmetry with NMI/ARI.
+    """
+    counts = confusion_counts(universe, predicted, truth)
+    if counts.true_positive == 0:
+        return 0.0
+    p = counts.true_positive / (counts.true_positive + counts.false_positive)
+    r = counts.true_positive / (counts.true_positive + counts.false_negative)
+    beta_sq = beta * beta
+    return (1.0 + beta_sq) * p * r / (beta_sq * p + r)

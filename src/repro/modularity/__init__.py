@@ -1,0 +1,41 @@
+"""Community goodness functions: classic, density and generalized modularity."""
+
+from .classic import (
+    classic_modularity,
+    internal_edge_count,
+    internal_edge_weight,
+    partition_modularity,
+    total_degree,
+    total_weighted_degree,
+)
+from .density import (
+    CommunityStatistics,
+    density_modularity,
+    density_modularity_gain,
+    density_ratio,
+    edges_to_subgraph,
+    graph_density,
+    updated_density_modularity,
+)
+from .generalized import (
+    generalized_modularity_density,
+    partition_generalized_modularity_density,
+)
+
+__all__ = [
+    "classic_modularity",
+    "partition_modularity",
+    "internal_edge_count",
+    "internal_edge_weight",
+    "total_degree",
+    "total_weighted_degree",
+    "density_modularity",
+    "updated_density_modularity",
+    "density_modularity_gain",
+    "density_ratio",
+    "edges_to_subgraph",
+    "graph_density",
+    "CommunityStatistics",
+    "generalized_modularity_density",
+    "partition_generalized_modularity_density",
+]

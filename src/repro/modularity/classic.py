@@ -1,0 +1,104 @@
+"""Classic (Newman–Girvan) modularity of a single community and of a partition.
+
+Definition 1 of the paper: for a community ``C`` of graph ``G = (V, E)``,
+
+    CM(G, C) = 1 / (2|E|) * (2 l_C - d_C^2 / (2|E|))
+
+where ``l_C`` is the number of internal edges of ``G[C]`` and ``d_C`` is the
+sum of the degrees (taken in ``G``) of the nodes in ``C``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graph import Graph, GraphError, Node
+
+__all__ = [
+    "internal_edge_count",
+    "internal_edge_weight",
+    "total_degree",
+    "total_weighted_degree",
+    "classic_modularity",
+    "partition_modularity",
+]
+
+
+def internal_edge_count(graph: Graph, community: Iterable[Node]) -> int:
+    """Return ``l_C``, the number of edges with both endpoints in ``community``."""
+    members = set(community)
+    count = 0
+    for node in members:
+        if not graph.has_node(node):
+            raise GraphError(f"node {node!r} is not in the graph")
+        for neighbor in graph.adjacency(node):
+            if neighbor in members:
+                count += 1
+    return count // 2
+
+
+def internal_edge_weight(graph: Graph, community: Iterable[Node]) -> float:
+    """Return ``w_C``, the total weight of edges internal to ``community``."""
+    members = set(community)
+    weight = 0.0
+    for node in members:
+        if not graph.has_node(node):
+            raise GraphError(f"node {node!r} is not in the graph")
+        for neighbor, w in graph.adjacency(node).items():
+            if neighbor in members:
+                weight += w
+    return weight / 2.0
+
+
+def total_degree(graph: Graph, community: Iterable[Node]) -> int:
+    """Return ``d_C``, the sum over ``community`` of degrees taken in ``graph``."""
+    return sum(graph.degree(node) for node in set(community))
+
+
+def total_weighted_degree(graph: Graph, community: Iterable[Node]) -> float:
+    """Return the sum of weighted degrees (node weights) of ``community``."""
+    return sum(graph.weighted_degree(node) for node in set(community))
+
+
+def classic_modularity(graph: Graph, community: Iterable[Node], weighted: bool = False) -> float:
+    """Return the classic modularity ``CM(G, C)`` of a single community.
+
+    With ``weighted=True`` edge weights replace edge counts and node weights
+    replace degrees, mirroring the weighted form of Definition 2.
+    """
+    members = set(community)
+    if not members:
+        raise GraphError("community must contain at least one node")
+    if weighted:
+        total = graph.total_edge_weight()
+        if total == 0:
+            raise GraphError("graph has no edges; classic modularity is undefined")
+        w_c = internal_edge_weight(graph, members)
+        d_c = total_weighted_degree(graph, members)
+        return (1.0 / (2.0 * total)) * (2.0 * w_c - (d_c * d_c) / (2.0 * total))
+    num_edges = graph.number_of_edges()
+    if num_edges == 0:
+        raise GraphError("graph has no edges; classic modularity is undefined")
+    l_c = internal_edge_count(graph, members)
+    d_c = total_degree(graph, members)
+    return (1.0 / (2.0 * num_edges)) * (2.0 * l_c - (d_c * d_c) / (2.0 * num_edges))
+
+
+def partition_modularity(
+    graph: Graph, communities: Iterable[Iterable[Node]], weighted: bool = False
+) -> float:
+    """Return the modularity of a disjoint partition (sum over communities).
+
+    This is the objective maximised by the community *detection* baselines
+    (CNM, GN, Louvain).  The communities must be disjoint; overlapping input
+    raises :class:`GraphError`.
+    """
+    seen: set[Node] = set()
+    total = 0.0
+    for community in communities:
+        members = set(community)
+        if members & seen:
+            raise GraphError("partition_modularity requires disjoint communities")
+        seen |= members
+        total += classic_modularity(graph, members, weighted=weighted)
+    return total

@@ -1,0 +1,116 @@
+"""Additional cross-module coverage: edge cases not exercised elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import kecc_community
+from repro.core import greedy_peel
+from repro.datasets import load_dblp_surrogate, load_karate
+from repro.experiments import (
+    evaluate_algorithm,
+    generate_query_sets,
+    objective_community_sizes,
+)
+from repro.graph import non_articulation_nodes
+from repro.modularity import density_ratio
+
+
+class TestKeccApproximationConsistency:
+    def test_exact_and_fallback_agree_on_small_graphs(self, karate_graph):
+        """Below the threshold the fallback is never triggered, so forcing the
+        exact path must give the identical community."""
+        default = kecc_community(karate_graph, [0], k=2)
+        exact = kecc_community(karate_graph, [0], k=2, approximate_above=None)
+        assert default.nodes == exact.nodes
+        assert default.extra["approximate"] is False
+
+    def test_fallback_is_a_superset_of_exact(self, karate_graph):
+        approx = kecc_community(karate_graph, [0], k=2, approximate_above=1)
+        exact = kecc_community(karate_graph, [0], k=2, approximate_above=None)
+        assert approx.extra["approximate"] is True
+        assert set(exact.nodes) <= set(approx.nodes)
+
+
+class TestGreedyPeelCustomStrategies:
+    def test_custom_removable_strategy_is_honoured(self, karate_graph):
+        """Restrict removals to even-numbered nodes: odd nodes must all survive."""
+
+        def only_even(graph, members, queries):
+            subgraph = graph.subgraph(members)
+            return [
+                node
+                for node in non_articulation_nodes(subgraph)
+                if node not in queries and node % 2 == 0
+            ]
+
+        result = greedy_peel(karate_graph, [1], removable_strategy=only_even)
+        assert all(node % 2 == 0 for node in result.removal_order)
+        odd_nodes = {node for node in karate_graph.iter_nodes() if node % 2 == 1}
+        assert odd_nodes <= set(result.nodes)
+
+    def test_custom_selection_strategy_changes_order(self, karate_graph):
+        """Selecting by density ratio reproduces the NCA-DR removal preference."""
+
+        def by_theta(graph, members, node):
+            return density_ratio(graph, members, node)
+
+        result = greedy_peel(
+            karate_graph, [0], selection_strategy=by_theta, algorithm_name="theta-peel"
+        )
+        assert result.algorithm == "theta-peel"
+        assert 0 in result.nodes
+
+
+class TestOverlappingDatasetEvaluation:
+    @pytest.fixture(scope="class")
+    def overlapping(self):
+        return load_dblp_surrogate(num_nodes=300, seed=2)
+
+    def test_query_generation_and_evaluation_end_to_end(self, overlapping):
+        query_sets = generate_query_sets(overlapping, num_sets=4, seed=1)
+        records = evaluate_algorithm(overlapping, "FPA", query_sets)
+        assert len(records) == 4
+        assert all(0.0 <= record.nmi <= 1.0 for record in records)
+
+    def test_ground_truth_for_overlapping_returns_smallest(self, overlapping):
+        # pick a node that belongs to at least two communities
+        counts: dict = {}
+        for community in overlapping.communities:
+            for node in community:
+                counts[node] = counts.get(node, 0) + 1
+        shared = next(node for node, count in counts.items() if count >= 2)
+        truth = overlapping.ground_truth_for([shared])
+        candidates = [c for c in overlapping.communities if shared in c]
+        assert truth == min(candidates, key=len)
+
+
+class TestObjectiveCommunitySizes:
+    def test_sizes_reported_for_all_objectives(self):
+        from repro.datasets import LFRConfig
+
+        config = LFRConfig(
+            num_nodes=150, avg_degree=10, max_degree=30, mu=0.2, min_community=15, max_community=50, seed=3
+        )
+        sizes = objective_community_sizes(
+            objectives=["density_modularity", "classic_modularity"], config=config, num_queries=3, seed=3
+        )
+        assert set(sizes) == {"density_modularity", "classic_modularity"}
+        assert all(size > 0 for size in sizes.values())
+        assert sizes["classic_modularity"] >= sizes["density_modularity"]
+
+
+class TestKarateGroundTruthSanity:
+    def test_query_sets_respect_min_community_size(self):
+        karate = load_karate()
+        sets = generate_query_sets(karate, num_sets=4, query_size=3, seed=1)
+        assert all(len(set(query_set.nodes)) == 3 for query_set in sets)
+
+    def test_evaluation_with_k_override_changes_result(self):
+        karate = load_karate()
+        query_sets = generate_query_sets(karate, num_sets=3, seed=1)
+        k3 = evaluate_algorithm(karate, "kc", query_sets, k=3)
+        k4 = evaluate_algorithm(karate, "kc", query_sets, k=4)
+        sizes_k3 = [record.community_size for record in k3]
+        sizes_k4 = [record.community_size for record in k4]
+        assert sizes_k4 != sizes_k3 or any(record.failed for record in k4)

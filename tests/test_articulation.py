@@ -1,0 +1,78 @@
+"""Unit tests for articulation points and biconnected components."""
+
+from __future__ import annotations
+
+from repro.graph import (
+    Graph,
+    articulation_points,
+    biconnected_components,
+    erdos_renyi,
+    non_articulation_nodes,
+    to_networkx,
+)
+
+
+class TestArticulationPoints:
+    def test_path_internal_nodes_are_articulation(self, path_graph):
+        assert articulation_points(path_graph) == {1, 2, 3}
+
+    def test_cycle_has_no_articulation(self):
+        cycle = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert articulation_points(cycle) == set()
+
+    def test_star_centre_is_articulation(self, star_graph):
+        assert articulation_points(star_graph) == {0}
+
+    def test_bridge_between_triangles(self, two_triangles_bridge):
+        assert articulation_points(two_triangles_bridge) == {3, 4}
+
+    def test_isolated_and_empty(self):
+        assert articulation_points(Graph(nodes=[1, 2])) == set()
+        assert articulation_points(Graph()) == set()
+
+    def test_karate_against_networkx(self, karate_graph):
+        import networkx as nx
+
+        ours = articulation_points(karate_graph)
+        theirs = set(nx.articulation_points(to_networkx(karate_graph)))
+        assert ours == theirs
+
+    def test_random_graphs_against_networkx(self):
+        import networkx as nx
+
+        for seed in range(5):
+            graph = erdos_renyi(30, 0.08, seed=seed)
+            ours = articulation_points(graph)
+            theirs = set(nx.articulation_points(to_networkx(graph)))
+            assert ours == theirs, f"mismatch for seed {seed}"
+
+    def test_non_articulation_nodes_complement(self, two_triangles_bridge):
+        nodes = set(two_triangles_bridge.nodes())
+        assert non_articulation_nodes(two_triangles_bridge) == nodes - {3, 4}
+
+    def test_removing_non_articulation_keeps_connectivity(self, karate_graph):
+        from repro.graph import is_connected
+
+        for node in non_articulation_nodes(karate_graph):
+            remaining = set(karate_graph.nodes()) - {node}
+            assert is_connected(karate_graph.subgraph(remaining)), node
+
+
+class TestBiconnectedComponents:
+    def test_two_triangles_bridge(self, two_triangles_bridge):
+        components = {frozenset(component) for component in biconnected_components(two_triangles_bridge)}
+        assert frozenset({1, 2, 3}) in components
+        assert frozenset({4, 5, 6}) in components
+        assert frozenset({3, 4}) in components
+
+    def test_matches_networkx_on_karate(self, karate_graph):
+        import networkx as nx
+
+        ours = {frozenset(component) for component in biconnected_components(karate_graph)}
+        theirs = {frozenset(component) for component in nx.biconnected_components(to_networkx(karate_graph))}
+        assert ours == theirs
+
+    def test_isolated_node_is_singleton_component(self):
+        graph = Graph([(1, 2)], nodes=[9])
+        components = {frozenset(component) for component in biconnected_components(graph)}
+        assert frozenset({9}) in components

@@ -1,0 +1,121 @@
+"""Unit tests for the k-core / k-truss / kecc community-search baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    highest_core_community,
+    highest_truss_community,
+    kcore_community,
+    kecc_community,
+    ktruss_community,
+)
+from repro.graph import Graph, GraphError, is_connected
+
+
+class TestKCoreCommunity:
+    def test_karate_3core(self, karate_graph):
+        result = kcore_community(karate_graph, [0], k=3)
+        assert 0 in result.nodes
+        sub = karate_graph.subgraph(result.nodes)
+        assert min(sub.degree(node) for node in sub.iter_nodes()) >= 3
+        assert is_connected(sub)
+        assert result.algorithm == "kc"
+        assert result.extra["k"] == 3
+
+    def test_query_outside_core_fails(self, karate_graph):
+        # node 11 has degree 1 and is not in the 3-core
+        result = kcore_community(karate_graph, [11], k=3)
+        assert result.size == 0
+        assert result.extra["failed"]
+
+    def test_small_k_returns_whole_graph(self, karate_graph):
+        result = kcore_community(karate_graph, [0], k=1)
+        assert result.size == karate_graph.number_of_nodes()
+
+    def test_multiple_queries(self, karate_graph):
+        result = kcore_community(karate_graph, [0, 33], k=3)
+        assert {0, 33} <= set(result.nodes)
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            kcore_community(karate_graph, [], k=3)
+        with pytest.raises(GraphError):
+            kcore_community(karate_graph, [999], k=3)
+
+
+class TestHighestCore:
+    def test_karate_highest_core(self, karate_graph):
+        result = highest_core_community(karate_graph, [0])
+        assert result.extra["k"] == 4  # karate's degeneracy is 4 and node 0 is in the 4-core
+        sub = karate_graph.subgraph(result.nodes)
+        assert min(sub.degree(node) for node in sub.iter_nodes()) >= 4
+
+    def test_low_coreness_query(self, karate_graph):
+        result = highest_core_community(karate_graph, [11])
+        assert 11 in result.nodes
+        assert result.extra["k"] == 1
+
+    def test_highest_core_at_least_parameterised(self, karate_graph):
+        fixed = kcore_community(karate_graph, [0], k=3)
+        highest = highest_core_community(karate_graph, [0])
+        assert highest.extra["k"] >= fixed.extra["k"]
+        assert highest.size <= fixed.size
+
+
+class TestKTrussCommunity:
+    def test_karate_4truss(self, karate_graph):
+        result = ktruss_community(karate_graph, [0], k=4)
+        assert 0 in result.nodes
+        from repro.graph import edge_support
+
+        sub = karate_graph.subgraph(result.nodes)
+        assert all(value >= 2 for value in edge_support(sub).values())
+        assert result.algorithm == "kt"
+
+    def test_query_outside_truss_fails(self, karate_graph):
+        result = ktruss_community(karate_graph, [9], k=5)
+        assert result.extra.get("failed", False) or 9 in result.nodes
+
+    def test_highest_truss(self, karate_graph):
+        result = highest_truss_community(karate_graph, [0])
+        assert result.extra["k"] == 5
+        assert 0 in result.nodes
+
+    def test_highest_truss_low_trussness_query(self, karate_graph):
+        result = highest_truss_community(karate_graph, [11])
+        assert 11 in result.nodes
+        assert result.extra["k"] >= 2
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            ktruss_community(karate_graph, [])
+        with pytest.raises(GraphError):
+            highest_truss_community(karate_graph, [999])
+
+
+class TestKECCCommunity:
+    def test_karate_2ecc(self, karate_graph):
+        import networkx as nx
+
+        from repro.graph import to_networkx
+
+        result = kecc_community(karate_graph, [0], k=2)
+        assert 0 in result.nodes
+        sub = to_networkx(karate_graph.subgraph(result.nodes))
+        assert nx.edge_connectivity(sub) >= 2
+
+    def test_bridge_graph_k2(self, two_triangles_bridge):
+        result = kecc_community(two_triangles_bridge, [1], k=2)
+        assert set(result.nodes) == {1, 2, 3}
+
+    def test_queries_in_different_components_fail(self, two_triangles_bridge):
+        result = kecc_community(two_triangles_bridge, [1, 5], k=2)
+        assert result.extra["failed"]
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            kecc_community(karate_graph, [], k=2)
+        with pytest.raises(GraphError):
+            kecc_community(karate_graph, [999], k=2)

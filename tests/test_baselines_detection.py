@@ -1,0 +1,145 @@
+"""Unit tests for the detection-derived baselines: GN, CNM, Louvain, clique."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    clique_community,
+    cnm_community,
+    cnm_dendrogram,
+    edge_betweenness,
+    girvan_newman_community,
+    k_clique_communities,
+    louvain_community,
+    louvain_partition,
+    maximal_cliques,
+)
+from repro.graph import Graph, GraphError, to_networkx
+from repro.metrics import normalized_mutual_information
+
+
+class TestEdgeBetweenness:
+    def test_matches_networkx(self, karate_graph):
+        import networkx as nx
+
+        ours = edge_betweenness(karate_graph)
+        theirs = nx.edge_betweenness_centrality(to_networkx(karate_graph), normalized=False)
+        for (u, v), value in theirs.items():
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            assert ours[key] == pytest.approx(value, abs=1e-9)
+
+    def test_bridge_has_highest_betweenness(self, two_triangles_bridge):
+        scores = edge_betweenness(two_triangles_bridge)
+        top_edge = max(scores, key=scores.get)
+        assert set(top_edge) == {3, 4}
+
+
+class TestGirvanNewman:
+    def test_karate_community_contains_query(self, karate_graph):
+        result = girvan_newman_community(karate_graph, [0], max_edge_removals=30)
+        assert 0 in result.nodes
+        assert result.algorithm == "GN"
+        assert result.size < karate_graph.number_of_nodes()
+
+    def test_respects_time_budget(self, karate_graph):
+        result = girvan_newman_community(karate_graph, [0], time_budget_seconds=0.0)
+        assert result.extra["timed_out"] or result.extra["edge_removals"] == 0
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            girvan_newman_community(karate_graph, [])
+
+
+class TestCNM:
+    def test_dendrogram_merges_everything(self, karate_graph):
+        merges = cnm_dendrogram(karate_graph)
+        # a connected graph with n nodes needs n - 1 merges to become one community
+        assert len(merges) == karate_graph.number_of_nodes() - 1
+
+    def test_dendrogram_empty_graph(self):
+        assert cnm_dendrogram(Graph(nodes=[1, 2])) == []
+
+    def test_community_contains_queries(self, karate_graph):
+        result = cnm_community(karate_graph, [0, 1])
+        assert {0, 1} <= set(result.nodes)
+        assert result.algorithm == "CNM"
+
+    def test_single_query_not_whole_graph(self, karate_graph):
+        result = cnm_community(karate_graph, [0])
+        assert 0 in result.nodes
+        assert result.size < karate_graph.number_of_nodes()
+
+
+class TestLouvain:
+    def test_partition_covers_all_nodes(self, karate_graph):
+        partition = louvain_partition(karate_graph, seed=1)
+        covered = set()
+        for community in partition:
+            assert not (community & covered)
+            covered |= community
+        assert covered == set(karate_graph.nodes())
+
+    def test_partition_has_positive_modularity(self, karate):
+        from repro.modularity import partition_modularity
+
+        partition = louvain_partition(karate.graph, seed=1)
+        assert partition_modularity(karate.graph, partition) > 0.3
+
+    def test_recovers_planted_structure(self, planted_graph):
+        graph, membership = planted_graph
+        partition = louvain_partition(graph, seed=0)
+        predicted = {}
+        for index, community in enumerate(partition):
+            for node in community:
+                predicted[node] = index
+        nodes = sorted(membership)
+        nmi = normalized_mutual_information(
+            [membership[node] for node in nodes], [predicted[node] for node in nodes]
+        )
+        assert nmi > 0.8
+
+    def test_edgeless_graph_gives_singletons(self):
+        partition = louvain_partition(Graph(nodes=[1, 2, 3]))
+        assert sorted(map(len, partition)) == [1, 1, 1]
+
+    def test_louvain_community_search(self, karate_graph):
+        result = louvain_community(karate_graph, [0])
+        assert 0 in result.nodes
+        assert result.size < karate_graph.number_of_nodes()
+
+
+class TestCliqueBaseline:
+    def test_maximal_cliques_match_networkx(self, karate_graph):
+        import networkx as nx
+
+        ours = {frozenset(clique) for clique in maximal_cliques(karate_graph)}
+        theirs = {frozenset(clique) for clique in nx.find_cliques(to_networkx(karate_graph))}
+        assert ours == theirs
+
+    def test_k_clique_communities_match_networkx(self, karate_graph):
+        import networkx as nx
+
+        ours = {frozenset(c) for c in k_clique_communities(karate_graph, 3)}
+        theirs = {
+            frozenset(c)
+            for c in nx.community.k_clique_communities(to_networkx(karate_graph), 3)
+        }
+        assert ours == theirs
+
+    def test_invalid_k(self, karate_graph):
+        with pytest.raises(GraphError):
+            k_clique_communities(karate_graph, 1)
+
+    def test_clique_community_contains_query(self, karate_graph):
+        result = clique_community(karate_graph, [0])
+        assert 0 in result.nodes
+        assert result.extra["k"] >= 3
+
+    def test_clique_community_fixed_k(self, karate_graph):
+        result = clique_community(karate_graph, [0], k=3)
+        assert result.extra["k"] == 3
+
+    def test_clique_community_failure(self, path_graph):
+        result = clique_community(path_graph, [0], k=3)
+        assert result.extra["failed"]

@@ -1,0 +1,121 @@
+"""Unit tests for the remaining search baselines: icwi2008, huang2015, wu2015."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    closest_truss_community,
+    icwi2008_community,
+    local_modularity,
+    query_biased_density,
+    random_walk_with_restart,
+    wu2015_community,
+)
+from repro.graph import Graph, GraphError, is_connected
+
+
+class TestLocalModularity:
+    def test_value_on_figure1(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        # A has 6 internal edges and 2 boundary edges
+        assert local_modularity(graph, community_a) == pytest.approx(3.0)
+
+    def test_whole_component_is_infinite(self, karate_graph):
+        assert local_modularity(karate_graph, set(karate_graph.nodes())) == float("inf")
+
+    def test_edgeless_community(self):
+        graph = Graph(nodes=[1, 2])
+        assert local_modularity(graph, {1, 2}) == 0.0
+
+    def test_icwi2008_contains_queries_and_connected(self, karate_graph):
+        result = icwi2008_community(karate_graph, [0])
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+        assert result.algorithm == "icwi2008"
+
+    def test_icwi2008_figure1_grows_dense_region(self, figure1):
+        result = icwi2008_community(figure1.graph, ["u1"])
+        assert set(figure1.communities[0]) <= set(result.nodes)
+
+    def test_icwi2008_disconnected_queries(self):
+        graph = Graph([(1, 2), (3, 4)])
+        result = icwi2008_community(graph, [1, 3])
+        assert result.extra["failed"]
+
+    def test_icwi2008_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            icwi2008_community(karate_graph, [])
+
+
+class TestClosestTruss:
+    def test_contains_queries(self, karate_graph):
+        result = closest_truss_community(karate_graph, [0, 2])
+        assert {0, 2} <= set(result.nodes)
+        assert result.algorithm == "huang2015"
+        assert result.extra["k"] >= 2
+
+    def test_uses_max_feasible_truss_level(self, karate_graph):
+        result = closest_truss_community(karate_graph, [0])
+        # node 0 belongs to the 5-truss of karate
+        assert result.extra["k"] == 5
+
+    def test_deletion_cap(self, karate_graph):
+        result = closest_truss_community(karate_graph, [0], max_deletions=0)
+        assert result.extra["deletions"] == 0
+
+    def test_smaller_than_whole_graph(self, karate_graph):
+        result = closest_truss_community(karate_graph, [0])
+        assert result.size < karate_graph.number_of_nodes()
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            closest_truss_community(karate_graph, [])
+        with pytest.raises(GraphError):
+            closest_truss_community(karate_graph, [999])
+
+
+class TestWu2015:
+    def test_random_walk_probabilities_sum_to_one(self, karate_graph):
+        proximity = random_walk_with_restart(karate_graph, [0])
+        assert sum(proximity.values()) == pytest.approx(1.0, abs=1e-6)
+        assert proximity[0] == max(proximity.values())
+
+    def test_random_walk_decays_with_distance(self, path_graph):
+        # with a strong restart the walker stays near the query node, so the
+        # visiting probability decays monotonically along the path
+        proximity = random_walk_with_restart(path_graph, [0], restart_probability=0.5)
+        assert proximity[0] > proximity[1] > proximity[3]
+
+    def test_query_biased_density_prefers_near_query(self, karate_graph):
+        proximity = random_walk_with_restart(karate_graph, [0])
+        penalties = {node: 1.0 / max(value, 1e-12) for node, value in proximity.items()}
+        near = set(karate_graph.adjacency(0)) | {0}
+        far = set(karate_graph.adjacency(33)) | {33}
+        assert query_biased_density(karate_graph, near, penalties) > query_biased_density(
+            karate_graph, far, penalties
+        )
+
+    def test_wu2015_contains_query_and_connected(self, karate_graph):
+        result = wu2015_community(karate_graph, [0], eta=0.5)
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+        assert result.algorithm == "wu2015"
+        assert result.extra["eta"] == 0.5
+
+    def test_eta_one_allows_more_removals(self, karate_graph):
+        strict = wu2015_community(karate_graph, [0], eta=0.2)
+        loose = wu2015_community(karate_graph, [0], eta=1.0)
+        assert loose.size <= strict.size
+
+    def test_invalid_eta(self, karate_graph):
+        with pytest.raises(GraphError):
+            wu2015_community(karate_graph, [0], eta=0.0)
+        with pytest.raises(GraphError):
+            wu2015_community(karate_graph, [0], eta=1.5)
+
+    def test_disconnected_queries(self):
+        graph = Graph([(1, 2), (3, 4)])
+        result = wu2015_community(graph, [1, 3])
+        assert result.extra["failed"]

@@ -1,0 +1,79 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_requires_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--dataset", "karate"])
+
+
+class TestListingCommands:
+    def test_datasets_lists_table1_names(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("karate", "dolphin", "dblp"):
+            assert name in output
+
+    def test_algorithms_lists_proposed(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "FPA" in output and "NCA" in output and "kc" in output
+
+
+class TestSearchCommand:
+    def test_search_on_builtin_dataset(self, capsys):
+        code = main(["search", "--dataset", "karate", "--algorithm", "FPA", "--query", "0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "FPA" in output
+        assert "density modularity" in output
+        assert "NMI vs ground truth" in output
+
+    def test_search_with_k_override(self, capsys):
+        code = main(["search", "--dataset", "karate", "--algorithm", "kc", "--query", "0", "--k", "4"])
+        assert code == 0
+        assert "kc" in capsys.readouterr().out
+
+    def test_search_failure_returns_nonzero(self, capsys):
+        # node 11 is not in the 4-core, so the kc baseline fails
+        code = main(["search", "--dataset", "karate", "--algorithm", "kc", "--query", "11", "--k", "4"])
+        assert code == 1
+        assert "no community" in capsys.readouterr().out
+
+    def test_search_on_edge_list_file(self, tmp_path, capsys, karate_graph):
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "graph.txt"
+        write_edge_list(karate_graph, path)
+        code = main(["search", "--edge-list", str(path), "--query", "0"])
+        assert code == 0
+        assert "members" in capsys.readouterr().out
+
+    def test_search_requires_some_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--query", "0"])
+
+    def test_search_rejects_both_sources(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["search", "--dataset", "karate", "--edge-list", str(tmp_path / "x"), "--query", "0"])
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_table(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "karate", "--algorithms", "FPA", "kc", "--queries", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "FPA" in output and "kc" in output
+        assert "NMI" in output

@@ -1,0 +1,77 @@
+"""Unit tests for connected-component helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    connected_component_containing,
+    connected_components,
+    is_connected,
+    largest_component,
+    nodes_in_same_component,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, karate_graph):
+        components = connected_components(karate_graph)
+        assert len(components) == 1
+        assert components[0] == set(karate_graph.nodes())
+
+    def test_multiple_components(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)], nodes=[99])
+        components = connected_components(graph)
+        as_sets = sorted(components, key=len)
+        assert len(components) == 3
+        assert {99} in as_sets
+        assert {10, 11} in as_sets
+        assert {1, 2, 3} in as_sets
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_component_containing(self):
+        graph = Graph([(1, 2), (3, 4)])
+        assert connected_component_containing(graph, 1) == {1, 2}
+        assert connected_component_containing(graph, 4) == {3, 4}
+
+    def test_component_containing_missing_node(self):
+        with pytest.raises(GraphError):
+            connected_component_containing(Graph([(1, 2)]), 9)
+
+
+class TestConnectivityPredicates:
+    def test_is_connected_true(self, karate_graph):
+        assert is_connected(karate_graph)
+
+    def test_is_connected_false(self):
+        assert not is_connected(Graph([(1, 2), (3, 4)]))
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_nodes_in_same_component(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        assert nodes_in_same_component(graph, [1, 3])
+        assert not nodes_in_same_component(graph, [1, 10])
+        assert nodes_in_same_component(graph, [10])
+        assert nodes_in_same_component(graph, [])
+
+    def test_largest_component(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        assert largest_component(graph) == {1, 2, 3}
+        assert largest_component(Graph()) is None
+
+
+class TestAgainstNetworkx:
+    def test_components_match_networkx(self, small_er_graph):
+        import networkx as nx
+
+        from repro.graph import to_networkx
+
+        ours = {frozenset(component) for component in connected_components(small_er_graph)}
+        theirs = {frozenset(component) for component in nx.connected_components(to_networkx(small_er_graph))}
+        assert ours == theirs

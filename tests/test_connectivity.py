@@ -1,0 +1,96 @@
+"""Unit tests for minimum cuts and k-edge-connected components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    erdos_renyi,
+    k_edge_connected_components,
+    k_edge_connected_subgraphs,
+    stoer_wagner_min_cut,
+    to_networkx,
+)
+
+
+class TestStoerWagner:
+    def test_bridge_graph_min_cut_is_one(self, two_triangles_bridge):
+        weight, side = stoer_wagner_min_cut(two_triangles_bridge)
+        assert weight == pytest.approx(1.0)
+        assert side in ({1, 2, 3}, {4, 5, 6})
+
+    def test_clique_min_cut(self):
+        clique = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        weight, side = stoer_wagner_min_cut(clique)
+        assert weight == pytest.approx(4.0)
+        assert len(side) in (1, 4)
+
+    def test_weighted_cut(self):
+        graph = Graph([(1, 2, 10.0), (2, 3, 0.5), (3, 4, 10.0), (4, 1, 0.5)])
+        weight, _ = stoer_wagner_min_cut(graph)
+        assert weight == pytest.approx(1.0)
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(GraphError):
+            stoer_wagner_min_cut(Graph(nodes=[1]))
+
+    def test_matches_networkx_value(self):
+        import networkx as nx
+
+        for seed in range(3):
+            graph = erdos_renyi(15, 0.35, seed=seed)
+            if graph.number_of_edges() == 0:
+                continue
+            from repro.graph import is_connected
+
+            if not is_connected(graph):
+                continue
+            ours, _ = stoer_wagner_min_cut(graph)
+            theirs, _ = nx.stoer_wagner(to_networkx(graph))
+            assert ours == pytest.approx(theirs)
+
+
+class TestKEdgeConnectedComponents:
+    def test_invalid_k_raises(self, karate_graph):
+        with pytest.raises(GraphError):
+            k_edge_connected_components(karate_graph, 0)
+
+    def test_two_triangles_split_at_k2(self, two_triangles_bridge):
+        components = k_edge_connected_components(two_triangles_bridge, 2)
+        as_sets = {frozenset(component) for component in components}
+        assert as_sets == {frozenset({1, 2, 3}), frozenset({4, 5, 6})}
+
+    def test_k1_gives_connected_components(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        components = {frozenset(c) for c in k_edge_connected_components(graph, 1)}
+        assert components == {frozenset({1, 2, 3}), frozenset({10, 11})}
+
+    def test_components_are_k_edge_connected(self, karate_graph):
+        import networkx as nx
+
+        for k in (2, 3):
+            for component in k_edge_connected_components(karate_graph, k):
+                sub = to_networkx(karate_graph.subgraph(component))
+                if len(component) >= 2:
+                    assert nx.edge_connectivity(sub) >= k
+
+    def test_components_are_maximal_vs_networkx(self, karate_graph):
+        import networkx as nx
+
+        nx_graph = to_networkx(karate_graph)
+        for k in (2, 3):
+            theirs = {
+                frozenset(component)
+                for component in nx.k_edge_components(nx_graph, k)
+                if len(component) > 1
+            }
+            ours = {frozenset(component) for component in k_edge_connected_components(karate_graph, k)}
+            assert ours == theirs, k
+
+    def test_subgraph_filter_by_containing(self, karate_graph):
+        subgraphs = k_edge_connected_subgraphs(karate_graph, 2, containing=[0, 33])
+        assert len(subgraphs) >= 1
+        for subgraph in subgraphs:
+            assert subgraph.has_node(0) and subgraph.has_node(33)

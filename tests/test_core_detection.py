@@ -1,0 +1,89 @@
+"""Unit tests for the density-modularity detection extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import dmcs_detection, partition_density_modularity
+from repro.graph import Graph, GraphError, planted_partition, ring_of_cliques
+from repro.metrics import normalized_mutual_information
+
+
+def _as_labels(communities, nodes):
+    labels = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            labels[node] = index
+    return [labels[node] for node in nodes]
+
+
+class TestDmcsDetection:
+    def test_partition_covers_all_nodes_disjointly(self, karate_graph):
+        communities = dmcs_detection(karate_graph)
+        covered = set()
+        for community in communities:
+            assert not (community & covered)
+            covered |= community
+        assert covered == set(karate_graph.nodes())
+
+    def test_recovers_planted_partition(self):
+        graph, membership = planted_partition(4, 25, p_in=0.4, p_out=0.01, seed=5)
+        communities = dmcs_detection(graph)
+        nodes = sorted(membership)
+        nmi = normalized_mutual_information(
+            [membership[node] for node in nodes], _as_labels(communities, nodes)
+        )
+        assert nmi > 0.8
+
+    def test_ring_of_cliques_is_not_over_merged(self):
+        """Density modularity mitigates the resolution limit, so detection on the
+        ring of cliques should find many small communities, not a few merged ones."""
+        graph = ring_of_cliques(12, 5)
+        communities = dmcs_detection(graph)
+        assert len(communities) >= 8
+        assert max(len(community) for community in communities) <= 12
+
+    def test_isolated_nodes_become_singletons_or_merge(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)], nodes=["lonely"])
+        communities = dmcs_detection(graph, min_community_size=1)
+        assert {"lonely"} in communities
+
+    def test_min_community_size_merges_fragments(self, karate_graph):
+        fine = dmcs_detection(karate_graph, min_community_size=1)
+        coarse = dmcs_detection(karate_graph, min_community_size=4)
+        assert min(len(c) for c in coarse) >= min(2, min(len(c) for c in fine))
+        assert len(coarse) <= len(fine)
+
+    def test_max_communities_cap(self, karate_graph):
+        communities = dmcs_detection(karate_graph, max_communities=1)
+        # one extraction round plus the leftover components
+        covered = set().union(*communities)
+        assert covered == set(karate_graph.nodes())
+
+    def test_explicit_seed_order(self, karate_graph):
+        communities = dmcs_detection(karate_graph, seeds=[33, 0])
+        assert any(33 in community for community in communities)
+
+    def test_invalid_min_size(self, karate_graph):
+        with pytest.raises(GraphError):
+            dmcs_detection(karate_graph, min_community_size=0)
+
+
+class TestPartitionDensityModularity:
+    def test_matches_sum_of_parts(self, karate):
+        from repro.modularity import density_modularity
+
+        partition = [set(c) for c in karate.communities]
+        total = partition_density_modularity(karate.graph, partition)
+        assert total == pytest.approx(sum(density_modularity(karate.graph, c) for c in partition))
+
+    def test_detected_partition_beats_trivial_partition(self, karate_graph):
+        communities = dmcs_detection(karate_graph)
+        whole = [set(karate_graph.nodes())]
+        assert partition_density_modularity(karate_graph, communities) > partition_density_modularity(
+            karate_graph, whole
+        )
+
+    def test_requires_disjoint(self, karate_graph):
+        with pytest.raises(GraphError):
+            partition_density_modularity(karate_graph, [{0, 1}, {1, 2}])

@@ -1,0 +1,129 @@
+"""Unit tests for the Fast Peeling Algorithm (FPA)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fpa, fpa_search
+from repro.graph import Graph, GraphError, is_connected
+from repro.modularity import classic_modularity, density_modularity
+
+
+class TestFPABasics:
+    def test_contains_query_and_connected(self, karate_graph):
+        result = fpa(karate_graph, [0])
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+        assert result.algorithm == "FPA"
+
+    def test_score_matches_returned_nodes(self, karate_graph):
+        result = fpa(karate_graph, [0])
+        assert result.score == pytest.approx(density_modularity(karate_graph, result.nodes))
+
+    def test_score_is_max_of_trace(self, karate_graph):
+        result = fpa(karate_graph, [33])
+        assert result.score == pytest.approx(max(result.trace))
+
+    def test_trace_and_removals_consistent(self, karate_graph):
+        result = fpa(karate_graph, [0], layer_pruning=False)
+        assert len(result.trace) == len(result.removal_order) + 1
+
+    def test_recovers_figure1_community(self, figure1):
+        result = fpa(figure1.graph, ["u1"])
+        assert set(result.nodes) == set(figure1.communities[0])
+
+    def test_recovers_clique_in_ring(self, ring_dataset):
+        query = next(iter(ring_dataset.communities[3]))
+        result = fpa(ring_dataset.graph, [query], layer_pruning=False)
+        assert set(result.nodes) == set(ring_dataset.communities[3])
+
+    def test_disconnected_queries_return_failed_result(self):
+        graph = Graph([(1, 2), (3, 4)])
+        result = fpa(graph, [1, 3])
+        assert result.size == 0
+        assert result.extra.get("failed")
+
+    def test_invalid_arguments(self, karate_graph):
+        with pytest.raises(GraphError):
+            fpa(karate_graph, [0], selection="nope")
+        with pytest.raises(GraphError):
+            fpa(karate_graph, [0], objective="nope")
+        with pytest.raises(GraphError):
+            fpa(karate_graph, [])
+        with pytest.raises(GraphError):
+            fpa(karate_graph, [424242])
+
+    def test_search_wrapper(self, figure1):
+        assert fpa_search(figure1.graph, ["u1"]) == set(figure1.communities[0])
+
+
+class TestFPALayerStructure:
+    def test_without_pruning_removes_all_outer_layers(self, karate_graph):
+        result = fpa(karate_graph, [0], layer_pruning=False)
+        # without pruning every non-query node at distance > 0 is eventually peeled
+        assert result.algorithm == "FPA-NP"
+        assert len(result.removal_order) == karate_graph.number_of_nodes() - 1
+
+    def test_pruning_reduces_fine_grained_work(self, karate_graph):
+        with_pruning = fpa(karate_graph, [0], layer_pruning=True)
+        without = fpa(karate_graph, [0], layer_pruning=False)
+        assert with_pruning.extra["layer_pruning"] is True
+        assert without.extra["layer_pruning"] is False
+        # the pruned run never removes more nodes than the exhaustive one
+        assert len(with_pruning.removal_order) <= len(without.removal_order)
+
+    def test_removal_respects_distance_layers(self, karate_graph):
+        """Without pruning, nodes are removed outermost layer first."""
+        from repro.graph import multi_source_bfs
+
+        result = fpa(karate_graph, [0], layer_pruning=False)
+        distances = multi_source_bfs(karate_graph, [0])
+        order_distances = [distances[node] for node in result.removal_order]
+        assert order_distances == sorted(order_distances, reverse=True)
+
+    def test_intermediate_subgraphs_contain_query(self, karate_graph):
+        result = fpa(karate_graph, [0], layer_pruning=False)
+        assert 0 not in result.removal_order
+
+    def test_query_component_restriction(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        result = fpa(graph, [1])
+        assert set(result.nodes) <= {1, 2, 3}
+
+
+class TestFPAMultiQuery:
+    def test_all_queries_kept_and_connected(self, karate_graph):
+        result = fpa(karate_graph, [16, 25, 9])
+        assert {16, 25, 9} <= set(result.nodes)
+        assert is_connected(karate_graph.subgraph(result.nodes))
+
+    def test_connector_is_protected(self, karate_graph):
+        result = fpa(karate_graph, [16, 26])
+        assert result.extra["protected_size"] >= 2
+
+    def test_single_query_has_trivial_connector(self, karate_graph):
+        result = fpa(karate_graph, [7])
+        assert result.extra["protected_size"] == 1
+
+
+class TestFPAObjectives:
+    def test_classic_objective_scores_with_classic_modularity(self, karate_graph):
+        result = fpa(karate_graph, [0], objective="classic_modularity")
+        assert result.objective_name == "classic_modularity"
+        assert result.score == pytest.approx(classic_modularity(karate_graph, result.nodes))
+
+    def test_classic_objective_returns_larger_communities(self, figure1):
+        """The Figure-12 observation: classic modularity keeps free riders."""
+        dm_result = fpa(figure1.graph, ["u1"], objective="density_modularity")
+        cm_result = fpa(figure1.graph, ["u1"], objective="classic_modularity")
+        assert cm_result.size >= dm_result.size
+
+    def test_generalized_objective_runs(self, karate_graph):
+        result = fpa(karate_graph, [0], objective="generalized_modularity_density")
+        assert result.size >= 1
+        assert 0 in result.nodes
+
+    def test_gain_selection_is_fpa_dmg(self, karate_graph):
+        result = fpa(karate_graph, [0], selection="gain", layer_pruning=False)
+        assert result.algorithm == "FPA-DMG"
+        assert 0 in result.nodes

@@ -1,0 +1,68 @@
+"""Unit tests for the generic Algorithm-1 peeling framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import greedy_peel, prepare_search
+from repro.graph import Graph, GraphError, is_connected
+from repro.modularity import classic_modularity, density_modularity
+
+
+class TestPrepareSearch:
+    def test_returns_queries_and_component(self, karate_graph):
+        queries, component = prepare_search(karate_graph, [0, 33])
+        assert queries == frozenset({0, 33})
+        assert component == set(karate_graph.nodes())
+
+    def test_restricts_to_query_component(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        _, component = prepare_search(graph, [1])
+        assert component == {1, 2, 3}
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            prepare_search(karate_graph, [])
+        with pytest.raises(GraphError):
+            prepare_search(karate_graph, [998])
+        disconnected = Graph([(1, 2), (3, 4)])
+        with pytest.raises(GraphError):
+            prepare_search(disconnected, [1, 3])
+
+
+class TestGreedyPeel:
+    def test_result_contains_queries_and_is_connected(self, karate_graph):
+        result = greedy_peel(karate_graph, [0])
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+
+    def test_recovers_figure1_community(self, figure1):
+        result = greedy_peel(figure1.graph, ["u1"])
+        assert set(result.nodes) == set(figure1.communities[0])
+
+    def test_score_is_max_of_trace(self, figure1):
+        result = greedy_peel(figure1.graph, ["u1"])
+        assert result.score == pytest.approx(max(result.trace))
+
+    def test_trace_length_matches_removals(self, figure1):
+        result = greedy_peel(figure1.graph, ["u1"])
+        assert len(result.trace) == len(result.removal_order) + 1
+
+    def test_custom_goodness_function(self, figure1):
+        result = greedy_peel(
+            figure1.graph, ["u1"], goodness=classic_modularity, algorithm_name="CM-peel"
+        )
+        assert result.algorithm == "CM-peel"
+        assert result.objective_name == "classic_modularity"
+        # classic modularity suffers from the free-rider effect and keeps A ∪ B
+        assert set(figure1.communities[0]) <= set(result.nodes)
+
+    def test_never_removes_query_nodes(self, karate_graph):
+        result = greedy_peel(karate_graph, [0, 33])
+        assert 0 not in result.removal_order
+        assert 33 not in result.removal_order
+        assert {0, 33} <= set(result.nodes)
+
+    def test_score_matches_density_modularity(self, karate_graph):
+        result = greedy_peel(karate_graph, [0])
+        assert result.score == pytest.approx(density_modularity(karate_graph, result.nodes))

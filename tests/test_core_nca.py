@@ -1,0 +1,90 @@
+"""Unit tests for the Non-articulation Cancellation Algorithm (NCA)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import greedy_peel, nca, nca_search
+from repro.graph import Graph, GraphError, is_connected
+from repro.modularity import density_modularity
+
+
+class TestNCABasics:
+    def test_contains_query_and_connected(self, karate_graph):
+        result = nca(karate_graph, [0])
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+        assert result.algorithm == "NCA"
+
+    def test_score_matches_returned_nodes(self, karate_graph):
+        result = nca(karate_graph, [0])
+        assert result.score == pytest.approx(density_modularity(karate_graph, result.nodes))
+
+    def test_score_is_max_of_trace(self, karate_graph):
+        result = nca(karate_graph, [33])
+        assert result.score == pytest.approx(max(result.trace))
+
+    def test_recovers_figure1_community(self, figure1):
+        result = nca(figure1.graph, ["u1"])
+        assert set(result.nodes) == set(figure1.communities[0])
+
+    def test_multiple_queries_all_kept(self, karate_graph):
+        result = nca(karate_graph, [0, 33, 16])
+        assert {0, 33, 16} <= set(result.nodes)
+        assert is_connected(karate_graph.subgraph(result.nodes))
+
+    def test_matches_reference_framework_score(self, figure1):
+        """NCA's incremental bookkeeping must agree with the naive framework."""
+        reference = greedy_peel(figure1.graph, ["u1"])
+        fast = nca(figure1.graph, ["u1"])
+        assert fast.score == pytest.approx(reference.score)
+
+    def test_disconnected_queries_return_failed_result(self):
+        graph = Graph([(1, 2), (3, 4)])
+        result = nca(graph, [1, 3])
+        assert result.size == 0
+        assert result.extra.get("failed")
+
+    def test_invalid_arguments(self, karate_graph):
+        with pytest.raises(GraphError):
+            nca(karate_graph, [0], selection="bogus")
+        failed = nca(karate_graph, [123456])
+        assert failed.extra.get("failed")
+
+    def test_max_iterations_cap(self, karate_graph):
+        result = nca(karate_graph, [0], max_iterations=3)
+        assert result.extra["iterations"] <= 3
+        assert len(result.removal_order) <= 3
+
+    def test_search_wrapper(self, figure1):
+        assert nca_search(figure1.graph, ["u1"]) == set(figure1.communities[0])
+
+
+class TestNCAVariant:
+    def test_ratio_selection_is_nca_dr(self, karate_graph):
+        result = nca(karate_graph, [0], selection="ratio")
+        assert result.algorithm == "NCA-DR"
+        assert 0 in result.nodes
+        assert is_connected(karate_graph.subgraph(result.nodes))
+
+    def test_intermediate_subgraphs_stay_connected(self, karate_graph):
+        """Every prefix of the removal order leaves a connected subgraph."""
+        result = nca(karate_graph, [0])
+        remaining = set(karate_graph.nodes())
+        for node in result.removal_order:
+            remaining.discard(node)
+            assert is_connected(karate_graph.subgraph(remaining))
+
+    def test_never_removes_query(self, karate_graph):
+        result = nca(karate_graph, [5, 16])
+        assert 5 not in result.removal_order
+        assert 16 not in result.removal_order
+
+
+class TestNCAOnPlantedGraph:
+    def test_returns_reasonably_small_community(self, planted_graph):
+        graph, membership = planted_graph
+        result = nca(graph, [0])
+        # NCA should not return the whole graph on a well-separated planted partition
+        assert result.size < graph.number_of_nodes()
+        assert 0 in result.nodes

@@ -1,0 +1,56 @@
+"""Unit tests for the CommunityResult container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunityResult
+from repro.modularity import density_modularity
+
+
+class TestCommunityResult:
+    def test_basic_properties(self, karate_graph):
+        result = CommunityResult(
+            nodes={0, 1, 2},
+            query_nodes={0},
+            algorithm="FPA",
+            score=1.5,
+            elapsed_seconds=0.01,
+            removal_order=[5, 6],
+            trace=[1.0, 1.2, 1.5],
+        )
+        assert result.size == 3
+        assert result.contains_queries()
+        assert isinstance(result.nodes, frozenset)
+        assert result.removal_order == (5, 6)
+        assert result.trace == (1.0, 1.2, 1.5)
+
+    def test_contains_queries_false(self):
+        result = CommunityResult(nodes={1, 2}, query_nodes={3}, algorithm="x")
+        assert not result.contains_queries()
+
+    def test_density_modularity_helper(self, karate_graph):
+        community = {0, 1, 2, 3, 7}
+        result = CommunityResult(nodes=community, query_nodes={0}, algorithm="FPA")
+        assert result.density_modularity(karate_graph) == pytest.approx(
+            density_modularity(karate_graph, community)
+        )
+
+    def test_summary_mentions_algorithm_and_size(self):
+        result = CommunityResult(nodes={1, 2}, query_nodes={1}, algorithm="NCA", score=0.25)
+        summary = result.summary()
+        assert "NCA" in summary
+        assert "|C|=2" in summary
+
+    def test_empty_result(self):
+        result = CommunityResult.empty({3, 4}, "kc", reason="not in k-core")
+        assert result.size == 0
+        assert result.extra["failed"] is True
+        assert result.extra["reason"] == "not in k-core"
+        assert result.score == float("-inf")
+        assert result.query_nodes == frozenset({3, 4})
+
+    def test_frozen_dataclass(self):
+        result = CommunityResult(nodes={1}, query_nodes={1}, algorithm="x")
+        with pytest.raises(Exception):
+            result.algorithm = "y"

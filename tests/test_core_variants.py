@@ -1,0 +1,116 @@
+"""Unit tests for the named algorithm variants and subgraph objectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALGORITHM_VARIANTS,
+    SUBGRAPH_OBJECTIVES,
+    evaluate_objective,
+    fpa,
+    fpa_dmg,
+    fpa_without_pruning,
+    nca,
+    nca_dr,
+)
+from repro.graph import GraphError, is_connected
+from repro.modularity import (
+    CommunityStatistics,
+    classic_modularity,
+    density_modularity,
+    generalized_modularity_density,
+)
+
+
+class TestVariantWrappers:
+    def test_registry_contains_paper_names(self):
+        assert set(ALGORITHM_VARIANTS) == {"NCA", "NCA-DR", "FPA-DMG", "FPA"}
+
+    def test_nca_dr_uses_ratio(self, karate_graph):
+        result = nca_dr(karate_graph, [0])
+        assert result.algorithm == "NCA-DR"
+        assert result.extra["selection"] == "ratio"
+
+    def test_fpa_dmg_uses_gain(self, karate_graph):
+        result = fpa_dmg(karate_graph, [0])
+        assert result.algorithm == "FPA-DMG"
+        assert result.extra["selection"] == "gain"
+
+    def test_fpa_without_pruning(self, karate_graph):
+        result = fpa_without_pruning(karate_graph, [0])
+        assert result.extra["layer_pruning"] is False
+
+    def test_all_variants_return_valid_communities(self, figure1):
+        for name, runner in ALGORITHM_VARIANTS.items():
+            result = runner(figure1.graph, ["u1"])
+            assert "u1" in result.nodes, name
+            assert is_connected(figure1.graph.subgraph(result.nodes)), name
+
+    def test_variants_agree_on_figure1(self, figure1):
+        """On the toy example every variant should find community A."""
+        expected = set(figure1.communities[0])
+        for name, runner in ALGORITHM_VARIANTS.items():
+            assert set(runner(figure1.graph, ["u1"]).nodes) == expected, name
+
+
+class TestEvaluateObjective:
+    def test_objective_names(self):
+        assert set(SUBGRAPH_OBJECTIVES) == {
+            "density_modularity",
+            "classic_modularity",
+            "generalized_modularity_density",
+        }
+
+    def test_matches_direct_functions(self, karate_graph):
+        members = set(range(0, 14))
+        stats = CommunityStatistics(karate_graph, members)
+        assert evaluate_objective(karate_graph, stats, "density_modularity") == pytest.approx(
+            density_modularity(karate_graph, members)
+        )
+        assert evaluate_objective(karate_graph, stats, "classic_modularity") == pytest.approx(
+            classic_modularity(karate_graph, members)
+        )
+        assert evaluate_objective(
+            karate_graph, stats, "generalized_modularity_density"
+        ) == pytest.approx(generalized_modularity_density(karate_graph, members))
+
+    def test_tracks_removals(self, karate_graph):
+        members = set(range(0, 14))
+        stats = CommunityStatistics(karate_graph, members)
+        stats.remove(13)
+        assert evaluate_objective(karate_graph, stats, "density_modularity") == pytest.approx(
+            density_modularity(karate_graph, members - {13})
+        )
+
+    def test_unknown_objective_raises(self, karate_graph):
+        stats = CommunityStatistics(karate_graph, {0, 1})
+        with pytest.raises(GraphError):
+            evaluate_objective(karate_graph, stats, "nope")
+
+    def test_singleton_generalized_density(self, karate_graph):
+        stats = CommunityStatistics(karate_graph, {0})
+        assert evaluate_objective(
+            karate_graph, stats, "generalized_modularity_density"
+        ) == pytest.approx(0.0)
+
+
+class TestVariantBehaviourOnKarate:
+    def test_fpa_and_nca_both_return_dense_neighbourhoods(self, karate_graph):
+        for runner in (nca, fpa):
+            result = runner(karate_graph, [0])
+            assert density_modularity(karate_graph, result.nodes) > density_modularity(
+                karate_graph, karate_graph.nodes()
+            )
+
+    def test_fpa_dmg_and_fpa_have_similar_removal_orders(self, karate_graph):
+        """Figure 5: the Λ and Θ removal orders on karate are highly similar."""
+        gain = fpa(karate_graph, [0], selection="gain", layer_pruning=False)
+        ratio = fpa(karate_graph, [0], selection="ratio", layer_pruning=False)
+        rank_gain = {node: index for index, node in enumerate(gain.removal_order)}
+        rank_ratio = {node: index for index, node in enumerate(ratio.removal_order)}
+        common = set(rank_gain) & set(rank_ratio)
+        assert len(common) >= 25
+        # Spearman-style check: average rank displacement is small relative to n
+        displacement = sum(abs(rank_gain[node] - rank_ratio[node]) for node in common) / len(common)
+        assert displacement <= len(common) * 0.35

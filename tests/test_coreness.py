@@ -1,0 +1,104 @@
+"""Unit tests for the k-core decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    core_numbers,
+    degeneracy_ordering,
+    erdos_renyi,
+    k_core_subgraph,
+    max_core_number,
+    to_networkx,
+)
+
+
+class TestCoreNumbers:
+    def test_clique_core_numbers(self):
+        clique = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert core_numbers(clique) == {node: 4 for node in range(5)}
+
+    def test_path_core_numbers(self, path_graph):
+        assert core_numbers(path_graph) == {node: 1 for node in path_graph.nodes()}
+
+    def test_star_core_numbers(self, star_graph):
+        core = core_numbers(star_graph)
+        assert core[0] == 1
+        assert all(core[leaf] == 1 for leaf in range(1, 6))
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_isolated_nodes_have_core_zero(self):
+        graph = Graph([(1, 2)], nodes=[9])
+        assert core_numbers(graph)[9] == 0
+
+    def test_karate_against_networkx(self, karate_graph):
+        import networkx as nx
+
+        ours = core_numbers(karate_graph)
+        theirs = nx.core_number(to_networkx(karate_graph))
+        assert ours == theirs
+
+    def test_random_graphs_against_networkx(self):
+        import networkx as nx
+
+        for seed in range(4):
+            graph = erdos_renyi(50, 0.1, seed=seed)
+            assert core_numbers(graph) == nx.core_number(to_networkx(graph))
+
+    def test_max_core_number(self, karate_graph):
+        assert max_core_number(karate_graph) == 4
+        assert max_core_number(Graph()) == 0
+
+
+class TestKCoreSubgraph:
+    def test_k_core_min_degree_invariant(self, karate_graph):
+        for k in range(1, 5):
+            core = k_core_subgraph(karate_graph, k)
+            if core.number_of_nodes() == 0:
+                continue
+            assert min(core.degree(node) for node in core.iter_nodes()) >= k
+
+    def test_k_core_matches_networkx(self, karate_graph):
+        import networkx as nx
+
+        for k in range(1, 5):
+            ours = set(k_core_subgraph(karate_graph, k).nodes())
+            theirs = set(nx.k_core(to_networkx(karate_graph), k).nodes())
+            assert ours == theirs
+
+    def test_k_core_within_subset(self, karate_graph):
+        subset = list(range(0, 20))
+        core = k_core_subgraph(karate_graph, 2, within=subset)
+        assert set(core.nodes()) <= set(subset)
+        if core.number_of_nodes():
+            assert min(core.degree(node) for node in core.iter_nodes()) >= 2
+
+    def test_k_zero_returns_everything(self, karate_graph):
+        core = k_core_subgraph(karate_graph, 0)
+        assert core.number_of_nodes() == karate_graph.number_of_nodes()
+
+    def test_negative_k_raises(self, karate_graph):
+        with pytest.raises(GraphError):
+            k_core_subgraph(karate_graph, -1)
+
+    def test_too_large_k_gives_empty_graph(self, karate_graph):
+        assert k_core_subgraph(karate_graph, 50).number_of_nodes() == 0
+
+
+class TestDegeneracyOrdering:
+    def test_ordering_is_permutation(self, karate_graph):
+        order = degeneracy_ordering(karate_graph)
+        assert sorted(order, key=repr) == sorted(karate_graph.nodes(), key=repr)
+
+    def test_ordering_peels_low_degree_first(self, star_graph):
+        order = degeneracy_ordering(star_graph)
+        # the centre (degree 5) must be removed last (all leaves have degree 1)
+        assert order[-1] == 0 or star_graph.degree(order[-1]) == 1
+        assert order.index(0) == len(order) - 1 or all(
+            star_graph.degree(node) == 1 for node in order[:-1]
+        )

@@ -1,0 +1,157 @@
+"""Unit tests for the dataset containers, loaders and surrogates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    LFRConfig,
+    figure1_dataset,
+    list_datasets,
+    load_dataset,
+    load_dblp_surrogate,
+    load_dolphin_surrogate,
+    load_karate,
+    load_lfr,
+    load_mexican_surrogate,
+    load_polblogs_surrogate,
+    load_youtube_surrogate,
+    ring_of_cliques_dataset,
+    table1_datasets,
+)
+from repro.graph import is_connected
+
+
+class TestDatasetContainer:
+    def test_statistics_row(self, karate):
+        stats = karate.statistics()
+        assert stats == {"name": "karate", "|V|": 34, "|E|": 78, "|C|": 2, "overlap": False}
+
+    def test_membership_for_disjoint(self, karate):
+        membership = karate.membership()
+        assert len(membership) == 34
+        assert set(membership.values()) == {0, 1}
+
+    def test_membership_rejects_overlapping(self):
+        dataset = load_dblp_surrogate(num_nodes=300)
+        with pytest.raises(ValueError):
+            dataset.membership()
+
+    def test_communities_containing(self, karate):
+        assert len(karate.communities_containing(0)) == 1
+        assert karate.communities_containing(0)[0] == karate.communities[0]
+
+    def test_ground_truth_for(self, karate):
+        truth = karate.ground_truth_for([0, 1])
+        assert truth == karate.communities[0]
+        assert karate.ground_truth_for([0, 33]) is None
+
+
+class TestKarate:
+    def test_statistics(self, karate):
+        assert karate.num_nodes == 34
+        assert karate.num_edges == 78
+        assert karate.num_communities == 2
+        assert not karate.overlapping
+
+    def test_factions_partition_the_club(self, karate):
+        union = set(karate.communities[0]) | set(karate.communities[1])
+        assert union == set(karate.graph.nodes())
+        assert not (set(karate.communities[0]) & set(karate.communities[1]))
+
+    def test_connected(self, karate):
+        assert is_connected(karate.graph)
+
+
+class TestToyDatasets:
+    def test_figure1(self, figure1):
+        assert figure1.num_nodes == 16
+        assert figure1.num_edges == 26
+        assert figure1.metadata["query_node"] == "u1"
+
+    def test_ring_of_cliques(self, ring_dataset):
+        assert ring_dataset.num_nodes == 180
+        assert ring_dataset.num_communities == 30
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize(
+        "loader, expected_nodes, expected_communities",
+        [
+            (load_dolphin_surrogate, 62, 2),
+            (load_mexican_surrogate, 35, 2),
+        ],
+    )
+    def test_small_two_community_surrogates(self, loader, expected_nodes, expected_communities):
+        dataset = loader()
+        assert dataset.num_nodes == expected_nodes
+        assert dataset.num_communities == expected_communities
+        assert dataset.metadata["surrogate"]
+        assert is_connected(dataset.graph)
+
+    def test_polblogs_scalable(self):
+        dataset = load_polblogs_surrogate(scale=0.2)
+        assert 200 <= dataset.num_nodes <= 400
+        assert dataset.num_communities == 2
+
+    def test_edge_counts_are_roughly_matched(self):
+        dataset = load_dolphin_surrogate()
+        assert 100 <= dataset.num_edges <= 230  # target 159 ± sampling noise
+
+    def test_overlapping_surrogates(self):
+        dataset = load_dblp_surrogate(num_nodes=400)
+        assert dataset.overlapping
+        assert dataset.num_communities >= 20
+        # at least one node should belong to two communities
+        seen = {}
+        overlapping_nodes = 0
+        for index, community in enumerate(dataset.communities):
+            for node in community:
+                if node in seen:
+                    overlapping_nodes += 1
+                seen[node] = index
+        assert overlapping_nodes > 0
+
+    def test_youtube_surrogate_connected(self):
+        dataset = load_youtube_surrogate(num_nodes=500)
+        assert is_connected(dataset.graph)
+
+    def test_surrogates_are_deterministic(self):
+        a = load_dolphin_surrogate(seed=3)
+        b = load_dolphin_surrogate(seed=3)
+        assert a.graph == b.graph
+
+
+class TestLFRDataset:
+    def test_default_config_label(self):
+        config = LFRConfig()
+        assert "davg=30" in config.label()
+
+    def test_load_with_overrides(self):
+        dataset = load_lfr(LFRConfig(num_nodes=200, avg_degree=10, max_degree=40), mu=0.4, seed=2)
+        assert dataset.num_nodes == 200
+        assert dataset.metadata["mu"] == 0.4
+
+    def test_communities_partition(self):
+        dataset = load_lfr(LFRConfig(num_nodes=200, avg_degree=10, max_degree=40, seed=4))
+        covered = set()
+        for community in dataset.communities:
+            covered |= set(community)
+        assert covered == set(dataset.graph.nodes())
+
+
+class TestRegistry:
+    def test_list_datasets_contains_table1(self):
+        names = list_datasets()
+        for name in table1_datasets():
+            assert name in names
+
+    def test_load_dataset_by_name(self):
+        dataset = load_dataset("karate")
+        assert isinstance(dataset, Dataset)
+        assert dataset.name == "karate"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("does-not-exist")

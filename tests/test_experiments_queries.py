@@ -1,0 +1,60 @@
+"""Unit tests for query-set generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QuerySet, generate_query_sets
+
+
+class TestGenerateQuerySets:
+    def test_number_and_size(self, karate):
+        sets = generate_query_sets(karate, num_sets=10, query_size=1, seed=0)
+        assert len(sets) == 10
+        assert all(len(query_set.nodes) == 1 for query_set in sets)
+
+    def test_queries_come_from_their_community(self, karate):
+        for query_set in generate_query_sets(karate, num_sets=10, seed=1):
+            assert set(query_set.nodes) <= set(query_set.community)
+
+    def test_multi_node_queries_share_a_community(self, karate):
+        for query_set in generate_query_sets(karate, num_sets=6, query_size=4, seed=2):
+            assert len(query_set.nodes) == 4
+            assert set(query_set.nodes) <= set(query_set.community)
+
+    def test_round_robin_over_few_communities(self, karate):
+        sets = generate_query_sets(karate, num_sets=10, seed=3)
+        used = {query_set.community for query_set in sets}
+        assert len(used) == 2  # both factions are exercised
+
+    def test_sampling_prefers_high_trussness(self, karate):
+        from repro.graph import node_truss_numbers
+
+        trussness = node_truss_numbers(karate.graph)
+        sets = generate_query_sets(karate, num_sets=10, truss_k=4, seed=4)
+        preferred = sum(1 for query_set in sets if trussness[query_set.nodes[0]] >= 5)
+        assert preferred >= 5  # most queries should come from the 5-truss
+
+    def test_deterministic_for_seed(self, karate):
+        a = generate_query_sets(karate, num_sets=8, seed=9)
+        b = generate_query_sets(karate, num_sets=8, seed=9)
+        assert a == b
+
+    def test_many_communities_sampled_without_replacement(self, ring_dataset):
+        sets = generate_query_sets(ring_dataset, num_sets=20, seed=5)
+        communities = [query_set.community for query_set in sets]
+        assert len(set(communities)) == 20
+
+    def test_errors(self, karate):
+        with pytest.raises(ValueError):
+            generate_query_sets(karate, num_sets=0)
+        with pytest.raises(ValueError):
+            generate_query_sets(karate, num_sets=5, query_size=0)
+        with pytest.raises(ValueError):
+            generate_query_sets(karate, num_sets=5, query_size=1, min_community_size=100)
+
+    def test_queryset_is_hashable_value_object(self):
+        a = QuerySet(nodes=(1, 2), community={1, 2, 3})
+        b = QuerySet(nodes=(1, 2), community={1, 2, 3})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,63 @@
+"""Unit tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunityResult
+from repro.experiments import (
+    ALGORITHMS,
+    PAPER_BASELINES,
+    PROPOSED_ALGORITHMS,
+    get_algorithm,
+    list_algorithms,
+    run_algorithm,
+)
+
+
+class TestRegistry:
+    def test_contains_all_paper_algorithms(self):
+        expected = {
+            "clique", "kc", "kt", "kecc", "GN", "CNM", "icwi2008", "huang2015",
+            "wu2015", "highcore", "hightruss", "NCA", "FPA",
+        }
+        assert expected <= set(ALGORITHMS)
+
+    def test_groups_are_registered(self):
+        for name in PROPOSED_ALGORITHMS + PAPER_BASELINES:
+            assert name in ALGORITHMS
+
+    def test_list_algorithms_sorted(self):
+        names = list_algorithms()
+        assert names == sorted(names)
+
+    def test_get_algorithm_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_algorithm("nope")
+
+    def test_default_parameters_follow_paper(self, karate_graph):
+        kc = get_algorithm("kc")(karate_graph, [0])
+        assert kc.extra["k"] == 3
+        kt = get_algorithm("kt")(karate_graph, [0])
+        assert kt.extra["k"] == 4
+
+    def test_override_parameters(self, karate_graph):
+        kc5 = get_algorithm("kc", k=4)(karate_graph, [0])
+        assert kc5.extra["k"] == 4
+
+    def test_override_on_plain_callable(self, karate_graph):
+        fpa_np = get_algorithm("FPA", layer_pruning=False)(karate_graph, [0])
+        assert fpa_np.extra["layer_pruning"] is False
+
+    def test_run_algorithm_helper(self, karate_graph):
+        result = run_algorithm("FPA", karate_graph, [0])
+        assert isinstance(result, CommunityResult)
+        assert 0 in result.nodes
+
+    @pytest.mark.parametrize("name", ["kc", "kt", "kecc", "highcore", "hightruss", "NCA", "FPA",
+                                      "huang2015", "wu2015", "icwi2008", "CNM", "louvain"])
+    def test_every_registered_algorithm_runs_on_karate(self, karate_graph, name):
+        result = run_algorithm(name, karate_graph, [0])
+        assert isinstance(result, CommunityResult)
+        if not result.extra.get("failed"):
+            assert 0 in result.nodes

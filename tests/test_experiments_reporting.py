@@ -1,0 +1,55 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments import format_histogram, format_series, format_table, print_series, print_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"algorithm": "FPA", "NMI": 0.9}, {"algorithm": "kc", "NMI": 0.1}]
+        text = format_table(rows, title="Results")
+        lines = text.splitlines()
+        assert lines[0] == "Results"
+        assert "algorithm" in lines[1]
+        assert "FPA" in text and "kc" in text
+        assert "0.9000" in text
+
+    def test_missing_cells_are_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_print_table_outputs(self, capsys):
+        print_table([{"a": 1}])
+        assert "a" in capsys.readouterr().out
+
+
+class TestFormatSeries:
+    def test_one_row_per_series(self):
+        series = {"FPA": {0.2: 0.9, 0.3: 0.8}, "kc": {0.2: 0.1, 0.3: 0.1}}
+        text = format_series(series, x_label="mu", title="Figure 8")
+        assert "Figure 8" in text
+        assert text.count("FPA") == 1
+        assert "0.9000" in text
+        assert "0.2" in text and "0.3" in text
+
+    def test_print_series(self, capsys):
+        print_series({"FPA": {1: 1.0}})
+        assert "FPA" in capsys.readouterr().out
+
+
+class TestFormatHistogram:
+    def test_bars_scale_with_counts(self):
+        text = format_histogram({1: 2, 2: 10}, title="diameters")
+        lines = text.splitlines()
+        assert lines[0] == "diameters"
+        bar_small = lines[1].count("#")
+        bar_large = lines[2].count("#")
+        assert bar_large > bar_small
+
+    def test_empty_histogram(self):
+        assert "(empty)" in format_histogram({})

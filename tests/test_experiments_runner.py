@@ -1,0 +1,101 @@
+"""Unit tests for the evaluation runner and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CommunityResult
+from repro.experiments import (
+    QuerySet,
+    aggregate,
+    evaluate_algorithm,
+    evaluate_algorithms,
+    generate_query_sets,
+    score_result,
+)
+
+
+class TestScoreResult:
+    def test_perfect_result_scores_one(self, karate):
+        query_set = QuerySet(nodes=(0,), community=karate.communities[0])
+        result = CommunityResult(
+            nodes=set(karate.communities[0]), query_nodes={0}, algorithm="test"
+        )
+        nmi, ari, f1 = score_result(karate, query_set, result)
+        assert nmi == pytest.approx(1.0)
+        assert ari == pytest.approx(1.0)
+        assert f1 == pytest.approx(1.0)
+
+    def test_empty_result_scores_zero(self, karate):
+        query_set = QuerySet(nodes=(0,), community=karate.communities[0])
+        result = CommunityResult.empty({0}, "test")
+        assert score_result(karate, query_set, result) == (0.0, 0.0, 0.0)
+
+    def test_overlapping_dataset_takes_best_truth(self):
+        from repro.datasets import load_dblp_surrogate
+
+        dataset = load_dblp_surrogate(num_nodes=300)
+        # pick a node that belongs to at least one community
+        node = next(iter(dataset.communities[0]))
+        query_set = QuerySet(nodes=(node,), community=dataset.communities[0])
+        result = CommunityResult(
+            nodes=set(dataset.communities[0]), query_nodes={node}, algorithm="test"
+        )
+        nmi, _, _ = score_result(dataset, query_set, result)
+        assert nmi == pytest.approx(1.0)
+
+
+class TestEvaluateAlgorithm:
+    def test_records_have_expected_fields(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=4, seed=0)
+        records = evaluate_algorithm(karate, "FPA", query_sets)
+        assert len(records) == 4
+        for record in records:
+            assert record.dataset == "karate"
+            assert record.algorithm == "FPA"
+            assert 0.0 <= record.nmi <= 1.0
+            assert record.community_size > 0
+            assert record.elapsed_seconds >= 0.0
+
+    def test_algorithm_overrides_are_passed(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=2, seed=0)
+        records = evaluate_algorithm(karate, "kc", query_sets, k=4)
+        assert all(record.extra.get("k") == 4 for record in records if not record.failed)
+
+    def test_time_budget_marks_failures(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=5, seed=0)
+        records = evaluate_algorithm(karate, "FPA", query_sets, time_budget_seconds=0.0)
+        assert any(record.failed for record in records)
+
+    def test_evaluate_algorithms_batches(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=3, seed=0)
+        by_algorithm = evaluate_algorithms(karate, ["FPA", "kc"], query_sets)
+        assert set(by_algorithm) == {"FPA", "kc"}
+        assert len(by_algorithm["FPA"]) == 3
+
+
+class TestAggregate:
+    def test_median_and_mean(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=6, seed=1)
+        records = evaluate_algorithm(karate, "FPA", query_sets)
+        result = aggregate(records)
+        assert result.num_queries == 6
+        assert 0.0 <= result.median_nmi <= 1.0
+        assert 0.0 <= result.mean_nmi <= 1.0
+        assert result.total_seconds >= result.mean_seconds
+
+    def test_as_row_shape(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=3, seed=1)
+        row = aggregate(evaluate_algorithm(karate, "kc", query_sets)).as_row()
+        assert {"dataset", "algorithm", "queries", "NMI", "ARI", "Fscore", "time(s)"} <= set(row)
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_fpa_beats_kc_on_karate(self, karate):
+        """Directional check from Figure 15: FPA's accuracy exceeds kc's on small real graphs."""
+        query_sets = generate_query_sets(karate, num_sets=10, seed=2)
+        fpa_agg = aggregate(evaluate_algorithm(karate, "FPA", query_sets))
+        kc_agg = aggregate(evaluate_algorithm(karate, "kc", query_sets))
+        assert fpa_agg.median_nmi >= kc_agg.median_nmi

@@ -1,0 +1,118 @@
+"""Unit tests for the figure-level sweeps (small configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import LFRConfig, load_karate
+from repro.experiments import (
+    case_study,
+    community_diameter_histogram,
+    dataset_comparison,
+    lfr_parameter_sweep,
+    multi_query_sweep,
+    objective_comparison,
+    pruning_comparison,
+    removal_order_comparison,
+    scalability_sweep,
+    variant_comparison,
+    varying_k_sweep,
+)
+
+TINY_LFR = LFRConfig(num_nodes=150, avg_degree=8, max_degree=30, mu=0.2, min_community=15, max_community=50)
+
+
+class TestFigure4Diameters:
+    def test_histogram_counts_all_communities(self, karate):
+        histogram = community_diameter_histogram(karate)
+        assert sum(histogram.values()) == karate.num_communities
+        assert all(value >= 1 for value in histogram)
+
+    def test_max_communities_cap(self, ring_dataset):
+        histogram = community_diameter_histogram(ring_dataset, max_communities=5)
+        assert sum(histogram.values()) == 5
+        # every 6-clique has diameter 1
+        assert set(histogram) == {1}
+
+
+class TestFigure5RemovalOrder:
+    def test_orders_cover_all_nodes(self, karate_graph):
+        orders = removal_order_comparison(karate_graph, 0)
+        assert set(orders) == {"gain", "ratio"}
+        assert set(orders["gain"]) == set(karate_graph.nodes())
+        assert orders["gain"][0] == 0  # the query node is never removed
+
+
+class TestFigure8Sweep:
+    def test_sweep_shape(self):
+        results = lfr_parameter_sweep(
+            ["FPA", "kc"], "mu", [0.2, 0.3], base_config=TINY_LFR, num_queries=3, seed=1
+        )
+        assert set(results) == {"FPA", "kc"}
+        assert set(results["FPA"]) == {0.2, 0.3}
+        for value in results["FPA"].values():
+            assert value.num_queries == 3
+
+    def test_invalid_parameter_raises(self):
+        with pytest.raises(ValueError):
+            lfr_parameter_sweep(["FPA"], "bogus", [1])
+
+
+class TestFigure10MultiQuery:
+    def test_sweep_shape(self):
+        results = multi_query_sweep(["FPA", "kc"], [1, 4], config=TINY_LFR, num_queries=3, seed=2)
+        assert set(results["FPA"]) == {1, 4}
+
+
+class TestFigure11Scalability:
+    def test_runtime_collected_per_size(self):
+        results = scalability_sweep(["FPA", "kc"], [100, 200], community_size=25, num_queries=2, seed=0)
+        assert set(results["FPA"]) == {100, 200}
+        assert all(value >= 0.0 for value in results["FPA"].values())
+
+
+class TestFigure12Objectives:
+    def test_all_objectives_evaluated(self):
+        results = objective_comparison(config=TINY_LFR, num_queries=3, seed=3)
+        assert set(results) == {
+            "density_modularity",
+            "classic_modularity",
+            "generalized_modularity_density",
+        }
+
+
+class TestFigure13Pruning:
+    def test_both_configurations_present(self):
+        results = pruning_comparison(config=TINY_LFR, num_queries=3, seed=4)
+        assert set(results) == {"FPA", "FPA w/o pruning"}
+
+
+class TestFigure14Variants:
+    def test_variants_present(self):
+        results = variant_comparison(config=TINY_LFR, num_queries=2, seed=5)
+        assert set(results) == {"NCA", "NCA-DR", "FPA-DMG", "FPA"}
+
+
+class TestFigure15DatasetComparison:
+    def test_rows_per_dataset_and_algorithm(self):
+        results = dataset_comparison([load_karate()], ["FPA", "kc"], num_queries=3, seed=6)
+        assert set(results) == {"karate"}
+        assert set(results["karate"]) == {"FPA", "kc"}
+
+
+class TestFigure19VaryingK:
+    def test_k_sweep_shape(self, karate):
+        results = varying_k_sweep(karate, [3, 4], num_queries=3, seed=7)
+        assert set(results) == {"kc", "kt", "kecc", "FPA"}
+        assert set(results["kc"]) == {3, 4}
+        # FPA is parameter-free: identical aggregate for every k
+        assert results["FPA"][3] is results["FPA"][4]
+
+
+class TestFigure20CaseStudy:
+    def test_case_study_report(self, karate):
+        report = case_study(dataset=karate, query_node=33)
+        assert set(report) == {"FPA", "3-truss", "3-core"}
+        assert report["FPA"]["size"] >= 1
+        assert report["3-core"]["size"] >= report["FPA"]["size"]
+        assert 1 <= report["FPA"]["betweenness_rank"] <= report["FPA"]["size"]

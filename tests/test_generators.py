@@ -1,0 +1,184 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    barabasi_albert,
+    erdos_renyi,
+    lfr_benchmark,
+    planted_partition,
+    powerlaw_sequence,
+    ring_of_cliques,
+    stochastic_block_model,
+)
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi(30, 0.2, seed=1)
+        b = erdos_renyi(30, 0.2, seed=1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(30, 0.2, seed=1) != erdos_renyi(30, 0.2, seed=2)
+
+    def test_extreme_probabilities(self):
+        empty = erdos_renyi(10, 0.0, seed=0)
+        assert empty.number_of_edges() == 0
+        full = erdos_renyi(10, 1.0, seed=0)
+        assert full.number_of_edges() == 45
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_growth(self):
+        graph = barabasi_albert(50, 3, seed=2)
+        assert graph.number_of_nodes() == 50
+        # each of the 46 later nodes adds exactly 3 edges; the seed star has 3
+        assert graph.number_of_edges() == 3 + 46 * 3
+
+    def test_minimum_degree_is_m(self):
+        graph = barabasi_albert(40, 2, seed=0)
+        assert min(graph.degree(node) for node in graph.iter_nodes()) >= 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        graph = ring_of_cliques(30, 6)
+        assert graph.number_of_nodes() == 180
+        # 30 cliques of C(6,2)=15 edges plus 30 ring edges = 480 (the paper's |E|)
+        assert graph.number_of_edges() == 480
+
+    def test_each_clique_is_complete(self):
+        graph = ring_of_cliques(5, 4)
+        for i in range(5):
+            members = [(i, j) for j in range(4)]
+            for a in range(4):
+                for b in range(a + 1, 4):
+                    assert graph.has_edge(members[a], members[b])
+
+    def test_ring_is_connected(self):
+        from repro.graph import is_connected
+
+        assert is_connected(ring_of_cliques(4, 3))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            ring_of_cliques(2, 5)
+        with pytest.raises(GraphError):
+            ring_of_cliques(5, 1)
+
+
+class TestBlockModels:
+    def test_planted_partition_shape(self):
+        graph, membership = planted_partition(4, 20, 0.5, 0.01, seed=1)
+        assert graph.number_of_nodes() == 80
+        assert set(membership.values()) == {0, 1, 2, 3}
+
+    def test_intra_density_exceeds_inter(self):
+        graph, membership = planted_partition(3, 30, 0.4, 0.02, seed=2)
+        intra = inter = 0
+        for u, v, _ in graph.iter_edges():
+            if membership[u] == membership[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+
+    def test_sbm_custom_sizes(self):
+        graph, membership = stochastic_block_model([10, 20, 5], 0.3, 0.01, seed=3)
+        assert graph.number_of_nodes() == 35
+        sizes = {}
+        for block in membership.values():
+            sizes[block] = sizes.get(block, 0) + 1
+        assert sizes == {0: 10, 1: 20, 2: 5}
+
+    def test_sbm_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([], 0.5, 0.1)
+        with pytest.raises(GraphError):
+            stochastic_block_model([5], 1.5, 0.1)
+        with pytest.raises(GraphError):
+            stochastic_block_model([0, 5], 0.5, 0.1)
+
+
+class TestPowerlawSequence:
+    def test_bounds_respected(self):
+        values = powerlaw_sequence(500, 2.5, 5, 50, seed=1)
+        assert len(values) == 500
+        assert min(values) >= 5
+        assert max(values) <= 50
+
+    def test_skewed_towards_minimum(self):
+        values = powerlaw_sequence(2000, 2.5, 2, 100, seed=2)
+        small = sum(1 for value in values if value <= 10)
+        assert small > len(values) * 0.6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            powerlaw_sequence(10, 2.5, 0, 10)
+        with pytest.raises(GraphError):
+            powerlaw_sequence(10, 0.5, 1, 10)
+
+
+class TestLFRBenchmark:
+    def test_basic_shape(self, small_lfr):
+        result = small_lfr
+        assert result.graph.number_of_nodes() == 200
+        assert len(result.communities) >= 2
+        assert set(result.membership) == set(result.graph.nodes())
+
+    def test_communities_partition_nodes(self, small_lfr):
+        seen = set()
+        for community in small_lfr.communities:
+            assert not (community & seen)
+            seen |= community
+        assert seen == set(small_lfr.graph.nodes())
+
+    def test_community_sizes_within_bounds(self, small_lfr):
+        params = small_lfr.parameters
+        for community in small_lfr.communities:
+            assert len(community) >= params["min_community"] // 2  # merge slack
+            assert len(community) <= params["max_community"] + params["min_community"]
+
+    def test_empirical_mixing_close_to_mu(self):
+        result = lfr_benchmark(
+            n=300, avg_degree=12, max_degree=60, mu=0.3, min_community=20, max_community=80, seed=3
+        )
+        membership = result.membership
+        external = internal = 0
+        for u, v, _ in result.graph.iter_edges():
+            if membership[u] == membership[v]:
+                internal += 1
+            else:
+                external += 1
+        mixing = external / (internal + external)
+        assert 0.1 <= mixing <= 0.5
+
+    def test_deterministic_for_seed(self):
+        a = lfr_benchmark(n=120, avg_degree=8, max_degree=30, mu=0.2, min_community=10, max_community=40, seed=9)
+        b = lfr_benchmark(n=120, avg_degree=8, max_degree=30, mu=0.2, min_community=10, max_community=40, seed=9)
+        assert a.graph == b.graph
+        assert a.membership == b.membership
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            lfr_benchmark(n=100, mu=1.5)
+        with pytest.raises(GraphError):
+            lfr_benchmark(n=100, avg_degree=1)
+        with pytest.raises(GraphError):
+            lfr_benchmark(n=100, min_community=1)

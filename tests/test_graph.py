@@ -1,0 +1,208 @@
+"""Unit tests for the core Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert graph.is_empty()
+        assert graph.nodes() == []
+        assert graph.edges() == []
+
+    def test_init_with_edges(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+
+    def test_init_with_weighted_edges(self):
+        graph = Graph([(1, 2, 2.5), (2, 3, 0.5)])
+        assert graph.edge_weight(1, 2) == 2.5
+        assert graph.edge_weight(2, 3) == 0.5
+        assert graph.total_edge_weight() == 3.0
+
+    def test_init_with_isolated_nodes(self):
+        graph = Graph(nodes=[1, 2, 3])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 0
+
+    def test_init_rejects_malformed_edge(self):
+        with pytest.raises(GraphError):
+            Graph([(1, 2, 3, 4)])
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.number_of_nodes() == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = Graph()
+        graph.add_edge("x", "y")
+        assert graph.has_node("x") and graph.has_node("y")
+        assert graph.has_edge("x", "y")
+        assert graph.has_edge("y", "x")
+
+    def test_add_edge_rejects_self_loop(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_add_edge_rejects_nonpositive_weight(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 2, 0.0)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 2, -1.0)
+
+    def test_add_existing_edge_overwrites_weight(self):
+        graph = Graph([(1, 2, 1.0)])
+        graph.add_edge(1, 2, 5.0)
+        assert graph.number_of_edges() == 1
+        assert graph.edge_weight(1, 2) == 5.0
+        assert graph.total_edge_weight() == 5.0
+
+    def test_add_edges_from_mixed(self):
+        graph = Graph()
+        graph.add_edges_from([(1, 2), (2, 3, 4.0)])
+        assert graph.number_of_edges() == 2
+        assert graph.edge_weight(2, 3) == 4.0
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = Graph([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1)
+        assert graph.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert not graph.has_node(2)
+        assert graph.number_of_edges() == 1
+        assert graph.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.remove_node(99)
+
+    def test_remove_nodes_from(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        graph.remove_nodes_from([2, 3])
+        assert graph.nodes() == [1, 4]
+        assert graph.number_of_edges() == 0
+
+    def test_total_weight_tracks_removal(self):
+        graph = Graph([(1, 2, 2.0), (2, 3, 3.0)])
+        graph.remove_edge(1, 2)
+        assert graph.total_edge_weight() == 3.0
+        graph.remove_node(3)
+        assert graph.total_edge_weight() == 0.0
+
+
+class TestQueries:
+    def test_degree_and_weighted_degree(self):
+        graph = Graph([(1, 2, 2.0), (1, 3, 3.0)])
+        assert graph.degree(1) == 2
+        assert graph.weighted_degree(1) == 5.0
+        assert graph.degree(2) == 1
+
+    def test_degree_missing_node_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.degree(10)
+        with pytest.raises(GraphError):
+            graph.weighted_degree(10)
+        with pytest.raises(GraphError):
+            graph.neighbors(10)
+        with pytest.raises(GraphError):
+            graph.adjacency(10)
+
+    def test_neighbors(self):
+        graph = Graph([(1, 2), (1, 3)])
+        assert sorted(graph.neighbors(1)) == [2, 3]
+        assert graph.neighbors(2) == [1]
+
+    def test_edges_reported_once(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        edges = graph.edges()
+        assert len(edges) == 3
+        normalized = {tuple(sorted(edge)) for edge in edges}
+        assert normalized == {(1, 2), (2, 3), (1, 3)}
+
+    def test_iter_edges_weights(self):
+        graph = Graph([(1, 2, 2.0), (2, 3, 1.5)])
+        weights = {tuple(sorted((u, v))): w for u, v, w in graph.iter_edges()}
+        assert weights == {(1, 2): 2.0, (2, 3): 1.5}
+
+    def test_degree_map(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert graph.degree_map() == {1: 1, 2: 2, 3: 1}
+
+    def test_edge_weight_missing_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.edge_weight(1, 3)
+
+    def test_dunder_protocol(self):
+        graph = Graph([(1, 2)])
+        assert 1 in graph
+        assert 5 not in graph
+        assert len(graph) == 2
+        assert set(iter(graph)) == {1, 2}
+        assert "Graph" in repr(graph)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induces_edges(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 2
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_missing_node_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            graph.subgraph([1, 99])
+
+    def test_subgraph_preserves_weights(self):
+        graph = Graph([(1, 2, 4.0), (2, 3, 1.0)])
+        sub = graph.subgraph([1, 2])
+        assert sub.edge_weight(1, 2) == 4.0
+
+    def test_subgraph_does_not_mutate_original(self):
+        graph = Graph([(1, 2), (2, 3)])
+        sub = graph.subgraph([1, 2])
+        sub.remove_edge(1, 2)
+        assert graph.has_edge(1, 2)
+
+    def test_copy_is_independent(self):
+        graph = Graph([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_node(3)
+        assert clone.number_of_edges() == 2
+        assert graph.number_of_edges() == 1
+
+    def test_copy_equality(self):
+        graph = Graph([(1, 2), (2, 3, 2.0)])
+        assert graph.copy() == graph
+        other = Graph([(1, 2)])
+        assert graph != other
+        assert graph.__eq__(42) is NotImplemented

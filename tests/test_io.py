@@ -1,0 +1,100 @@
+"""Unit tests for edge-list / community IO and networkx conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    from_networkx,
+    parse_edge_list,
+    read_communities,
+    read_edge_list,
+    to_networkx,
+    write_communities,
+    write_edge_list,
+)
+
+
+class TestParseEdgeList:
+    def test_basic_parsing(self):
+        graph = parse_edge_list(["1 2", "2 3", "# a comment", "", "3 4"])
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+
+    def test_weighted_parsing(self):
+        graph = parse_edge_list(["1 2 2.5", "2 3 1.0"], weighted=True)
+        assert graph.edge_weight(1, 2) == 2.5
+
+    def test_string_nodes(self):
+        graph = parse_edge_list(["alice bob", "bob carol"])
+        assert graph.has_edge("alice", "bob")
+
+    def test_self_loops_dropped(self):
+        graph = parse_edge_list(["1 1", "1 2"])
+        assert graph.number_of_edges() == 1
+
+    def test_duplicate_edges_collapsed(self):
+        graph = parse_edge_list(["1 2", "2 1", "1 2"])
+        assert graph.number_of_edges() == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            parse_edge_list(["1"])
+        with pytest.raises(GraphError):
+            parse_edge_list(["1 2"], weighted=True)
+
+
+class TestRoundTrips:
+    def test_edge_list_roundtrip(self, tmp_path, karate_graph):
+        path = tmp_path / "karate.txt"
+        write_edge_list(karate_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.number_of_nodes() == karate_graph.number_of_nodes()
+        assert loaded.number_of_edges() == karate_graph.number_of_edges()
+
+    def test_weighted_edge_list_roundtrip(self, tmp_path):
+        graph = Graph([(1, 2, 2.0), (2, 3, 0.5)])
+        path = tmp_path / "weighted.txt"
+        write_edge_list(graph, path, weighted=True)
+        loaded = read_edge_list(path, weighted=True)
+        assert loaded.edge_weight(1, 2) == 2.0
+        assert loaded.edge_weight(2, 3) == 0.5
+
+    def test_community_roundtrip(self, tmp_path):
+        communities = [{1, 2, 3}, {4, 5}]
+        path = tmp_path / "communities.txt"
+        write_communities(communities, path)
+        loaded = read_communities(path)
+        assert [set(c) for c in loaded] == [set(c) for c in communities]
+
+    def test_read_communities_skips_comments(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n1 2 3\n\n4 5\n")
+        assert len(read_communities(path)) == 2
+
+
+class TestNetworkxConversion:
+    def test_to_networkx_preserves_structure(self, karate_graph):
+        nx_graph = to_networkx(karate_graph)
+        assert nx_graph.number_of_nodes() == karate_graph.number_of_nodes()
+        assert nx_graph.number_of_edges() == karate_graph.number_of_edges()
+
+    def test_roundtrip_through_networkx(self, karate_graph):
+        back = from_networkx(to_networkx(karate_graph))
+        assert back == karate_graph
+
+    def test_weights_preserved(self):
+        graph = Graph([(1, 2, 3.5)])
+        back = from_networkx(to_networkx(graph))
+        assert back.edge_weight(1, 2) == 3.5
+
+    def test_from_networkx_ignores_self_loops(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 1)
+        nx_graph.add_edge(1, 2)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1

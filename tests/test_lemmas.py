@@ -1,0 +1,141 @@
+"""Property-based tests of the paper's theoretical claims (Lemmas 1, 2, 4, 5).
+
+Lemma 1 (free-rider dominance): whenever density modularity suffers from the
+free-rider effect (DM(S ∪ S*) ≥ DM(S)), classic modularity suffers as well
+(CM(S ∪ S*) ≥ CM(S)), provided CM(S) > 0 and S* brings new nodes.
+
+Lemma 2 (resolution-limit dominance): same implication for disjoint H, H'.
+
+Lemma 4 / 5: the density modularity gain Λ is unstable under node removal,
+while the density ratio Θ is stable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, erdos_renyi
+from repro.modularity import (
+    classic_modularity,
+    density_modularity,
+    density_ratio,
+)
+
+
+def _random_graph(seed: int, n: int = 24, p: float = 0.25) -> Graph:
+    return erdos_renyi(n, p, seed=seed)
+
+
+def _random_community(graph: Graph, rng: random.Random, low: int = 2, high: int = 10) -> set:
+    nodes = graph.nodes()
+    size = rng.randint(low, min(high, len(nodes)))
+    return set(rng.sample(nodes, size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lemma1_free_rider_dominance(seed):
+    """DM free-rider ⇒ CM free-rider (for communities with positive CM)."""
+    rng = random.Random(seed)
+    graph = _random_graph(seed % 17)
+    if graph.number_of_edges() == 0:
+        return
+    community = _random_community(graph, rng)
+    other = _random_community(graph, rng)
+    if not (other - community):
+        return  # S* adds nothing; the lemma's premise |S*| - |S_int| > 0 fails
+    if classic_modularity(graph, community) <= 0:
+        return  # the paper only considers meaningful (positive-modularity) communities
+    dm_suffers = density_modularity(graph, community | other) >= density_modularity(
+        graph, community
+    )
+    cm_suffers = classic_modularity(graph, community | other) >= classic_modularity(
+        graph, community
+    )
+    if dm_suffers:
+        assert cm_suffers
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lemma2_resolution_limit_dominance(seed):
+    """For disjoint H, H': DM prefers the merge ⇒ CM prefers the merge too."""
+    rng = random.Random(seed)
+    graph = _random_graph((seed * 7) % 23, n=30, p=0.2)
+    if graph.number_of_edges() == 0:
+        return
+    community = _random_community(graph, rng)
+    if classic_modularity(graph, community) <= 0:
+        return
+    rest = [node for node in graph.nodes() if node not in community]
+    if len(rest) < 2:
+        return
+    other = set(rng.sample(rest, rng.randint(2, min(8, len(rest)))))
+    dm_suffers = density_modularity(graph, community | other) >= density_modularity(
+        graph, community
+    )
+    cm_suffers = classic_modularity(graph, community | other) >= classic_modularity(
+        graph, community
+    )
+    if dm_suffers:
+        assert cm_suffers
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_lemma5_density_ratio_is_stable(seed):
+    """Θ of nodes not adjacent to the removed node is unchanged."""
+    rng = random.Random(seed)
+    graph = _random_graph(seed % 13, n=20, p=0.3)
+    nodes = graph.nodes()
+    if len(nodes) < 5 or graph.number_of_edges() == 0:
+        return
+    community = set(nodes)
+    removed = rng.choice(nodes)
+    non_neighbors = [
+        node for node in community if node != removed and node not in graph.adjacency(removed)
+    ]
+    before = {node: density_ratio(graph, community, node) for node in non_neighbors}
+    after_community = community - {removed}
+    for node, value in before.items():
+        assert density_ratio(graph, after_community, node) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_density_ratio_increases_for_neighbors(seed):
+    """Θ of a neighbour of the removed node can only grow (k_{v,S} shrinks)."""
+    rng = random.Random(seed)
+    graph = _random_graph((seed + 3) % 11, n=20, p=0.3)
+    nodes = graph.nodes()
+    if len(nodes) < 5 or graph.number_of_edges() == 0:
+        return
+    community = set(nodes)
+    removed = rng.choice(nodes)
+    neighbors = [node for node in graph.adjacency(removed) if node in community]
+    before = {node: density_ratio(graph, community, node) for node in neighbors}
+    after_community = community - {removed}
+    for node, value in before.items():
+        assert density_ratio(graph, after_community, node) >= value
+
+
+def test_lemma1_on_figure1(figure1):
+    """The Figure-1 example is the canonical free-rider instance: CM suffers, DM does not."""
+    graph = figure1.graph
+    community_a = set(figure1.communities[0])
+    community_b = set(figure1.communities[1])
+    merged = community_a | community_b
+    assert classic_modularity(graph, merged) >= classic_modularity(graph, community_a)
+    assert density_modularity(graph, merged) < density_modularity(graph, community_a)
+
+
+def test_lemma2_on_ring_of_cliques(ring_dataset):
+    """The ring of cliques is the canonical resolution-limit instance."""
+    graph = ring_dataset.graph
+    split = set(ring_dataset.communities[0])
+    merged = split | set(ring_dataset.communities[1])
+    assert classic_modularity(graph, merged) >= classic_modularity(graph, split)
+    assert density_modularity(graph, merged) < density_modularity(graph, split)

@@ -1,0 +1,75 @@
+"""Unit tests for the Adjusted Rand Index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import adjusted_rand_index, community_ari
+
+
+class TestARI:
+    def test_identical_labelings(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_known_value_against_pair_counting(self):
+        # value verified against a brute-force pair-counting implementation
+        a = [0, 0, 0, 1, 1, 1, 2, 2, 2, 2]
+        b = [0, 0, 1, 1, 1, 2, 2, 2, 2, 0]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.2045454545454545, abs=1e-12)
+
+    def test_worse_than_random_is_negative(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert adjusted_rand_index(a, b) < 0.5
+        assert adjusted_rand_index(a, b) <= 0.0 + 1e-9
+
+    def test_single_cluster_each(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 1, 2]
+        b = [0, 1, 1, 2, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_bounded_above_by_one(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(20):
+            a = [rng.randint(0, 3) for _ in range(25)]
+            b = [rng.randint(0, 3) for _ in range(25)]
+            assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([1], [1, 2])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([], [])
+
+
+class TestCommunityARI:
+    def test_perfect_prediction(self, karate):
+        truth = set(karate.communities[1])
+        assert community_ari(karate.graph.nodes(), truth, truth) == pytest.approx(1.0)
+
+    def test_complementary_prediction_is_equivalent_partition(self, karate):
+        # predicting the other faction induces the *same* binary partition
+        # (community vs rest), so the ARI is 1 — a known property of the
+        # two-cluster case worth pinning down explicitly.
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        complement = set(karate.communities[1])
+        assert community_ari(universe, complement, truth) == pytest.approx(1.0)
+
+    def test_small_disjoint_prediction_scores_low(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        disjoint = set(list(karate.communities[1])[:5])
+        assert community_ari(universe, disjoint, truth) < 0.1
+
+    def test_monotone_in_overlap(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        good = set(list(truth)[:-1])
+        bad = set(list(truth)[:3])
+        assert community_ari(universe, good, truth) > community_ari(universe, bad, truth)

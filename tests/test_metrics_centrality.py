@@ -1,0 +1,137 @@
+"""Unit tests for centrality measures and clustering coefficients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphError, to_networkx
+from repro.metrics import (
+    average_clustering,
+    betweenness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    global_clustering_coefficient,
+    local_clustering_coefficient,
+    triangle_count,
+)
+
+
+class TestBetweenness:
+    def test_star_centre_dominates(self, star_graph):
+        centrality = betweenness_centrality(star_graph)
+        assert centrality[0] == max(centrality.values())
+        assert all(centrality[leaf] == pytest.approx(0.0) for leaf in range(1, 6))
+
+    def test_path_midpoint(self, path_graph):
+        centrality = betweenness_centrality(path_graph, normalized=False)
+        assert centrality[2] == max(centrality.values())
+        assert centrality[0] == pytest.approx(0.0)
+
+    def test_matches_networkx_on_karate(self, karate_graph):
+        import networkx as nx
+
+        ours = betweenness_centrality(karate_graph)
+        theirs = nx.betweenness_centrality(to_networkx(karate_graph))
+        for node in karate_graph.iter_nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_unnormalized_matches_networkx(self, two_triangles_bridge):
+        import networkx as nx
+
+        ours = betweenness_centrality(two_triangles_bridge, normalized=False)
+        theirs = nx.betweenness_centrality(to_networkx(two_triangles_bridge), normalized=False)
+        for node in two_triangles_bridge.iter_nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+
+class TestEigenvector:
+    def test_matches_networkx_on_karate(self, karate_graph):
+        import networkx as nx
+
+        ours = eigenvector_centrality(karate_graph, max_iterations=500)
+        theirs = nx.eigenvector_centrality(to_networkx(karate_graph), max_iter=500)
+        for node in karate_graph.iter_nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-4)
+
+    def test_hub_has_largest_value(self, star_graph):
+        centrality = eigenvector_centrality(star_graph, max_iterations=1000)
+        assert centrality[0] == max(centrality.values())
+
+    def test_empty_graph(self):
+        assert eigenvector_centrality(Graph()) == {}
+
+    def test_edgeless_graph(self):
+        assert eigenvector_centrality(Graph(nodes=[1, 2])) == {1: 0.0, 2: 0.0}
+
+    def test_non_convergence_raises(self, karate_graph):
+        with pytest.raises(GraphError):
+            eigenvector_centrality(karate_graph, max_iterations=1)
+
+
+class TestDegreeCentrality:
+    def test_values(self, star_graph):
+        centrality = degree_centrality(star_graph)
+        assert centrality[0] == pytest.approx(1.0)
+        assert centrality[1] == pytest.approx(0.2)
+
+    def test_trivial_graph(self):
+        assert degree_centrality(Graph(nodes=[1])) == {1: 0.0}
+
+
+class TestClustering:
+    def test_triangle_node_coefficient(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 1) == pytest.approx(1.0)
+
+    def test_low_degree_nodes_are_zero(self, path_graph):
+        assert local_clustering_coefficient(path_graph, 0) == 0.0
+        assert local_clustering_coefficient(path_graph, 2) == 0.0
+
+    def test_matches_networkx_on_karate(self, karate_graph):
+        import networkx as nx
+
+        theirs = nx.clustering(to_networkx(karate_graph))
+        for node in karate_graph.iter_nodes():
+            assert local_clustering_coefficient(karate_graph, node) == pytest.approx(
+                theirs[node], abs=1e-9
+            )
+
+    def test_average_clustering_matches_networkx(self, karate_graph):
+        import networkx as nx
+
+        assert average_clustering(karate_graph) == pytest.approx(
+            nx.average_clustering(to_networkx(karate_graph)), abs=1e-9
+        )
+
+    def test_average_clustering_on_subset(self, karate):
+        community = set(karate.communities[0])
+        value = average_clustering(karate.graph, community)
+        assert 0.0 <= value <= 1.0
+
+    def test_triangle_count_total(self, karate_graph):
+        import networkx as nx
+
+        ours = triangle_count(karate_graph)
+        theirs = sum(nx.triangles(to_networkx(karate_graph)).values()) // 3
+        assert ours == theirs
+
+    def test_triangle_count_per_node(self, karate_graph):
+        import networkx as nx
+
+        theirs = nx.triangles(to_networkx(karate_graph))
+        for node in (0, 5, 33):
+            assert triangle_count(karate_graph, node) == theirs[node]
+
+    def test_global_clustering_matches_networkx(self, karate_graph):
+        import networkx as nx
+
+        assert global_clustering_coefficient(karate_graph) == pytest.approx(
+            nx.transitivity(to_networkx(karate_graph)), abs=1e-9
+        )
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            local_clustering_coefficient(karate_graph, 999)
+        with pytest.raises(GraphError):
+            triangle_count(karate_graph, 999)
+        with pytest.raises(GraphError):
+            average_clustering(Graph())

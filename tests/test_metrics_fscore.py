@@ -1,0 +1,74 @@
+"""Unit tests for precision, recall and F-score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import community_fscore, confusion_counts, fscore, membership_labels, precision, recall
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision({1, 2}, {1, 2}) == 1.0
+        assert recall({1, 2}, {1, 2}) == 1.0
+
+    def test_partial(self):
+        predicted = {1, 2, 3, 4}
+        truth = {3, 4, 5, 6, 7, 8}
+        assert precision(predicted, truth) == pytest.approx(0.5)
+        assert recall(predicted, truth) == pytest.approx(2 / 6)
+
+    def test_empty_sets(self):
+        assert precision(set(), {1}) == 0.0
+        assert recall({1}, set()) == 0.0
+
+
+class TestFscore:
+    def test_harmonic_mean(self):
+        predicted = {1, 2, 3, 4}
+        truth = {3, 4, 5, 6}
+        p, r = 0.5, 0.5
+        assert fscore(predicted, truth) == pytest.approx(2 * p * r / (p + r))
+
+    def test_zero_when_no_overlap(self):
+        assert fscore({1, 2}, {3, 4}) == 0.0
+
+    def test_beta_weighting(self):
+        predicted = {1, 2, 3, 4, 5, 6, 7, 8}
+        truth = {1, 2}
+        recall_heavy = fscore(predicted, truth, beta=2.0)
+        precision_heavy = fscore(predicted, truth, beta=0.5)
+        # recall is perfect and precision poor, so beta=2 should score higher
+        assert recall_heavy > precision_heavy
+
+    def test_community_fscore_matches_direct(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        predicted = set(list(truth)[:10]) | {33}
+        assert community_fscore(universe, predicted, truth) == pytest.approx(
+            fscore(predicted, truth)
+        )
+
+    def test_community_fscore_zero_cases(self, karate):
+        universe = karate.graph.nodes()
+        assert community_fscore(universe, set(), set(karate.communities[0])) == 0.0
+
+
+class TestConfusionCounts:
+    def test_counts(self):
+        universe = range(10)
+        counts = confusion_counts(universe, predicted={0, 1, 2}, truth={2, 3})
+        assert counts.true_positive == 1
+        assert counts.false_positive == 2
+        assert counts.false_negative == 1
+        assert counts.true_negative == 6
+        assert counts.total == 10
+
+    def test_membership_labels(self):
+        labels = membership_labels([1, 2, 3], {2})
+        assert labels == {1: 0, 2: 1, 3: 0}
+
+    def test_prediction_outside_universe_ignored(self):
+        counts = confusion_counts([1, 2, 3], predicted={2, 99}, truth={2})
+        assert counts.true_positive == 1
+        assert counts.false_positive == 0

@@ -1,0 +1,90 @@
+"""Unit tests for Normalized Mutual Information."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics import community_nmi, normalized_mutual_information
+
+
+class TestNMI:
+    def test_identical_labelings(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [0, 0, 1, 1]) == pytest.approx(1.0)
+
+    def test_identical_up_to_renaming(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 9, 9]) == pytest.approx(1.0)
+
+    def test_independent_labelings(self):
+        # perfectly crossed labels carry no information about each other
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_cluster_both(self):
+        assert normalized_mutual_information([1, 1, 1], [2, 2, 2]) == pytest.approx(1.0)
+
+    def test_single_cluster_one_side(self):
+        assert normalized_mutual_information([1, 1, 1, 1], [0, 0, 1, 1]) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 1, 1, 2, 2, 2]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_bounds(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            a = [rng.randint(0, 3) for _ in range(30)]
+            b = [rng.randint(0, 3) for _ in range(30)]
+            value = normalized_mutual_information(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_known_value(self):
+        # joint distribution worked out by hand:
+        # a = [0,0,1,1], b = [0,1,1,1] -> I = H(a) + H(b) - H(a,b)
+        a = [0, 0, 1, 1]
+        b = [0, 1, 1, 1]
+        h_a = -(0.5 * math.log(0.5)) * 2
+        h_b = -(0.25 * math.log(0.25) + 0.75 * math.log(0.75))
+        h_ab = -(
+            0.25 * math.log(0.25) + 0.25 * math.log(0.25) + 0.5 * math.log(0.5)
+        )
+        expected = 2 * (h_a + h_b - h_ab) / (h_a + h_b)
+        assert normalized_mutual_information(a, b) == pytest.approx(expected)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([1, 2], [1])
+        with pytest.raises(ValueError):
+            normalized_mutual_information([], [])
+
+
+class TestCommunityNMI:
+    def test_perfect_prediction(self, karate):
+        truth = set(karate.communities[0])
+        assert community_nmi(karate.graph.nodes(), truth, truth) == pytest.approx(1.0)
+
+    def test_whole_graph_prediction_is_uninformative(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        assert community_nmi(universe, set(universe), truth) == pytest.approx(0.0)
+
+    def test_partial_overlap_in_between(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        predicted = set(list(truth)[: len(truth) // 2])
+        value = community_nmi(universe, predicted, truth)
+        assert 0.0 < value < 1.0
+
+    def test_better_overlap_scores_higher(self, karate):
+        universe = karate.graph.nodes()
+        truth = set(karate.communities[0])
+        good = set(list(truth)[:-2])
+        bad = set(list(truth)[:4])
+        assert community_nmi(universe, good, truth) > community_nmi(universe, bad, truth)

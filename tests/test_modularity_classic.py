@@ -1,0 +1,103 @@
+"""Unit tests for classic modularity and its helper statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph
+from repro.modularity import (
+    classic_modularity,
+    internal_edge_count,
+    internal_edge_weight,
+    partition_modularity,
+    total_degree,
+    total_weighted_degree,
+)
+
+
+class TestHelpers:
+    def test_internal_edge_count(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        assert internal_edge_count(graph, community_a) == 6
+
+    def test_internal_edge_weight_defaults_to_count(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        assert internal_edge_weight(graph, community_a) == pytest.approx(6.0)
+
+    def test_total_degree(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        assert total_degree(graph, community_a) == 14
+
+    def test_weighted_totals_respect_weights(self):
+        graph = Graph([(1, 2, 2.0), (2, 3, 3.0), (3, 4, 1.0)])
+        assert internal_edge_weight(graph, {1, 2, 3}) == pytest.approx(5.0)
+        assert total_weighted_degree(graph, {2, 3}) == pytest.approx(5.0 + 4.0)
+
+    def test_unknown_node_raises(self, figure1):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            internal_edge_count(figure1.graph, {"nope"})
+        with pytest.raises(GraphError):
+            internal_edge_weight(figure1.graph, {"nope"})
+
+
+class TestClassicModularity:
+    def test_example1_value_for_a(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        assert classic_modularity(graph, community_a) == pytest.approx(0.158284, abs=1e-6)
+
+    def test_example1_value_for_a_union_b(self, figure1):
+        graph = figure1.graph
+        merged = set(figure1.communities[0]) | set(figure1.communities[1])
+        assert classic_modularity(graph, merged) == pytest.approx(0.2485207, abs=1e-6)
+
+    def test_whole_graph_modularity_is_zero(self, karate_graph):
+        assert classic_modularity(karate_graph, karate_graph.nodes()) == pytest.approx(0.0)
+
+    def test_empty_community_raises(self, karate_graph):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            classic_modularity(karate_graph, set())
+
+    def test_edgeless_graph_raises(self):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            classic_modularity(Graph(nodes=[1, 2]), {1})
+
+    def test_weighted_equals_unweighted_on_unit_weights(self, karate_graph):
+        community = set(range(0, 10))
+        unweighted = classic_modularity(karate_graph, community, weighted=False)
+        weighted = classic_modularity(karate_graph, community, weighted=True)
+        assert unweighted == pytest.approx(weighted)
+
+    def test_matches_networkx_partition_modularity(self, karate):
+        import networkx as nx
+
+        from repro.graph import to_networkx
+
+        partition = [set(community) for community in karate.communities]
+        ours = partition_modularity(karate.graph, partition)
+        theirs = nx.community.modularity(to_networkx(karate.graph), partition)
+        assert ours == pytest.approx(theirs)
+
+
+class TestPartitionModularity:
+    def test_requires_disjoint_communities(self, karate_graph):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            partition_modularity(karate_graph, [{0, 1}, {1, 2}])
+
+    def test_good_partition_beats_random_split(self, karate):
+        graph = karate.graph
+        truth = [set(community) for community in karate.communities]
+        nodes = graph.nodes()
+        arbitrary = [set(nodes[::2]), set(nodes[1::2])]
+        assert partition_modularity(graph, truth) > partition_modularity(graph, arbitrary)

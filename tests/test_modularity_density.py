@@ -1,0 +1,181 @@
+"""Unit tests for density modularity, Λ, Θ and the incremental statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphError
+from repro.modularity import (
+    CommunityStatistics,
+    classic_modularity,
+    density_modularity,
+    density_modularity_gain,
+    density_ratio,
+    edges_to_subgraph,
+    graph_density,
+    updated_density_modularity,
+)
+
+
+class TestDensityModularity:
+    def test_example2_value_for_a(self, figure1):
+        graph = figure1.graph
+        community_a = set(figure1.communities[0])
+        assert density_modularity(graph, community_a) == pytest.approx(1.028846, abs=1e-6)
+
+    def test_example2_value_for_a_union_b(self, figure1):
+        graph = figure1.graph
+        merged = set(figure1.communities[0]) | set(figure1.communities[1])
+        assert density_modularity(graph, merged) == pytest.approx(0.8076923, abs=1e-6)
+
+    def test_relation_to_classic_modularity(self, karate_graph):
+        # For unweighted graphs DM(C) = CM(C) * |E| / |C|.
+        community = set(range(0, 12))
+        dm = density_modularity(karate_graph, community)
+        cm = classic_modularity(karate_graph, community)
+        ratio = karate_graph.number_of_edges() / len(community)
+        assert dm == pytest.approx(cm * ratio)
+
+    def test_weighted_reduces_to_unweighted(self, karate_graph):
+        community = set(range(5, 20))
+        assert density_modularity(karate_graph, community, weighted=True) == pytest.approx(
+            density_modularity(karate_graph, community, weighted=False)
+        )
+
+    def test_weighted_graph_uses_weights(self):
+        graph = Graph([(1, 2, 2.0), (2, 3, 2.0), (3, 1, 2.0), (3, 4, 1.0)])
+        value = density_modularity(graph, {1, 2, 3}, weighted=True)
+        # w_C = 6, d_C = 13, w_G = 7 -> (6 - 169/28)/3
+        assert value == pytest.approx((6.0 - 169.0 / 28.0) / 3.0)
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            density_modularity(karate_graph, set())
+        with pytest.raises(GraphError):
+            density_modularity(Graph(nodes=[1]), {1})
+
+
+class TestUpdatedDensityModularityAndGain:
+    def test_updated_matches_direct_recomputation(self, karate_graph):
+        community = set(range(0, 15))
+        for node in (3, 7, 14):
+            updated = updated_density_modularity(karate_graph, community, node)
+            direct = density_modularity(karate_graph, community - {node})
+            assert updated == pytest.approx(direct)
+
+    def test_gain_ranks_like_updated_dm(self, karate_graph):
+        """Λ drops only fixed terms, so it must rank candidates identically."""
+        community = set(range(0, 20))
+        candidates = [1, 5, 9, 13, 19]
+        by_gain = sorted(
+            candidates, key=lambda node: density_modularity_gain(karate_graph, community, node)
+        )
+        by_updated = sorted(
+            candidates, key=lambda node: updated_density_modularity(karate_graph, community, node)
+        )
+        assert by_gain == by_updated
+
+    def test_gain_formula(self, figure1):
+        graph = figure1.graph
+        community = set(figure1.communities[0]) | set(figure1.communities[1])
+        node = "u1"
+        k_v = edges_to_subgraph(graph, node, community - {node})
+        d_v = graph.degree(node)
+        d_s = sum(graph.degree(member) for member in community)
+        expected = -4 * graph.number_of_edges() * k_v + 2 * d_s * d_v - d_v**2
+        assert density_modularity_gain(graph, community, node) == pytest.approx(expected)
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            updated_density_modularity(karate_graph, {0}, 0)
+        with pytest.raises(GraphError):
+            updated_density_modularity(karate_graph, {0, 1}, 5)
+        with pytest.raises(GraphError):
+            density_modularity_gain(karate_graph, {0, 1}, 5)
+
+
+class TestDensityRatio:
+    def test_value(self, karate_graph):
+        community = set(range(0, 10))
+        node = 4
+        k_v = edges_to_subgraph(karate_graph, node, community - {node})
+        assert density_ratio(karate_graph, community, node) == pytest.approx(
+            karate_graph.degree(node) / k_v
+        )
+
+    def test_isolated_candidate_gets_infinity(self):
+        graph = Graph([(1, 2), (3, 4), (2, 3)])
+        assert density_ratio(graph, {1, 2, 4}, 4) == float("inf")
+
+    def test_stability_property(self, karate_graph):
+        """Removing a node must not change Θ of non-neighbouring members (Lemma 5)."""
+        community = set(karate_graph.nodes())
+        removed = 33
+        untouched = [node for node in community if node not in karate_graph.adjacency(removed)]
+        before = {node: density_ratio(karate_graph, community, node) for node in untouched if node != removed}
+        after_members = community - {removed}
+        after = {node: density_ratio(karate_graph, after_members, node) for node in before}
+        assert before == after
+
+    def test_gain_is_unstable(self, karate_graph):
+        """Removing a node changes Λ of non-neighbours (Lemma 4)."""
+        community = set(karate_graph.nodes())
+        removed = 33
+        untouched = next(
+            node for node in community if node != removed and node not in karate_graph.adjacency(removed)
+        )
+        before = density_modularity_gain(karate_graph, community, untouched)
+        after = density_modularity_gain(karate_graph, community - {removed}, untouched)
+        assert before != after
+
+
+class TestCommunityStatistics:
+    def test_tracks_removals(self, karate_graph):
+        members = set(karate_graph.nodes())
+        stats = CommunityStatistics(karate_graph, members)
+        assert stats.density_modularity() == pytest.approx(
+            density_modularity(karate_graph, members)
+        )
+        for node in (33, 0, 5, 17):
+            stats.remove(node)
+            members.discard(node)
+            assert stats.density_modularity() == pytest.approx(
+                density_modularity(karate_graph, members)
+            )
+
+    def test_weighted_statistics(self):
+        graph = Graph([(1, 2, 2.0), (2, 3, 3.0), (3, 1, 1.0), (3, 4, 4.0)])
+        members = {1, 2, 3, 4}
+        stats = CommunityStatistics(graph, members, weighted=True)
+        assert stats.density_modularity() == pytest.approx(
+            density_modularity(graph, members, weighted=True)
+        )
+        stats.remove(4)
+        assert stats.density_modularity() == pytest.approx(
+            density_modularity(graph, {1, 2, 3}, weighted=True)
+        )
+
+    def test_errors(self, karate_graph):
+        stats = CommunityStatistics(karate_graph, {0, 1})
+        with pytest.raises(GraphError):
+            stats.remove(7)
+        with pytest.raises(GraphError):
+            CommunityStatistics(karate_graph, set())
+        stats.remove(0)
+        stats.remove(1)
+        with pytest.raises(GraphError):
+            stats.density_modularity()
+
+
+class TestGraphDensity:
+    def test_whole_graph_density(self, karate_graph):
+        assert graph_density(karate_graph) == pytest.approx(78 / 34)
+
+    def test_community_density(self, figure1):
+        assert graph_density(figure1.graph, figure1.communities[0]) == pytest.approx(6 / 4)
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            graph_density(Graph())
+        with pytest.raises(GraphError):
+            graph_density(karate_graph, set())

@@ -1,0 +1,63 @@
+"""Unit tests for generalized modularity density (Guo et al., 2020)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, GraphError
+from repro.modularity import (
+    classic_modularity,
+    generalized_modularity_density,
+    partition_generalized_modularity_density,
+)
+
+
+class TestGeneralizedModularityDensity:
+    def test_chi_zero_recovers_classic_modularity(self, karate_graph):
+        community = set(range(0, 12))
+        assert generalized_modularity_density(karate_graph, community, chi=0) == pytest.approx(
+            classic_modularity(karate_graph, community)
+        )
+
+    def test_chi_one_scales_by_internal_density(self, figure1):
+        graph = figure1.graph
+        community = set(figure1.communities[0])  # a 4-clique: internal density 1
+        assert generalized_modularity_density(graph, community, chi=1.0) == pytest.approx(
+            classic_modularity(graph, community)
+        )
+
+    def test_sparse_community_is_penalised(self, karate_graph):
+        community = set(range(0, 12))
+        dense_value = generalized_modularity_density(karate_graph, community, chi=0.0)
+        penalised = generalized_modularity_density(karate_graph, community, chi=1.0)
+        assert penalised <= dense_value
+
+    def test_singleton_community(self, karate_graph):
+        assert generalized_modularity_density(karate_graph, {0}, chi=1.0) == pytest.approx(0.0)
+
+    def test_errors(self, karate_graph):
+        with pytest.raises(GraphError):
+            generalized_modularity_density(karate_graph, set())
+        with pytest.raises(GraphError):
+            generalized_modularity_density(Graph(nodes=[1]), {1})
+
+    def test_partition_sum(self, karate):
+        graph = karate.graph
+        partition = [set(c) for c in karate.communities]
+        total = partition_generalized_modularity_density(graph, partition)
+        parts = sum(generalized_modularity_density(graph, c) for c in partition)
+        assert total == pytest.approx(parts)
+
+    def test_partition_requires_disjoint(self, karate_graph):
+        with pytest.raises(GraphError):
+            partition_generalized_modularity_density(karate_graph, [{0, 1}, {1, 2}])
+
+    def test_resolution_limit_example_prefers_split(self, ring_dataset):
+        """On the ring of cliques GMD (like DM) prefers the split community."""
+        graph = ring_dataset.graph
+        clique_a = set(ring_dataset.communities[0])
+        clique_b = set(ring_dataset.communities[1])
+        merged = clique_a | clique_b
+        assert generalized_modularity_density(graph, clique_a) > generalized_modularity_density(
+            graph, merged
+        )

@@ -1,0 +1,131 @@
+"""Exact reproduction of the worked examples in the paper (Examples 1–3).
+
+These tests pin the numbers the paper prints, so any regression in the
+modularity definitions or the toy datasets is caught immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import figure1_network, ring_of_cliques_dataset
+from repro.modularity import classic_modularity, density_modularity
+
+
+class TestFigure1Examples:
+    """Examples 1 and 2: the toy network of Figure 1 with query node u1."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return figure1_network()
+
+    def test_network_statistics(self, network):
+        graph, community_a, community_b = network
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 26
+        merged = community_a | community_b
+        internal_a = sum(
+            1 for u in community_a for v in graph.adjacency(u) if v in community_a
+        ) // 2
+        internal_merged = sum(1 for u in merged for v in graph.adjacency(u) if v in merged) // 2
+        assert internal_a == 6
+        assert internal_merged == 14
+        assert sum(graph.degree(node) for node in community_a) == 14
+        assert sum(graph.degree(node) for node in merged) == 28
+
+    def test_example1_classic_modularity(self, network):
+        graph, community_a, community_b = network
+        assert classic_modularity(graph, community_a) == pytest.approx(0.158284, abs=1e-6)
+        assert classic_modularity(graph, community_a | community_b) == pytest.approx(
+            0.2485207, abs=1e-6
+        )
+
+    def test_example1_free_rider_of_classic_modularity(self, network):
+        """Classic modularity prefers A ∪ B even though A is the desirable community."""
+        graph, community_a, community_b = network
+        assert classic_modularity(graph, community_a | community_b) > classic_modularity(
+            graph, community_a
+        )
+
+    def test_example2_density_modularity(self, network):
+        graph, community_a, community_b = network
+        assert density_modularity(graph, community_a) == pytest.approx(1.028846, abs=1e-6)
+        assert density_modularity(graph, community_a | community_b) == pytest.approx(
+            0.8076923, abs=1e-6
+        )
+
+    def test_example2_density_modularity_prefers_a(self, network):
+        """Density modularity reverses the preference and returns A."""
+        graph, community_a, community_b = network
+        assert density_modularity(graph, community_a) > density_modularity(
+            graph, community_a | community_b
+        )
+
+    def test_fpa_recovers_community_a(self, network):
+        from repro import fpa
+
+        graph, community_a, _ = network
+        result = fpa(graph, ["u1"])
+        assert set(result.nodes) == community_a
+
+    def test_nca_recovers_community_a(self, network):
+        from repro import nca
+
+        graph, community_a, _ = network
+        result = nca(graph, ["u1"])
+        assert set(result.nodes) == community_a
+
+
+class TestExample3RingOfCliques:
+    """Example 3: the ring of 30 six-node cliques (Figure 2)."""
+
+    @pytest.fixture(scope="class")
+    def ring(self):
+        return ring_of_cliques_dataset(30, 6)
+
+    def test_graph_statistics(self, ring):
+        assert ring.graph.number_of_nodes() == 180
+        assert ring.graph.number_of_edges() == 480
+
+    def test_classic_modularity_values(self, ring):
+        graph = ring.graph
+        split = set(ring.communities[0])
+        merged = split | set(ring.communities[1])
+        assert classic_modularity(graph, merged) == pytest.approx(0.06013889, abs=1e-6)
+        assert classic_modularity(graph, split) == pytest.approx(0.03013889, abs=1e-6)
+
+    def test_density_modularity_values(self, ring):
+        graph = ring.graph
+        split = set(ring.communities[0])
+        merged = split | set(ring.communities[1])
+        assert density_modularity(graph, merged) == pytest.approx(2.405556, abs=1e-5)
+        assert density_modularity(graph, split) == pytest.approx(2.411111, abs=1e-5)
+
+    def test_classic_modularity_suffers_resolution_limit(self, ring):
+        graph = ring.graph
+        split = set(ring.communities[0])
+        merged = split | set(ring.communities[1])
+        assert classic_modularity(graph, merged) > classic_modularity(graph, split)
+
+    def test_density_modularity_prefers_split(self, ring):
+        graph = ring.graph
+        split = set(ring.communities[0])
+        merged = split | set(ring.communities[1])
+        assert density_modularity(graph, split) > density_modularity(graph, merged)
+
+    def test_fpa_without_pruning_returns_single_clique(self, ring):
+        from repro import fpa
+
+        query = next(iter(ring.communities[0]))
+        result = fpa(ring.graph, [query], layer_pruning=False)
+        assert set(result.nodes) == set(ring.communities[0])
+
+    def test_fpa_with_pruning_stays_local(self, ring):
+        """Layer pruning trades a little accuracy for speed (Figure 13): the
+        result may keep the neighbouring clique but never grows beyond it."""
+        from repro import fpa
+
+        query = next(iter(ring.communities[0]))
+        result = fpa(ring.graph, [query])
+        assert set(ring.communities[0]) <= set(result.nodes)
+        assert result.size <= 2 * len(ring.communities[0]) + 1

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the graph substrate and the algorithms."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fpa, nca
+from repro.graph import (
+    Graph,
+    articulation_points,
+    connected_components,
+    core_numbers,
+    erdos_renyi,
+    is_connected,
+    k_core_subgraph,
+    multi_source_bfs,
+    non_articulation_nodes,
+)
+from repro.modularity import classic_modularity, density_modularity
+
+
+# --- strategies -------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda edge: edge[0] != edge[1]),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _build(edges) -> Graph:
+    graph = Graph()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+# --- graph invariants -------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_lists)
+def test_degree_sum_equals_twice_edges(edges):
+    graph = _build(edges)
+    assert sum(graph.degree(node) for node in graph.iter_nodes()) == 2 * graph.number_of_edges()
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_lists)
+def test_subgraph_edges_are_subset(edges):
+    graph = _build(edges)
+    nodes = graph.nodes()[: max(1, len(graph) // 2)]
+    sub = graph.subgraph(nodes)
+    assert sub.number_of_edges() <= graph.number_of_edges()
+    for u, v in sub.edges():
+        assert graph.has_edge(u, v)
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_lists)
+def test_components_partition_nodes(edges):
+    graph = _build(edges)
+    components = connected_components(graph)
+    combined = [node for component in components for node in component]
+    assert sorted(combined) == sorted(graph.nodes())
+    assert len(combined) == len(set(combined))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_removing_non_articulation_node_preserves_component_count(edges):
+    graph = _build(edges)
+    safe = non_articulation_nodes(graph)
+    before = len(connected_components(graph))
+    for node in list(safe)[:5]:
+        clone = graph.copy()
+        clone.remove_node(node)
+        after = len(connected_components(clone))
+        # removing an isolated node drops a component; otherwise the count is stable
+        expected = before - 1 if graph.degree(node) == 0 else before
+        assert after == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_removing_articulation_node_disconnects(edges):
+    graph = _build(edges)
+    for node in list(articulation_points(graph))[:5]:
+        clone = graph.copy()
+        clone.remove_node(node)
+        assert len(connected_components(clone)) > len(connected_components(graph)) - (
+            1 if graph.degree(node) == 0 else 0
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_core_numbers_bounded_by_degree(edges):
+    graph = _build(edges)
+    cores = core_numbers(graph)
+    for node, value in cores.items():
+        assert 0 <= value <= graph.degree(node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists, st.integers(1, 4))
+def test_k_core_subgraph_degree_invariant(edges, k):
+    graph = _build(edges)
+    core = k_core_subgraph(graph, k)
+    for node in core.iter_nodes():
+        assert core.degree(node) >= k
+    # nodes whose core number is >= k are exactly the k-core members
+    cores = core_numbers(graph)
+    assert set(core.nodes()) == {node for node, value in cores.items() if value >= k}
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_bfs_distances_satisfy_triangle_property(edges):
+    graph = _build(edges)
+    source = graph.nodes()[0]
+    distances = multi_source_bfs(graph, [source])
+    for u, v, _ in graph.iter_edges():
+        if u in distances and v in distances:
+            assert abs(distances[u] - distances[v]) <= 1
+
+
+# --- modularity invariants ----------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_dm_equals_cm_scaled_by_edge_node_ratio(seed):
+    graph = erdos_renyi(18, 0.3, seed=seed % 50)
+    if graph.number_of_edges() == 0:
+        return
+    rng = random.Random(seed)
+    nodes = graph.nodes()
+    community = set(rng.sample(nodes, rng.randint(1, len(nodes))))
+    dm = density_modularity(graph, community)
+    cm = classic_modularity(graph, community)
+    assert dm == abs(dm) * (1 if dm >= 0 else -1)  # sanity
+    assert dm * len(community) / graph.number_of_edges() == cm or abs(
+        dm - cm * graph.number_of_edges() / len(community)
+    ) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_whole_graph_modularity_is_nonpositive(seed):
+    graph = erdos_renyi(15, 0.3, seed=seed % 37)
+    if graph.number_of_edges() == 0:
+        return
+    # CM(V) = 0 exactly; DM(V) = 0 as well (scaled by a positive factor)
+    assert abs(classic_modularity(graph, graph.nodes())) < 1e-12
+    assert abs(density_modularity(graph, graph.nodes())) < 1e-12
+
+
+# --- algorithm invariants ------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1_000))
+def test_fpa_result_is_connected_and_contains_query(seed):
+    graph = erdos_renyi(25, 0.15, seed=seed % 29)
+    if graph.number_of_edges() == 0:
+        return
+    rng = random.Random(seed)
+    query = rng.choice([node for node in graph.iter_nodes() if graph.degree(node) > 0])
+    result = fpa(graph, [query])
+    assert query in result.nodes
+    assert is_connected(graph.subgraph(result.nodes))
+    # the returned community is never worse than the query's whole component
+    from repro.graph import connected_component_containing
+
+    component = connected_component_containing(graph, query)
+    assert result.score >= density_modularity(graph, component) - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1_000))
+def test_nca_result_is_connected_and_contains_query(seed):
+    graph = erdos_renyi(20, 0.2, seed=seed % 23)
+    if graph.number_of_edges() == 0:
+        return
+    rng = random.Random(seed)
+    query = rng.choice([node for node in graph.iter_nodes() if graph.degree(node) > 0])
+    result = nca(graph, [query])
+    assert query in result.nodes
+    assert is_connected(graph.subgraph(result.nodes))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1_000), st.integers(2, 4))
+def test_fpa_multi_query_keeps_all_queries(seed, num_queries):
+    graph = erdos_renyi(25, 0.2, seed=seed % 19)
+    from repro.graph import largest_component
+
+    component = largest_component(graph)
+    if component is None or len(component) <= num_queries:
+        return
+    rng = random.Random(seed)
+    queries = rng.sample(sorted(component, key=repr), num_queries)
+    result = fpa(graph, queries)
+    assert set(queries) <= set(result.nodes)
+    assert is_connected(graph.subgraph(result.nodes))

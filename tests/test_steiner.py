@@ -1,0 +1,85 @@
+"""Unit tests for the multi-query connector and the Steiner tree approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    connector_subgraph,
+    is_connected,
+    query_connector,
+    steiner_tree_nodes,
+)
+
+
+class TestQueryConnector:
+    def test_single_query_is_itself(self, karate_graph):
+        assert query_connector(karate_graph, [5]) == {5}
+
+    def test_connector_contains_queries_and_is_connected(self, karate_graph):
+        queries = [16, 25, 24]
+        connector = query_connector(karate_graph, queries)
+        assert set(queries) <= connector
+        assert is_connected(karate_graph.subgraph(connector))
+
+    def test_connector_deduplicates_queries(self, karate_graph):
+        connector = query_connector(karate_graph, [0, 0, 33])
+        assert {0, 33} <= connector
+
+    def test_disconnected_queries_raise(self):
+        graph = Graph([(1, 2), (3, 4)])
+        with pytest.raises(GraphError):
+            query_connector(graph, [1, 3])
+
+    def test_empty_queries_raise(self, karate_graph):
+        with pytest.raises(GraphError):
+            query_connector(karate_graph, [])
+
+    def test_unknown_query_raises(self, karate_graph):
+        with pytest.raises(GraphError):
+            query_connector(karate_graph, [0, 999])
+
+    def test_deterministic_for_seed(self, karate_graph):
+        a = query_connector(karate_graph, [4, 26, 14], seed=3)
+        b = query_connector(karate_graph, [4, 26, 14], seed=3)
+        assert a == b
+
+    def test_connector_subgraph_wraps_nodes(self, karate_graph):
+        sub = connector_subgraph(karate_graph, [0, 33])
+        assert is_connected(sub)
+        assert sub.has_node(0) and sub.has_node(33)
+
+
+class TestSteinerTree:
+    def test_empty_and_single_terminal(self, karate_graph):
+        assert steiner_tree_nodes(karate_graph, []) == set()
+        assert steiner_tree_nodes(karate_graph, [7]) == {7}
+
+    def test_contains_terminals_and_connected(self, karate_graph):
+        terminals = [16, 25, 14]
+        nodes = steiner_tree_nodes(karate_graph, terminals)
+        assert set(terminals) <= nodes
+        assert is_connected(karate_graph.subgraph(nodes))
+
+    def test_unreachable_terminals_return_none(self):
+        graph = Graph([(1, 2), (3, 4)])
+        assert steiner_tree_nodes(graph, [1, 3]) is None
+
+    def test_unknown_terminal_raises(self, karate_graph):
+        with pytest.raises(GraphError):
+            steiner_tree_nodes(karate_graph, [0, 123])
+
+    def test_is_no_larger_than_query_connector_by_much(self, karate_graph):
+        # the MST-based approximation should produce a reasonably small tree
+        terminals = [16, 25, 14, 9]
+        steiner = steiner_tree_nodes(karate_graph, terminals)
+        assert len(steiner) <= karate_graph.number_of_nodes() // 2
+
+    def test_two_terminals_is_a_shortest_path(self, karate_graph):
+        from repro.graph import bfs_distances
+
+        nodes = steiner_tree_nodes(karate_graph, [16, 26])
+        distance = bfs_distances(karate_graph, 16)[26]
+        assert len(nodes) == distance + 1

@@ -1,0 +1,147 @@
+"""Unit tests for BFS / Dijkstra traversal and distance layering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    bfs_distances,
+    bfs_order,
+    diameter,
+    dijkstra,
+    distance_layers,
+    eccentricity,
+    multi_source_bfs,
+    multi_source_dijkstra,
+    shortest_path,
+)
+
+
+class TestBFS:
+    def test_distances_on_path(self, path_graph):
+        assert bfs_distances(path_graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_respect_limit(self, path_graph):
+        distances = bfs_distances(path_graph, 0, limit=2)
+        assert distances == {0: 0, 1: 1, 2: 2}
+
+    def test_unreachable_nodes_absent(self):
+        graph = Graph([(1, 2), (3, 4)])
+        distances = bfs_distances(graph, 1)
+        assert 3 not in distances and 4 not in distances
+
+    def test_missing_source_raises(self, path_graph):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph, 99)
+
+    def test_bfs_order_starts_at_source(self, star_graph):
+        order = bfs_order(star_graph, 0)
+        assert order[0] == 0
+        assert set(order) == set(star_graph.nodes())
+
+    def test_multi_source_takes_minimum(self, path_graph):
+        distances = multi_source_bfs(path_graph, [0, 4])
+        assert distances == {0: 0, 4: 0, 1: 1, 3: 1, 2: 2}
+
+    def test_multi_source_requires_sources(self, path_graph):
+        with pytest.raises(GraphError):
+            multi_source_bfs(path_graph, [])
+        with pytest.raises(GraphError):
+            multi_source_bfs(path_graph, [99])
+
+
+class TestDijkstra:
+    def test_matches_bfs_on_unit_weights(self, karate_graph):
+        bfs = bfs_distances(karate_graph, 0)
+        weighted = dijkstra(karate_graph, 0)
+        assert {node: int(value) for node, value in weighted.items()} == bfs
+
+    def test_respects_weights(self):
+        graph = Graph([(1, 2, 10.0), (1, 3, 1.0), (3, 2, 1.0)])
+        distances = dijkstra(graph, 1)
+        assert distances[2] == pytest.approx(2.0)
+
+    def test_multi_source_dijkstra_minimum(self):
+        graph = Graph([(1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        distances = multi_source_dijkstra(graph, [1, 4])
+        assert distances[2] == pytest.approx(1.0)
+        assert distances[3] == pytest.approx(1.0)
+
+    def test_multi_source_dijkstra_errors(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            multi_source_dijkstra(graph, [])
+        with pytest.raises(GraphError):
+            multi_source_dijkstra(graph, [9])
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, path_graph):
+        path = shortest_path(path_graph, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_path_to_self(self, path_graph):
+        assert shortest_path(path_graph, 2, 2) == [2]
+
+    def test_unreachable_returns_none(self):
+        graph = Graph([(1, 2), (3, 4)])
+        assert shortest_path(graph, 1, 4) is None
+
+    def test_missing_nodes_raise(self, path_graph):
+        with pytest.raises(GraphError):
+            shortest_path(path_graph, 0, 99)
+        with pytest.raises(GraphError):
+            shortest_path(path_graph, 99, 0)
+
+    def test_path_is_shortest(self, karate_graph):
+        path = shortest_path(karate_graph, 16, 25)
+        distances = bfs_distances(karate_graph, 16)
+        assert len(path) - 1 == distances[25]
+        # consecutive nodes are adjacent
+        for u, v in zip(path, path[1:]):
+            assert karate_graph.has_edge(u, v)
+
+
+class TestEccentricityAndDiameter:
+    def test_path_diameter(self, path_graph):
+        assert diameter(path_graph) == 4
+        assert eccentricity(path_graph, 2) == 2
+        assert eccentricity(path_graph, 0) == 4
+
+    def test_karate_diameter(self, karate_graph):
+        # the karate club's diameter is the classic value 5
+        assert diameter(karate_graph) == 5
+
+    def test_approximate_diameter_lower_bound(self, karate_graph):
+        approx = diameter(karate_graph, exact=False, sample_size=8, seed=1)
+        assert 3 <= approx <= 5
+
+    def test_empty_graph_diameter(self):
+        assert diameter(Graph()) == 0
+
+    def test_diameter_disconnected_uses_largest_component(self):
+        graph = Graph([(0, 1), (1, 2), (10, 11)])
+        assert diameter(graph) == 2
+
+
+class TestDistanceLayers:
+    def test_layers_partition_reachable_nodes(self, karate_graph):
+        layers = distance_layers(karate_graph, [0])
+        all_nodes = [node for members in layers.values() for node in members]
+        assert sorted(all_nodes) == sorted(karate_graph.nodes())
+        assert layers[0] == [0]
+
+    def test_layers_multi_source(self, path_graph):
+        layers = distance_layers(path_graph, [0, 4])
+        assert sorted(layers[0]) == [0, 4]
+        assert sorted(layers[1]) == [1, 3]
+        assert layers[2] == [2]
+
+    def test_layer_distance_consistency(self, karate_graph):
+        layers = distance_layers(karate_graph, [33])
+        distances = bfs_distances(karate_graph, 33)
+        for dist, members in layers.items():
+            for node in members:
+                assert distances[node] == dist

@@ -1,0 +1,110 @@
+"""Unit tests for the k-truss decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    edge_support,
+    erdos_renyi,
+    k_truss_subgraph,
+    max_truss_number,
+    node_truss_numbers,
+    to_networkx,
+    truss_numbers,
+)
+
+
+def _edge_set(graph):
+    return {tuple(sorted(edge, key=repr)) for edge in graph.edges()}
+
+
+class TestEdgeSupport:
+    def test_triangle_support(self, triangle_graph):
+        support = edge_support(triangle_graph)
+        assert all(value == 1 for value in support.values())
+        assert len(support) == 3
+
+    def test_path_has_zero_support(self, path_graph):
+        assert all(value == 0 for value in edge_support(path_graph).values())
+
+    def test_clique_support(self):
+        clique = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert all(value == 3 for value in edge_support(clique).values())
+
+
+class TestKTrussSubgraph:
+    def test_k3_truss_keeps_triangles(self, two_triangles_bridge):
+        truss = k_truss_subgraph(two_triangles_bridge, 3)
+        assert set(truss.nodes()) == {1, 2, 3, 4, 5, 6}
+        assert not truss.has_edge(3, 4)  # the bridge is not in any triangle
+
+    def test_truss_requires_k_at_least_two(self, karate_graph):
+        with pytest.raises(GraphError):
+            k_truss_subgraph(karate_graph, 1)
+
+    def test_truss_invariant(self, karate_graph):
+        for k in (3, 4, 5):
+            truss = k_truss_subgraph(karate_graph, k)
+            support = edge_support(truss)
+            assert all(value >= k - 2 for value in support.values())
+
+    def test_matches_networkx(self, karate_graph):
+        import networkx as nx
+
+        for k in (3, 4, 5):
+            ours = _edge_set(k_truss_subgraph(karate_graph, k))
+            theirs = {
+                tuple(sorted(edge, key=repr))
+                for edge in nx.k_truss(to_networkx(karate_graph), k).edges()
+            }
+            assert ours == theirs, k
+
+    def test_matches_networkx_on_random_graphs(self):
+        import networkx as nx
+
+        for seed in range(3):
+            graph = erdos_renyi(40, 0.15, seed=seed)
+            for k in (3, 4):
+                ours = _edge_set(k_truss_subgraph(graph, k))
+                theirs = {
+                    tuple(sorted(edge, key=repr))
+                    for edge in nx.k_truss(to_networkx(graph), k).edges()
+                }
+                assert ours == theirs
+
+    def test_within_subset(self, karate_graph):
+        truss = k_truss_subgraph(karate_graph, 3, within=range(0, 15))
+        assert set(truss.nodes()) <= set(range(15))
+
+
+class TestTrussNumbers:
+    def test_truss_numbers_consistent_with_truss_subgraphs(self, karate_graph):
+        numbers = truss_numbers(karate_graph)
+        max_k = max(numbers.values())
+        for k in range(3, max_k + 1):
+            expected = {edge for edge, value in numbers.items() if value >= k}
+            actual = set()
+            for u, v in k_truss_subgraph(karate_graph, k).edges():
+                actual.add((u, v) if repr(u) <= repr(v) else (v, u))
+            assert expected == actual, k
+
+    def test_max_truss_number_karate(self, karate_graph):
+        assert max_truss_number(karate_graph) == 5
+
+    def test_node_truss_numbers(self, karate_graph):
+        node_truss = node_truss_numbers(karate_graph)
+        edge_truss = truss_numbers(karate_graph)
+        for (u, v), value in edge_truss.items():
+            assert node_truss[u] >= value
+            assert node_truss[v] >= value
+
+    def test_node_truss_isolated_default(self):
+        graph = Graph([(1, 2)], nodes=[5])
+        assert node_truss_numbers(graph)[5] == 2
+
+    def test_empty_graph(self):
+        assert truss_numbers(Graph()) == {}
+        assert max_truss_number(Graph()) == 2
