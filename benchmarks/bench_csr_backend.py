@@ -1,0 +1,134 @@
+"""Micro-benchmark: dict-of-dicts kernels vs the CSR fast path.
+
+Runs each hot kernel (multi-source BFS, articulation points, coreness
+peeling) and both peeling algorithms (NCA, FPA) on both backends, checks
+the results are identical, and prints the timing table — the perf
+trajectory future PRs append to (see CHANGES.md).
+
+Usage::
+
+    python benchmarks/bench_csr_backend.py               # timings + parity
+    python benchmarks/bench_csr_backend.py --parity-only # CI smoke: exit 1 on
+                                                         # mismatch, ignore time
+    python benchmarks/bench_csr_backend.py --scale 4     # larger graphs
+
+The ``--parity-only`` mode is what the CI workflow runs: it fails the job on
+any dict-vs-CSR divergence but never on timing (shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import fpa, nca
+from repro.graph import (
+    articulation_points,
+    core_numbers,
+    csr_articulation_points,
+    csr_core_numbers,
+    csr_multi_source_bfs,
+    freeze,
+    multi_source_bfs,
+    planted_partition,
+)
+
+
+def _time(function, repeat: int = 3):
+    """Return (best seconds, last result) of ``repeat`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(scale: float = 1.0, parity_only: bool = False) -> int:
+    """Run the comparison; return a process exit code (0 = parity holds)."""
+    num_communities = max(2, int(10 * scale))
+    graph, _ = planted_partition(num_communities, 50, 0.3, 0.008, seed=4)
+    frozen = freeze(graph)
+    csr = frozen.csr
+    csr.adjacency_lists()
+    query = next(iter(graph.iter_nodes()))
+    query_index = csr.index_of[query]
+    print(f"workload: {graph!r}, query node {query!r}")
+
+    rows: list[tuple[str, float, float]] = []
+    failures: list[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        if not ok:
+            failures.append(name)
+
+    # multi-source BFS
+    dict_seconds, dict_dist = _time(lambda: multi_source_bfs(graph, [query]))
+    csr_seconds, (dist, order) = _time(lambda: csr_multi_source_bfs(csr, [query_index]))
+    check("bfs", dict_dist == {csr.node_list[i]: dist[i] for i in order})
+    rows.append(("multi_source_bfs", dict_seconds, csr_seconds))
+
+    # articulation points
+    dict_seconds, dict_art = _time(lambda: articulation_points(graph))
+    csr_seconds, csr_art = _time(lambda: csr_articulation_points(csr))
+    check("articulation", dict_art == {csr.node_list[i] for i in csr_art})
+    rows.append(("articulation_points", dict_seconds, csr_seconds))
+
+    # coreness peeling
+    dict_seconds, dict_core = _time(lambda: core_numbers(graph))
+    csr_seconds, csr_core = _time(lambda: csr_core_numbers(csr))
+    check(
+        "coreness",
+        dict_core == {csr.node_list[i]: c for i, c in enumerate(csr_core) if c >= 0},
+    )
+    rows.append(("core_numbers", dict_seconds, csr_seconds))
+
+    # full algorithms
+    dict_seconds, dict_fpa = _time(lambda: fpa(graph, [query]), repeat=2)
+    csr_seconds, csr_fpa = _time(lambda: fpa(frozen, [query]), repeat=2)
+    check(
+        "fpa",
+        (dict_fpa.nodes, dict_fpa.score, dict_fpa.trace)
+        == (csr_fpa.nodes, csr_fpa.score, csr_fpa.trace),
+    )
+    rows.append(("fpa", dict_seconds, csr_seconds))
+
+    dict_seconds, dict_nca = _time(lambda: nca(graph, [query]), repeat=1)
+    csr_seconds, csr_nca = _time(lambda: nca(frozen, [query]), repeat=1)
+    check(
+        "nca",
+        (dict_nca.nodes, dict_nca.score, dict_nca.trace)
+        == (csr_nca.nodes, csr_nca.score, csr_nca.trace),
+    )
+    rows.append(("nca", dict_seconds, csr_seconds))
+
+    if not parity_only:
+        print()
+        print(f"{'kernel':<22}{'dict (s)':>12}{'csr (s)':>12}{'speedup':>10}")
+        for name, dict_seconds, csr_seconds in rows:
+            ratio = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
+            print(f"{name:<22}{dict_seconds:>12.5f}{csr_seconds:>12.5f}{ratio:>9.2f}x")
+
+    if failures:
+        print(f"PARITY FAILURE: dict and CSR backends disagree on: {', '.join(failures)}")
+        return 1
+    print("parity: dict and CSR backends agree on every kernel and algorithm")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
+    parser.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="check dict-vs-CSR parity and exit (CI smoke mode; never fails on timing)",
+    )
+    args = parser.parse_args(argv)
+    return run(scale=args.scale, parity_only=args.parity_only)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,16 @@ default synthetic network.  Expected shape: the accuracy of NCA and FPA
 improves (or stays flat) as more query nodes pin down the target community,
 while kc and kecc stay flat and low because they keep returning very large
 communities regardless of |Q|.
+
+The sweep runs on the batched multi-query engine: the LFR graph is frozen
+once and every (algorithm, |Q|, query set) combination is evaluated against
+the shared CSR snapshot.  A second test double-checks the engine against the
+classic per-query path — identical aggregates, strictly better wall-clock.
 """
 
 from __future__ import annotations
+
+import time
 
 from conftest import default_lfr_config, run_once
 
@@ -17,7 +24,7 @@ ALGORITHMS = ["kc", "kecc", "NCA", "FPA"]
 QUERY_SIZES = [1, 4, 8, 12]
 
 
-def _run():
+def _run(engine: str = "batched"):
     return multi_query_sweep(
         ALGORITHMS,
         QUERY_SIZES,
@@ -25,6 +32,7 @@ def _run():
         num_queries=4,
         seed=3,
         time_budget_seconds=120.0,
+        engine=engine,
     )
 
 
@@ -40,3 +48,37 @@ def test_fig10_effect_of_query_set_size(benchmark):
     # FPA with many query nodes should not be worse than kc at any |Q|
     for size in QUERY_SIZES:
         assert results["FPA"][size].median_nmi >= results["kc"][size].median_nmi
+
+
+def test_fig10_batched_engine_matches_per_query(benchmark):
+    """The batched CSR engine must agree with the per-query dict path.
+
+    Accuracy aggregates are compared exactly (the backends are bit-identical);
+    the wall-clock ratio is printed for the perf trajectory but — per the CI
+    policy — never asserted.
+    """
+
+    def _both():
+        start = time.perf_counter()
+        per_query = _run(engine="per-query")
+        mid = time.perf_counter()
+        batched = _run(engine="batched")
+        end = time.perf_counter()
+        return per_query, batched, mid - start, end - mid
+
+    per_query, batched, per_query_seconds, batched_seconds = run_once(benchmark, _both)
+    for algorithm in ALGORITHMS:
+        for size in QUERY_SIZES:
+            a, b = per_query[algorithm][size], batched[algorithm][size]
+            assert (a.median_nmi, a.median_ari, a.median_fscore) == (
+                b.median_nmi,
+                b.median_ari,
+                b.median_fscore,
+            ), (algorithm, size)
+            assert a.failure_count == b.failure_count
+    print()
+    print(
+        f"Figure 10 engines: per-query={per_query_seconds:.2f}s "
+        f"batched={batched_seconds:.2f}s "
+        f"speedup={per_query_seconds / max(batched_seconds, 1e-9):.2f}x"
+    )

@@ -21,6 +21,8 @@ def _node_counts():
 
 
 def _run():
+    # batched engine: each planted-partition graph is frozen once and every
+    # algorithm's queries run against the shared CSR snapshot
     return scalability_sweep(
         ALGORITHMS,
         _node_counts(),
@@ -30,6 +32,7 @@ def _run():
         num_queries=2,
         seed=4,
         time_budget_seconds=240.0,
+        engine="batched",
     )
 
 

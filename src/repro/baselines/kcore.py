@@ -4,6 +4,11 @@
 component of the maximal subgraph with minimum degree ``k`` that contains
 every query node.  ``highcore`` instead maximises ``k``: it returns the
 connected ``k``-core containing the queries for the largest feasible ``k``.
+
+The k-core decomposition is query independent, so when the input is a
+:class:`~repro.graph.csr.FrozenGraph` the per-``k`` component structure is
+memoised on the snapshot's shared cache — a batch of queries then pays for
+the peeling once instead of once per query.
 """
 
 from __future__ import annotations
@@ -13,15 +18,49 @@ from collections.abc import Sequence
 
 from ..core.result import CommunityResult
 from ..graph import (
+    FrozenGraph,
     Graph,
     GraphError,
     Node,
-    connected_component_containing,
+    connected_components,
     core_numbers,
     k_core_subgraph,
 )
 
-__all__ = ["kcore_community", "highest_core_community"]
+__all__ = ["kcore_community", "highest_core_community", "kcore_structure"]
+
+
+def kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, int]]:
+    """Return ``(components, member_of)`` of the ``k``-core of ``graph``.
+
+    ``components`` lists the connected components of the k-core as node
+    sets; ``member_of`` maps every surviving node to its component index.
+    Memoised on frozen graphs (the decomposition is query independent).
+    """
+    if isinstance(graph, FrozenGraph):
+        cache = graph.shared_cache()
+        key = ("kcore-structure", k)
+        if key not in cache:
+            cache[key] = _compute_kcore_structure(graph, k)
+        return cache[key]
+    return _compute_kcore_structure(graph, k)
+
+
+def _compute_kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, int]]:
+    components = connected_components(k_core_subgraph(graph, k))
+    member_of = {node: index for index, component in enumerate(components) for node in component}
+    return components, member_of
+
+
+def _graph_core_numbers(graph: Graph) -> dict[Node, int]:
+    """Return (and memoise, when frozen) the core number of every node."""
+    if isinstance(graph, FrozenGraph):
+        cache = graph.shared_cache()
+        key = ("core-numbers",)
+        if key not in cache:
+            cache[key] = core_numbers(graph)
+        return cache[key]
+    return core_numbers(graph)
 
 
 def kcore_community(graph: Graph, query_nodes: Sequence[Node], k: int = 3) -> CommunityResult:
@@ -37,13 +76,13 @@ def kcore_community(graph: Graph, query_nodes: Sequence[Node], k: int = 3) -> Co
     for node in queries:
         if not graph.has_node(node):
             raise GraphError(f"query node {node!r} is not in the graph")
-    core = k_core_subgraph(graph, k)
-    missing = [node for node in queries if not core.has_node(node)]
+    components, member_of = kcore_structure(graph, k)
+    missing = [node for node in queries if node not in member_of]
     if missing:
         return CommunityResult.empty(
             queries, "kc", reason=f"query nodes {missing!r} are not in the {k}-core"
         )
-    component = connected_component_containing(core, next(iter(queries)))
+    component = components[member_of[next(iter(queries))]]
     if not queries <= component:
         return CommunityResult.empty(
             queries, "kc", reason="query nodes lie in different components of the k-core"
@@ -74,13 +113,13 @@ def highest_core_community(graph: Graph, query_nodes: Sequence[Node]) -> Communi
     for node in queries:
         if not graph.has_node(node):
             raise GraphError(f"query node {node!r} is not in the graph")
-    coreness = core_numbers(graph)
+    coreness = _graph_core_numbers(graph)
     upper = min(coreness[node] for node in queries)
     for k in range(upper, 0, -1):
-        core = k_core_subgraph(graph, k)
-        if not all(core.has_node(node) for node in queries):
+        components, member_of = kcore_structure(graph, k)
+        if not all(node in member_of for node in queries):
             continue
-        component = connected_component_containing(core, next(iter(queries)))
+        component = components[member_of[next(iter(queries))]]
         if queries <= component:
             elapsed = time.perf_counter() - start
             return CommunityResult(

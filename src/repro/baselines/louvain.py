@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 import time
 from collections.abc import Sequence
-from typing import Optional
 
 from ..core.result import CommunityResult
 from ..graph import Graph, GraphError, Node

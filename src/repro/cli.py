@@ -22,6 +22,7 @@ from .datasets import Dataset, list_datasets, load_dataset
 from .experiments import (
     aggregate,
     evaluate_algorithm,
+    evaluate_batch,
     format_table,
     generate_query_sets,
     get_algorithm,
@@ -62,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--queries", type=int, default=10, help="number of query sets")
     evaluate.add_argument("--query-size", type=int, default=1, help="query nodes per set")
     evaluate.add_argument("--seed", type=int, default=0, help="query sampling seed")
+    evaluate.add_argument(
+        "--engine",
+        choices=["per-query", "batched"],
+        default="per-query",
+        help="'batched' freezes the graph once and runs every query against "
+        "the shared CSR snapshot (same results, faster)",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the batched engine out over this many worker processes",
+    )
     return parser
 
 
@@ -131,11 +145,22 @@ def _command_evaluate(args) -> int:
     query_sets = generate_query_sets(
         dataset, num_sets=args.queries, query_size=args.query_size, seed=args.seed
     )
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.workers is not None and args.engine != "batched":
+        raise SystemExit("--workers requires --engine batched")
     rows = []
-    for algorithm in args.algorithms:
-        records = evaluate_algorithm(dataset, algorithm, query_sets)
-        rows.append(aggregate(records).as_row())
-    print(format_table(rows, title=f"Evaluation on {dataset.name} ({len(query_sets)} query sets)"))
+    if args.engine == "batched":
+        per_algorithm = evaluate_batch(
+            dataset, args.algorithms, query_sets, max_workers=args.workers
+        )
+        rows = [aggregate(per_algorithm[algorithm]).as_row() for algorithm in args.algorithms]
+    else:
+        for algorithm in args.algorithms:
+            records = evaluate_algorithm(dataset, algorithm, query_sets)
+            rows.append(aggregate(records).as_row())
+    title = f"Evaluation on {dataset.name} ({len(query_sets)} query sets, {args.engine})"
+    print(format_table(rows, title=title))
     return 0
 
 

@@ -15,25 +15,44 @@ paths between the queries into a connected *connector* that is protected
 from removal.  The layer-based pruning strategy of Section 5.7 first peels
 whole distance layers, keeps the prefix with the best objective, and only
 then peels that subgraph's outermost layer node by node.
+
+Two backends implement the same peel:
+
+* the dict backend (reference) traverses the dict-of-dicts adjacency of the
+  original graph — the query component is closed under adjacency, so no
+  subgraph copy is ever materialised;
+* the CSR backend runs when the input is a
+  :class:`~repro.graph.csr.FrozenGraph` and works on flat integer arrays.
+
+Both backends visit sources, layers and neighbours in identical orders
+(insertion order of the graph, query/connector nodes sorted by ``repr``),
+so their results are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 import time
 from collections.abc import Sequence
 
 from ..graph import (
+    CSRGraph,
+    FrozenGraph,
     Graph,
     GraphError,
     Node,
     connected_component_containing,
+    csr_connected_component,
+    csr_multi_source_bfs,
+    csr_shortest_path,
     multi_source_bfs,
     nodes_in_same_component,
     query_connector,
 )
 from ..modularity import CommunityStatistics
-from .objectives import SUBGRAPH_OBJECTIVES, evaluate_objective
+from .framework import CSRPeelState, graph_backend
+from .objectives import SUBGRAPH_OBJECTIVES, evaluate_objective, objective_from_scalars
 from .result import CommunityResult
 
 __all__ = ["fpa", "fpa_search"]
@@ -52,7 +71,9 @@ def fpa(
     Parameters
     ----------
     graph:
-        Host graph.
+        Host graph.  A :class:`~repro.graph.csr.FrozenGraph` (see
+        :meth:`~repro.graph.graph.Graph.freeze`) selects the CSR fast path;
+        results are identical either way.
     query_nodes:
         One or more query nodes.
     selection:
@@ -81,6 +102,20 @@ def fpa(
         raise GraphError(f"selection must be 'ratio' or 'gain', got {selection!r}")
     if objective not in SUBGRAPH_OBJECTIVES:
         raise GraphError(f"unknown objective {objective!r}")
+    if graph_backend(graph) == "csr":
+        return _fpa_csr(graph, query_nodes, selection, layer_pruning, objective, seed)
+    return _fpa_dict(graph, query_nodes, selection, layer_pruning, objective, seed)
+
+
+def _fpa_dict(
+    graph: Graph,
+    query_nodes: Sequence[Node],
+    selection: str,
+    layer_pruning: bool,
+    objective: str,
+    seed: int,
+) -> CommunityResult:
+    """Reference implementation on the dict-of-dicts backend."""
     start = time.perf_counter()
 
     queries = frozenset(query_nodes)
@@ -96,21 +131,23 @@ def fpa(
         )
 
     # Line 1 of Algorithm 2: restrict to the component containing the queries.
+    # The component is closed under adjacency, so all traversals below run on
+    # the original graph directly — no induced-subgraph copy is needed.
     component = connected_component_containing(graph, next(iter(queries)))
-    working = graph.subgraph(component)
 
     # Section 5.6: merge shortest paths between queries into a protected core.
     protected = (
-        query_connector(working, sorted(queries, key=repr), seed=seed)
+        query_connector(graph, sorted(queries, key=repr), seed=seed)
         if len(queries) > 1
         else set(queries)
     )
 
-    distances = multi_source_bfs(working, protected)
+    distances = multi_source_bfs(graph, sorted(protected, key=repr))
     stats = CommunityStatistics(graph, component)
-    edges_into: dict[Node, int] = {node: working.degree(node) for node in component}
+    edges_into: dict[Node, int] = {node: graph.degree(node) for node in component}
 
-    # Distance layers, outermost (largest distance) first; layer 0 is protected.
+    # Distance layers, outermost (largest distance) first; layer 0 is
+    # protected.  Each layer lists nodes in BFS discovery order.
     layers: dict[int, list[Node]] = {}
     for node, dist in distances.items():
         layers.setdefault(dist, []).append(node)
@@ -123,7 +160,7 @@ def fpa(
 
     if layer_pruning and layer_distances:
         fine_layers = _layer_prune(
-            graph, working, stats, edges_into, layers, layer_distances, objective, removal_order, trace
+            graph, stats, edges_into, layers, layer_distances, objective, removal_order, trace
         )
     else:
         fine_layers = layer_distances
@@ -136,7 +173,6 @@ def fpa(
             continue
         _peel_layer(
             graph,
-            working,
             stats,
             edges_into,
             candidates,
@@ -168,6 +204,7 @@ def fpa(
             "layer_pruning": layer_pruning,
             "protected_size": len(protected),
             "num_layers": len(layer_distances),
+            "backend": "dict",
         },
     )
 
@@ -181,7 +218,6 @@ def _algorithm_name(selection: str, layer_pruning: bool) -> str:
 
 def _layer_prune(
     graph: Graph,
-    working: Graph,
     stats: CommunityStatistics,
     edges_into: dict[Node, int],
     layers: dict[int, list[Node]],
@@ -223,7 +259,6 @@ def _layer_prune(
 
 def _peel_layer(
     graph: Graph,
-    working: Graph,
     stats: CommunityStatistics,
     edges_into: dict[Node, int],
     candidates: list[Node],
@@ -256,7 +291,7 @@ def _peel_layer(
                 counter += 1
                 continue
             candidate_set.discard(node)
-            neighbors = list(working.adjacency(node))
+            neighbors = list(graph.adjacency(node))
             _remove_node(graph, stats, edges_into, node, removal_order)
             trace.append(evaluate_objective(graph, stats, objective))
             for neighbor in neighbors:
@@ -267,14 +302,16 @@ def _peel_layer(
     else:  # selection == "gain": Λ is unstable, recompute over candidates each time
         while candidate_set:
             d_s = stats.degree_sum
-            best_node = next(iter(candidate_set))
+            best_node = None
             best_key: tuple[float, float] = (float("-inf"), float("-inf"))
-            for node in candidate_set:
+            for node in candidates:
+                if node not in candidate_set:
+                    continue
                 d_v = graph.degree(node)
                 k_v = edges_into[node]
                 gain = -4.0 * num_edges * k_v + 2.0 * d_s * d_v - float(d_v) ** 2
                 key = (gain, float(distances.get(node, 0)))
-                if key > best_key:
+                if best_node is None or key > best_key:
                     best_key = key
                     best_node = node
             candidate_set.discard(best_node)
@@ -303,6 +340,247 @@ def _remove_node(
             edges_into[neighbor] -= 1
     edges_into.pop(node, None)
     removal_order.append(node)
+
+
+# ----------------------------------------------------------------------------
+# CSR fast path
+# ----------------------------------------------------------------------------
+
+
+def _fpa_csr(
+    graph: FrozenGraph,
+    query_nodes: Sequence[Node],
+    selection: str,
+    layer_pruning: bool,
+    objective: str,
+    seed: int,
+) -> CommunityResult:
+    """CSR fast path: the same peel over flat integer arrays."""
+    start = time.perf_counter()
+    csr = graph.csr
+
+    queries = frozenset(query_nodes)
+    algorithm = _algorithm_name(selection, layer_pruning)
+    if not queries:
+        raise GraphError("community search needs at least one query node")
+    index_of = csr.index_of
+    for node in queries:
+        if node not in index_of:
+            raise GraphError(f"query node {node!r} is not in the graph")
+    query_indices = [index_of[node] for node in queries]
+
+    component = csr_connected_component(csr, query_indices[0])
+    component_mask = bytearray(csr.number_of_nodes())
+    for index in component:
+        component_mask[index] = 1
+    if any(not component_mask[index] for index in query_indices):
+        return CommunityResult.empty(
+            queries, algorithm, reason="query nodes are not in the same connected component"
+        )
+
+    node_list = csr.node_list
+    protected = _csr_query_connector(csr, queries, seed) if len(queries) > 1 else set(query_indices)
+
+    sources = sorted(protected, key=lambda i: repr(node_list[i]))
+    dist, discovery_order = csr_multi_source_bfs(csr, sources)
+    state = CSRPeelState(csr, component)
+    is_protected = bytearray(csr.number_of_nodes())
+    for index in protected:
+        is_protected[index] = 1
+
+    layers: dict[int, list[int]] = {}
+    for index in discovery_order:
+        layers.setdefault(dist[index], []).append(index)
+    layer_distances = sorted((d for d in layers if d > 0), reverse=True)
+
+    removal_order: list[int] = []
+    trace: list[float] = [state.objective(objective)]
+
+    if layer_pruning and layer_distances:
+        fine_layers = _csr_layer_prune(
+            state, layers, layer_distances, objective, removal_order, trace
+        )
+    else:
+        fine_layers = layer_distances
+
+    for layer_dist in fine_layers:
+        candidates = [
+            index for index in layers[layer_dist] if state.alive[index] and not is_protected[index]
+        ]
+        if not candidates:
+            continue
+        _csr_peel_layer(state, candidates, selection, objective, dist, removal_order, trace)
+
+    best_index = max(range(len(trace)), key=lambda i: (trace[i], i))
+    best_value = trace[best_index]
+    removed_prefix = set(removal_order[:best_index])
+    best_nodes = frozenset(node_list[i] for i in component if i not in removed_prefix)
+
+    elapsed = time.perf_counter() - start
+    return CommunityResult(
+        nodes=best_nodes,
+        query_nodes=queries,
+        algorithm=algorithm,
+        score=best_value,
+        objective_name=objective,
+        elapsed_seconds=elapsed,
+        removal_order=tuple(node_list[i] for i in removal_order),
+        trace=tuple(trace),
+        extra={
+            "selection": selection,
+            "layer_pruning": layer_pruning,
+            "protected_size": len(protected),
+            "num_layers": len(layer_distances),
+            "backend": "csr",
+        },
+    )
+
+
+def _csr_query_connector(csr: CSRGraph, queries: frozenset, seed: int) -> set[int]:
+    """Index-based replica of :func:`repro.graph.steiner.query_connector`.
+
+    Must choose the same root (same RNG draw over the same repr-sorted query
+    list) and the same shortest paths (identical BFS neighbour order) as the
+    dict implementation.
+    """
+    node_list = csr.node_list
+    query_list = [csr.index_of[node] for node in sorted(queries, key=repr)]
+    rng = random.Random(seed)
+    root = query_list[rng.randrange(len(query_list))]
+    connector: set[int] = {root}
+    for target in query_list:
+        if target == root:
+            continue
+        path = csr_shortest_path(csr, root, target)
+        if path is None:
+            raise GraphError(
+                f"query nodes {node_list[root]!r} and {node_list[target]!r} "
+                "are not in the same connected component"
+            )
+        connector.update(path)
+    return connector
+
+
+def _csr_layer_prune(
+    state: CSRPeelState,
+    layers: dict[int, list[int]],
+    layer_distances: list[int],
+    objective: str,
+    removal_order: list[int],
+    trace: list[float],
+) -> list[int]:
+    """Index-based replica of :func:`_layer_prune` (Section 5.7)."""
+    # Evaluate the objective after removing each whole outer layer on scratch scalars.
+    csr = state.csr
+    num_edges = csr.num_edges
+    scratch_alive = bytearray(state.alive)
+    scratch_size = state.size
+    scratch_internal = state.internal
+    scratch_degree_sum = state.degree_sum
+    degree = state.degree
+    adj = state.adj
+    prefix_values: list[tuple[int, float]] = [
+        (0, objective_from_scalars(num_edges, scratch_internal, scratch_degree_sum, scratch_size, objective))
+    ]
+    for prefix_index, layer_dist in enumerate(layer_distances, start=1):
+        for index in layers[layer_dist]:
+            if not scratch_alive[index]:
+                continue
+            scratch_alive[index] = 0
+            scratch_size -= 1
+            lost = 0
+            for neighbor in adj[index]:
+                if scratch_alive[neighbor]:
+                    lost += 1
+            scratch_internal -= lost
+            scratch_degree_sum -= degree[index]
+        if scratch_size == 0:
+            break
+        prefix_values.append(
+            (
+                prefix_index,
+                objective_from_scalars(
+                    num_edges, scratch_internal, scratch_degree_sum, scratch_size, objective
+                ),
+            )
+        )
+    best_prefix, _ = max(prefix_values, key=lambda item: (item[1], item[0]))
+
+    # Commit the selected prefix on the real statistics.
+    for layer_dist in layer_distances[:best_prefix]:
+        for index in layers[layer_dist]:
+            if state.alive[index]:
+                state.remove(index)
+                removal_order.append(index)
+                trace.append(state.objective(objective))
+
+    return layer_distances[best_prefix : best_prefix + 1]
+
+
+def _csr_peel_layer(
+    state: CSRPeelState,
+    candidates: list[int],
+    selection: str,
+    objective: str,
+    dist: list[int],
+    removal_order: list[int],
+    trace: list[float],
+) -> None:
+    """Index-based replica of :func:`_peel_layer`."""
+    csr = state.csr
+    num_edges = csr.num_edges
+    degree = state.degree
+    edges_into = state.edges_into
+    adj = state.adj
+    candidate_set = set(candidates)
+
+    if selection == "ratio":
+        heap: list[tuple[float, int, int]] = []
+        counter = 0
+        for index in candidates:
+            theta = _theta(degree[index], edges_into[index])
+            heap.append((-theta, counter, index))
+            counter += 1
+        heapq.heapify(heap)
+        while candidate_set and heap:
+            neg_theta, _, index = heapq.heappop(heap)
+            if index not in candidate_set:
+                continue
+            current_theta = _theta(degree[index], edges_into[index])
+            if -neg_theta < current_theta:
+                # stale entry; re-push with the up-to-date (larger) Θ
+                heapq.heappush(heap, (-current_theta, counter, index))
+                counter += 1
+                continue
+            candidate_set.discard(index)
+            neighbors = adj[index]
+            state.remove(index)
+            removal_order.append(index)
+            trace.append(state.objective(objective))
+            for neighbor in neighbors:
+                if neighbor in candidate_set:
+                    theta = _theta(degree[neighbor], edges_into[neighbor])
+                    heapq.heappush(heap, (-theta, counter, neighbor))
+                    counter += 1
+    else:  # selection == "gain"
+        while candidate_set:
+            d_s = state.degree_sum
+            best_node = -1
+            best_key: tuple[float, float] = (float("-inf"), float("-inf"))
+            for index in candidates:
+                if index not in candidate_set:
+                    continue
+                d_v = degree[index]
+                k_v = edges_into[index]
+                gain = -4.0 * num_edges * k_v + 2.0 * d_s * d_v - float(d_v) ** 2
+                key = (gain, float(dist[index]))
+                if best_node < 0 or key > best_key:
+                    best_key = key
+                    best_node = index
+            candidate_set.discard(best_node)
+            state.remove(best_node)
+            removal_order.append(best_node)
+            trace.append(state.objective(objective))
 
 
 def fpa_search(graph: Graph, query_nodes: Sequence[Node], **kwargs) -> set[Node]:

@@ -16,6 +16,8 @@ from collections.abc import Callable, Iterable, Sequence
 from typing import Optional
 
 from ..graph import (
+    CSRGraph,
+    FrozenGraph,
     Graph,
     GraphError,
     Node,
@@ -25,9 +27,77 @@ from ..graph import (
     non_articulation_nodes,
 )
 from ..modularity import density_modularity
+from .objectives import objective_from_scalars
 from .result import CommunityResult
 
-__all__ = ["greedy_peel", "RemovableStrategy", "SelectionStrategy", "prepare_search"]
+__all__ = [
+    "greedy_peel",
+    "RemovableStrategy",
+    "SelectionStrategy",
+    "prepare_search",
+    "graph_backend",
+    "CSRPeelState",
+]
+
+
+def graph_backend(graph: Graph) -> str:
+    """Return which kernel backend ``graph`` selects: ``"csr"`` or ``"dict"``.
+
+    A :class:`~repro.graph.csr.FrozenGraph` (produced by
+    :meth:`~repro.graph.graph.Graph.freeze`) routes the peeling algorithms to
+    the array-backed CSR kernels; every other graph uses the dict-of-dicts
+    reference implementation.  Both produce identical results — the CSR path
+    only changes the constant factor.
+    """
+    return "csr" if isinstance(graph, FrozenGraph) else "dict"
+
+
+class CSRPeelState:
+    """Scalar community statistics + per-node arrays for a CSR peel.
+
+    The single CSR counterpart of
+    :class:`~repro.modularity.CommunityStatistics`, shared by the NCA and
+    FPA fast paths: it performs exactly the same float operations as the
+    dict-side statistics plus
+    :func:`~repro.core.objectives.objective_from_scalars`, which is what
+    keeps the two backends bit-identical.
+    """
+
+    __slots__ = ("csr", "adj", "alive", "size", "internal", "degree_sum", "degree", "edges_into")
+
+    def __init__(self, csr: CSRGraph, component: list[int]) -> None:
+        self.csr = csr
+        self.adj = csr.adjacency_lists()
+        n = csr.number_of_nodes()
+        self.alive = bytearray(n)
+        for index in component:
+            self.alive[index] = 1
+        self.degree = csr.degrees()
+        self.size = len(component)
+        self.degree_sum = float(sum(self.degree[i] for i in component))
+        # the query component is adjacency-closed: every incident edge is internal
+        self.internal = float(int(self.degree_sum) // 2)
+        self.edges_into = list(self.degree)
+
+    def remove(self, index: int) -> None:
+        """Remove node ``index``, updating statistics and neighbour counts."""
+        alive = self.alive
+        alive[index] = 0
+        self.size -= 1
+        lost = 0
+        edges_into = self.edges_into
+        for neighbor in self.adj[index]:
+            if alive[neighbor]:
+                lost += 1
+                edges_into[neighbor] -= 1
+        self.internal -= lost
+        self.degree_sum -= self.degree[index]
+
+    def objective(self, objective: str) -> float:
+        """Return the requested objective of the current community."""
+        return objective_from_scalars(
+            self.csr.num_edges, self.internal, self.degree_sum, self.size, objective
+        )
 
 # A removable strategy maps (graph, current members, query nodes) to candidates.
 RemovableStrategy = Callable[[Graph, set[Node], frozenset[Node]], Iterable[Node]]

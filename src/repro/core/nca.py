@@ -7,12 +7,20 @@ NCA instantiates the peeling framework with
 * best node to remove = the one with the largest *density modularity gain*
   ``Λ_S^v = -4|E| k_{v,S} + 2 d_S d_v - d_v^2`` (Definition 6); ties are
   broken by keeping the node closer to the query nodes (i.e. removing the
-  farther one).
+  farther one), then by the graph's node insertion order.
 
 The implementation maintains the community statistics (``l_S``, ``d_S``,
 ``|S|``) and the per-node ``k_{v,S}`` counts incrementally, so each
 iteration costs ``O(|V| + |E|)`` for the articulation-point recomputation —
 the bottleneck the paper identifies — plus ``O(|V|)`` for the arg-max.
+
+Two backends implement the same peel:
+
+* the dict backend (reference) works on the mutable dict-of-dicts graph;
+* the CSR backend runs when the input is a
+  :class:`~repro.graph.csr.FrozenGraph`, replacing every hot structure with
+  flat integer arrays.  Both backends iterate candidates and neighbours in
+  the graph's insertion order, so their results are bit-identical.
 """
 
 from __future__ import annotations
@@ -21,9 +29,19 @@ import time
 from collections.abc import Sequence
 from typing import Optional
 
-from ..graph import Graph, GraphError, Node, articulation_points, multi_source_bfs
+from ..graph import (
+    FrozenGraph,
+    Graph,
+    GraphError,
+    Node,
+    articulation_points,
+    csr_articulation_points,
+    csr_connected_component,
+    csr_multi_source_bfs,
+    multi_source_bfs,
+)
 from ..modularity import CommunityStatistics
-from .framework import prepare_search
+from .framework import CSRPeelState, graph_backend, prepare_search
 from .result import CommunityResult
 
 __all__ = ["nca", "nca_search"]
@@ -40,7 +58,9 @@ def nca(
     Parameters
     ----------
     graph:
-        Host graph.
+        Host graph.  A :class:`~repro.graph.csr.FrozenGraph` (see
+        :meth:`~repro.graph.graph.Graph.freeze`) selects the CSR fast path;
+        results are identical either way.
     query_nodes:
         One or more query nodes; they are never removed.
     selection:
@@ -60,6 +80,18 @@ def nca(
     """
     if selection not in ("gain", "ratio"):
         raise GraphError(f"selection must be 'gain' or 'ratio', got {selection!r}")
+    if graph_backend(graph) == "csr":
+        return _nca_csr(graph, query_nodes, selection, max_iterations)
+    return _nca_dict(graph, query_nodes, selection, max_iterations)
+
+
+def _nca_dict(
+    graph: Graph,
+    query_nodes: Sequence[Node],
+    selection: str,
+    max_iterations: Optional[int],
+) -> CommunityResult:
+    """Reference implementation on the dict-of-dicts backend."""
     start = time.perf_counter()
     try:
         queries, component = prepare_search(graph, query_nodes)
@@ -68,17 +100,18 @@ def nca(
 
     members = set(component)
     working = graph.subgraph(members)
-    distances = multi_source_bfs(working, queries)
+    distances = multi_source_bfs(graph, queries)
 
     stats = CommunityStatistics(graph, members)
     num_edges = graph.number_of_edges()
-    # k_{v,S}: number of edges from v into the current member set
-    edges_into: dict[Node, int] = {node: working.degree(node) for node in members}
+    # k_{v,S}: number of edges from v into the current member set; the query
+    # component is closed under adjacency, so it starts at the full degree
+    edges_into: dict[Node, int] = {node: graph.degree(node) for node in members}
     degree_of: dict[Node, int] = {node: graph.degree(node) for node in members}
+    # canonical candidate order: the graph's node insertion order
+    order = [node for node in graph.iter_nodes() if node in members]
 
-    best_nodes = set(members)
-    best_value = stats.density_modularity()
-    trace = [best_value]
+    trace = [stats.density_modularity()]
     removal_order: list[Node] = []
     iterations = 0
 
@@ -87,7 +120,9 @@ def nca(
             break
         articulation = articulation_points(working)
         candidates = [
-            node for node in working.iter_nodes() if node not in articulation and node not in queries
+            node
+            for node in order
+            if node in stats.members and node not in articulation and node not in queries
         ]
         if not candidates:
             break
@@ -100,12 +135,11 @@ def nca(
         working.remove_node(victim)
         edges_into.pop(victim, None)
         iterations += 1
+        trace.append(stats.density_modularity())
 
-        value = stats.density_modularity()
-        trace.append(value)
-        if value >= best_value:
-            best_value = value
-            best_nodes = set(stats.members)
+    best_index = max(range(len(trace)), key=lambda i: (trace[i], i))
+    best_value = trace[best_index]
+    best_nodes = members - set(removal_order[:best_index])
 
     elapsed = time.perf_counter() - start
     return CommunityResult(
@@ -117,7 +151,7 @@ def nca(
         elapsed_seconds=elapsed,
         removal_order=tuple(removal_order),
         trace=tuple(trace),
-        extra={"iterations": iterations, "selection": selection},
+        extra={"iterations": iterations, "selection": selection, "backend": "dict"},
     )
 
 
@@ -147,6 +181,96 @@ def _select(
             best_key = key
             best_node = node
     return best_node
+
+
+def _nca_csr(
+    graph: FrozenGraph,
+    query_nodes: Sequence[Node],
+    selection: str,
+    max_iterations: Optional[int],
+) -> CommunityResult:
+    """CSR fast path: the same peel over flat integer arrays."""
+    start = time.perf_counter()
+    csr = graph.csr
+    queries = frozenset(query_nodes)
+
+    def _failed(reason: str) -> CommunityResult:
+        return CommunityResult.empty(set(query_nodes), "NCA", reason=reason)
+
+    if not queries:
+        return _failed("community search needs at least one query node")
+    index_of = csr.index_of
+    for node in queries:
+        if node not in index_of:
+            return _failed(f"query node {node!r} is not in the graph")
+    query_indices = [index_of[node] for node in queries]
+    component = csr_connected_component(csr, query_indices[0])
+    state = CSRPeelState(csr, component)
+    alive = state.alive
+    for index in query_indices:
+        if not alive[index]:
+            return _failed("query nodes are not in the same connected component")
+    is_query = bytearray(csr.number_of_nodes())
+    for index in query_indices:
+        is_query[index] = 1
+
+    degree = state.degree
+    edges_into = state.edges_into
+    num_edges = csr.num_edges
+    dist, _ = csr_multi_source_bfs(csr, query_indices)
+    # canonical candidate order: ascending index == node insertion order
+    order = sorted(component)
+
+    trace = [state.objective("density_modularity")]
+    removal_order: list[int] = []
+    iterations = 0
+
+    while True:
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        articulation = csr_articulation_points(csr, alive)
+        best_index = -1
+        best_key: tuple[float, float] = (float("-inf"), float("-inf"))
+        d_s = state.degree_sum
+        for i in order:
+            if not alive[i] or is_query[i] or i in articulation:
+                continue
+            d_v = degree[i]
+            k_v = edges_into[i]
+            if selection == "gain":
+                score = -4.0 * num_edges * k_v + 2.0 * d_s * d_v - float(d_v) ** 2
+            else:
+                score = float("inf") if k_v == 0 else d_v / k_v
+            key = (score, float(dist[i]))
+            if key > best_key or best_index < 0:
+                best_key = key
+                best_index = i
+        if best_index < 0:
+            break
+        victim = best_index
+        removal_order.append(victim)
+        state.remove(victim)
+        iterations += 1
+        trace.append(state.objective("density_modularity"))
+
+    best_trace_index = max(range(len(trace)), key=lambda i: (trace[i], i))
+    best_value = trace[best_trace_index]
+    removed_prefix = set(removal_order[:best_trace_index])
+    node_list = csr.node_list
+    best_nodes = frozenset(node_list[i] for i in component if i not in removed_prefix)
+
+    elapsed = time.perf_counter() - start
+    return CommunityResult(
+        nodes=best_nodes,
+        query_nodes=queries,
+        algorithm="NCA" if selection == "gain" else "NCA-DR",
+        score=best_value,
+        objective_name="density_modularity",
+        elapsed_seconds=elapsed,
+        removal_order=tuple(node_list[i] for i in removal_order),
+        trace=tuple(trace),
+        extra={"iterations": iterations, "selection": selection, "backend": "csr"},
+    )
 
 
 def nca_search(graph: Graph, query_nodes: Sequence[Node]) -> set[Node]:

@@ -12,13 +12,40 @@ from __future__ import annotations
 from ..graph import Graph, GraphError
 from ..modularity import CommunityStatistics
 
-__all__ = ["SUBGRAPH_OBJECTIVES", "evaluate_objective"]
+__all__ = ["SUBGRAPH_OBJECTIVES", "evaluate_objective", "objective_from_scalars"]
 
 SUBGRAPH_OBJECTIVES = (
     "density_modularity",
     "classic_modularity",
     "generalized_modularity_density",
 )
+
+
+def objective_from_scalars(
+    num_edges: int, l_c: float, d_c: float, size: int, objective: str
+) -> float:
+    """Return the requested objective from the raw community scalars.
+
+    This is the single shared formula kernel: the dict backend feeds it from
+    :class:`~repro.modularity.CommunityStatistics` and the CSR backend from
+    its flat-array peel state, so both produce bit-identical floats.
+    """
+    if size == 0:
+        raise GraphError("cannot evaluate an objective on an empty community")
+    numerator = 2.0 * l_c - (d_c * d_c) / (2.0 * num_edges)
+    if objective == "density_modularity":
+        return numerator / (2.0 * size)
+    if objective == "classic_modularity":
+        return numerator / (2.0 * num_edges)
+    if objective == "generalized_modularity_density":
+        if size == 1:
+            internal_density = 0.0
+        else:
+            internal_density = 2.0 * l_c / (size * (size - 1))
+        return (numerator / (2.0 * num_edges)) * internal_density
+    raise GraphError(
+        f"unknown objective {objective!r}; expected one of {', '.join(SUBGRAPH_OBJECTIVES)}"
+    )
 
 
 def evaluate_objective(graph: Graph, stats: CommunityStatistics, objective: str) -> float:
@@ -33,23 +60,6 @@ def evaluate_objective(graph: Graph, stats: CommunityStatistics, objective: str)
     objective:
         One of :data:`SUBGRAPH_OBJECTIVES`.
     """
-    if stats.size == 0:
-        raise GraphError("cannot evaluate an objective on an empty community")
-    num_edges = graph.number_of_edges()
-    l_c = stats.internal_edges
-    d_c = stats.degree_sum
-    size = stats.size
-    numerator = 2.0 * l_c - (d_c * d_c) / (2.0 * num_edges)
-    if objective == "density_modularity":
-        return numerator / (2.0 * size)
-    if objective == "classic_modularity":
-        return numerator / (2.0 * num_edges)
-    if objective == "generalized_modularity_density":
-        if size == 1:
-            internal_density = 0.0
-        else:
-            internal_density = 2.0 * l_c / (size * (size - 1))
-        return (numerator / (2.0 * num_edges)) * internal_density
-    raise GraphError(
-        f"unknown objective {objective!r}; expected one of {', '.join(SUBGRAPH_OBJECTIVES)}"
+    return objective_from_scalars(
+        graph.number_of_edges(), stats.internal_edges, stats.degree_sum, stats.size, objective
     )

@@ -6,22 +6,40 @@ community against the ground truth with NMI / ARI / F-score (using the
 paper's binary-membership protocol), and aggregates per-algorithm medians —
 the statistic the paper reports in the text (e.g. "the median NMI score of
 FPA is 8.5 times higher ...").
+
+Two execution engines are provided:
+
+* the classic **per-query** path (:func:`evaluate_algorithm`) runs each
+  query against the dataset's dict-backed graph — the reference flow;
+* the **batched** path (:func:`evaluate_batch`) freezes the dataset graph
+  once (building its CSR fast path a single time), then evaluates *all*
+  algorithms × query sets against the shared immutable snapshot, optionally
+  fanning out over ``concurrent.futures`` process workers.  Per-query
+  results are identical; only the wall-clock changes.
 """
 
 from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..core import CommunityResult
 from ..datasets import Dataset
+from ..graph import FrozenGraph, Graph, freeze
 from ..metrics import community_ari, community_fscore, community_nmi
 from .queries import QuerySet
 from .registry import get_algorithm
 
-__all__ = ["EvaluationRecord", "AggregateResult", "evaluate_algorithm", "evaluate_algorithms", "aggregate"]
+__all__ = [
+    "EvaluationRecord",
+    "AggregateResult",
+    "evaluate_algorithm",
+    "evaluate_algorithms",
+    "evaluate_batch",
+    "aggregate",
+]
 
 
 @dataclass(frozen=True)
@@ -42,7 +60,12 @@ class EvaluationRecord:
 
 @dataclass(frozen=True)
 class AggregateResult:
-    """Median / mean accuracy of an algorithm over a batch of query sets."""
+    """Median / mean accuracy of an algorithm over a batch of query sets.
+
+    Failed records (disconnected queries, exhausted time budget) are
+    **excluded** from the accuracy and runtime statistics — they are counted
+    in :attr:`failure_count` instead of dragging the medians to zero.
+    """
 
     dataset: str
     algorithm: str
@@ -55,7 +78,12 @@ class AggregateResult:
     mean_fscore: float
     mean_seconds: float
     total_seconds: float
-    failures: int
+    failure_count: int
+
+    @property
+    def failures(self) -> int:
+        """Backwards-compatible alias for :attr:`failure_count`."""
+        return self.failure_count
 
     def as_row(self) -> dict[str, Any]:
         """Return a flat dict suitable for table printing."""
@@ -67,7 +95,7 @@ class AggregateResult:
             "ARI": round(self.median_ari, 4),
             "Fscore": round(self.median_fscore, 4),
             "time(s)": round(self.mean_seconds, 4),
-            "failures": self.failures,
+            "failures": self.failure_count,
         }
 
 
@@ -110,56 +138,72 @@ def score_result(
     return best
 
 
+def _failed_record(
+    dataset: Dataset, algorithm: str, query_set: QuerySet, reason: str
+) -> EvaluationRecord:
+    """Return a zero-accuracy record flagged as failed."""
+    return EvaluationRecord(
+        dataset=dataset.name,
+        algorithm=algorithm,
+        query_nodes=tuple(query_set.nodes),
+        community_size=0,
+        nmi=0.0,
+        ari=0.0,
+        fscore=0.0,
+        elapsed_seconds=0.0,
+        failed=True,
+        extra={"reason": reason},
+    )
+
+
+def _run_and_score(
+    dataset: Dataset, graph: Graph, runner, algorithm: str, query_set: QuerySet
+) -> EvaluationRecord:
+    """Run one (algorithm, query set) pair on ``graph`` and score it."""
+    result = runner(graph, list(query_set.nodes))
+    failed = bool(result.extra.get("failed")) or not result.nodes
+    nmi, ari, f1 = (0.0, 0.0, 0.0) if failed else score_result(dataset, query_set, result)
+    return EvaluationRecord(
+        dataset=dataset.name,
+        algorithm=algorithm,
+        query_nodes=tuple(query_set.nodes),
+        community_size=result.size,
+        nmi=nmi,
+        ari=ari,
+        fscore=f1,
+        elapsed_seconds=result.elapsed_seconds,
+        failed=failed,
+        extra=dict(result.extra),
+    )
+
+
 def evaluate_algorithm(
     dataset: Dataset,
     algorithm: str,
     query_sets: list[QuerySet],
     time_budget_seconds: Optional[float] = None,
+    graph: Optional[Graph] = None,
     **overrides,
 ) -> list[EvaluationRecord]:
     """Run ``algorithm`` on every query set of ``dataset`` and score it.
 
     ``time_budget_seconds`` bounds the *total* time spent on this algorithm,
     mirroring the paper's 24-hour cap: once exceeded, remaining query sets
-    are recorded as failures with zero accuracy.
+    are recorded as failures with zero accuracy.  ``graph`` overrides the
+    graph the algorithm runs on (the batched engine passes the shared frozen
+    snapshot here); scoring always uses the dataset's ground truth.
     """
     records: list[EvaluationRecord] = []
     runner = get_algorithm(algorithm, **overrides)
+    host = graph if graph is not None else dataset.graph
     start = time.perf_counter()
     for query_set in query_sets:
         if time_budget_seconds is not None and time.perf_counter() - start > time_budget_seconds:
             records.append(
-                EvaluationRecord(
-                    dataset=dataset.name,
-                    algorithm=algorithm,
-                    query_nodes=tuple(query_set.nodes),
-                    community_size=0,
-                    nmi=0.0,
-                    ari=0.0,
-                    fscore=0.0,
-                    elapsed_seconds=0.0,
-                    failed=True,
-                    extra={"reason": "time budget exhausted"},
-                )
+                _failed_record(dataset, algorithm, query_set, "time budget exhausted")
             )
             continue
-        result = runner(dataset.graph, list(query_set.nodes))
-        failed = bool(result.extra.get("failed")) or not result.nodes
-        nmi, ari, f1 = (0.0, 0.0, 0.0) if failed else score_result(dataset, query_set, result)
-        records.append(
-            EvaluationRecord(
-                dataset=dataset.name,
-                algorithm=algorithm,
-                query_nodes=tuple(query_set.nodes),
-                community_size=result.size,
-                nmi=nmi,
-                ari=ari,
-                fscore=f1,
-                elapsed_seconds=result.elapsed_seconds,
-                failed=failed,
-                extra=dict(result.extra),
-            )
-        )
+        records.append(_run_and_score(dataset, host, runner, algorithm, query_set))
     return records
 
 
@@ -178,27 +222,141 @@ def evaluate_algorithms(
     }
 
 
+# ----------------------------------------------------------------------------
+# batched multi-query engine
+# ----------------------------------------------------------------------------
+
+# Per-process state for the worker pool: set once by the initializer so the
+# (potentially large) frozen graph is pickled once per worker, not per task.
+_WORKER_DATASET: Optional[Dataset] = None
+
+
+def _batch_worker_init(dataset: Dataset) -> None:
+    _globals = globals()
+    _globals["_WORKER_DATASET"] = dataset
+
+
+def _batch_worker_run(algorithm: str, query_set: QuerySet) -> EvaluationRecord:
+    dataset = _WORKER_DATASET
+    runner = get_algorithm(algorithm)
+    return _run_and_score(dataset, dataset.graph, runner, algorithm, query_set)
+
+
+def evaluate_batch(
+    dataset: Dataset,
+    algorithms: list[str],
+    query_sets: list[QuerySet],
+    time_budget_seconds: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    frozen: Optional[FrozenGraph] = None,
+) -> dict[str, list[EvaluationRecord]]:
+    """Evaluate ``algorithms`` × ``query_sets`` against one shared CSR snapshot.
+
+    The dataset graph is frozen **once** (dict→CSR conversion and adjacency
+    caches are built a single time) and every query of every algorithm runs
+    against the shared immutable snapshot — the batched counterpart of
+    calling :func:`evaluate_algorithm` per algorithm.  Results are identical
+    to the per-query path; only the wall-clock changes.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset providing graph + ground truth.
+    algorithms:
+        Registered algorithm names to evaluate.
+    query_sets:
+        The shared query workload.
+    time_budget_seconds:
+        Optional per-algorithm total budget (as in :func:`evaluate_algorithm`).
+        Enforced at harvest time when workers are used.
+    max_workers:
+        ``None`` runs in-process (usually fastest for small graphs — Python
+        workers pay a fork + pickle cost); an integer fans the (algorithm,
+        query set) pairs out to that many ``concurrent.futures`` processes.
+    frozen:
+        Reuse an existing frozen snapshot (e.g. across sweep points that
+        share one dataset) instead of freezing ``dataset.graph`` again.
+    """
+    if frozen is None:
+        frozen = freeze(dataset.graph)
+    # Prebuild the CSR arrays + adjacency caches once, outside any timing.
+    frozen.csr.adjacency_lists()
+
+    if max_workers is None:
+        return {
+            algorithm: evaluate_algorithm(
+                algorithm=algorithm,
+                dataset=dataset,
+                query_sets=query_sets,
+                time_budget_seconds=time_budget_seconds,
+                graph=frozen,
+            )
+            for algorithm in algorithms
+        }
+
+    import concurrent.futures
+
+    shared_dataset = replace(dataset, graph=frozen)
+    results: dict[str, list[EvaluationRecord]] = {}
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_batch_worker_init,
+        initargs=(shared_dataset,),
+    ) as pool:
+        futures = {
+            algorithm: [
+                pool.submit(_batch_worker_run, algorithm, query_set)
+                for query_set in query_sets
+            ]
+            for algorithm in algorithms
+        }
+        for algorithm, pending in futures.items():
+            records: list[EvaluationRecord] = []
+            # Charge the budget by this algorithm's own cumulative runtime —
+            # pool wall-clock would bill one algorithm for another's queue time.
+            spent = 0.0
+            for query_set, future in zip(query_sets, pending):
+                if time_budget_seconds is not None and spent > time_budget_seconds:
+                    future.cancel()
+                    records.append(
+                        _failed_record(dataset, algorithm, query_set, "time budget exhausted")
+                    )
+                    continue
+                record = future.result()
+                spent += record.elapsed_seconds
+                records.append(record)
+            results[algorithm] = records
+    return results
+
+
 def aggregate(records: list[EvaluationRecord]) -> AggregateResult:
-    """Aggregate a batch of records (median accuracy, mean runtime)."""
+    """Aggregate a batch of records (median accuracy, mean runtime).
+
+    Failed records are excluded from the accuracy/runtime statistics and
+    reported via ``failure_count`` — a timed-out baseline should surface as
+    failures, not as a median dragged down by synthetic zeros.  When every
+    record failed, the statistics are all zero.
+    """
     if not records:
         raise ValueError("cannot aggregate an empty record list")
     dataset = records[0].dataset
     algorithm = records[0].algorithm
-    nmis = [record.nmi for record in records]
-    aris = [record.ari for record in records]
-    fscores = [record.fscore for record in records]
-    times = [record.elapsed_seconds for record in records]
+    succeeded = [record for record in records if not record.failed]
+    nmis = [record.nmi for record in succeeded]
+    aris = [record.ari for record in succeeded]
+    fscores = [record.fscore for record in succeeded]
+    times = [record.elapsed_seconds for record in succeeded]
     return AggregateResult(
         dataset=dataset,
         algorithm=algorithm,
         num_queries=len(records),
-        median_nmi=statistics.median(nmis),
-        median_ari=statistics.median(aris),
-        median_fscore=statistics.median(fscores),
-        mean_nmi=statistics.fmean(nmis),
-        mean_ari=statistics.fmean(aris),
-        mean_fscore=statistics.fmean(fscores),
-        mean_seconds=statistics.fmean(times),
+        median_nmi=statistics.median(nmis) if nmis else 0.0,
+        median_ari=statistics.median(aris) if aris else 0.0,
+        median_fscore=statistics.median(fscores) if fscores else 0.0,
+        mean_nmi=statistics.fmean(nmis) if nmis else 0.0,
+        mean_ari=statistics.fmean(aris) if aris else 0.0,
+        mean_fscore=statistics.fmean(fscores) if fscores else 0.0,
+        mean_seconds=statistics.fmean(times) if times else 0.0,
         total_seconds=sum(times),
-        failures=sum(1 for record in records if record.failed),
+        failure_count=len(records) - len(succeeded),
     )

@@ -19,7 +19,7 @@ from ..graph import Graph, Node, diameter, planted_partition
 from ..metrics import betweenness_centrality, eigenvector_centrality
 from .queries import generate_query_sets
 from .registry import get_algorithm
-from .runner import AggregateResult, aggregate, evaluate_algorithm
+from .runner import AggregateResult, aggregate, evaluate_algorithm, evaluate_batch
 
 __all__ = [
     "community_diameter_histogram",
@@ -135,9 +135,20 @@ def multi_query_sweep(
     num_queries: int = 10,
     seed: int = 0,
     time_budget_seconds: Optional[float] = None,
+    engine: str = "per-query",
+    max_workers: Optional[int] = None,
 ) -> dict[str, dict[int, AggregateResult]]:
-    """Evaluate algorithms on the default LFR graph with growing query sets."""
+    """Evaluate algorithms on the default LFR graph with growing query sets.
+
+    ``engine="batched"`` freezes the LFR graph once and evaluates every
+    (algorithm, |Q|, query set) combination against the shared CSR snapshot
+    (optionally over ``max_workers`` processes); ``"per-query"`` is the
+    classic one-run-at-a-time reference path.  Results are identical.
+    """
+    if engine not in ("per-query", "batched"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'per-query' or 'batched'")
     dataset = load_lfr(config if config is not None else LFRConfig(seed=seed))
+    frozen = dataset.graph.freeze() if engine == "batched" else None
     results: dict[str, dict[int, AggregateResult]] = {name: {} for name in algorithms}
     for query_size in query_sizes:
         query_sets = generate_query_sets(
@@ -147,6 +158,18 @@ def multi_query_sweep(
             seed=seed + query_size,
             min_community_size=query_size,
         )
+        if engine == "batched":
+            per_algorithm = evaluate_batch(
+                dataset,
+                algorithms,
+                query_sets,
+                time_budget_seconds=time_budget_seconds,
+                max_workers=max_workers,
+                frozen=frozen,
+            )
+            for algorithm in algorithms:
+                results[algorithm][query_size] = aggregate(per_algorithm[algorithm])
+            continue
         for algorithm in algorithms:
             records = evaluate_algorithm(
                 dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds
@@ -169,12 +192,18 @@ def scalability_sweep(
     num_queries: int = 3,
     seed: int = 0,
     time_budget_seconds: Optional[float] = None,
+    engine: str = "per-query",
+    max_workers: Optional[int] = None,
 ) -> dict[str, dict[int, float]]:
     """Return mean runtime (seconds) per algorithm as the graph grows.
 
     Uses planted-partition graphs (the community structure does not matter
     for a runtime-only figure) and reports mean wall-clock seconds per query.
+    ``engine="batched"`` builds each graph's CSR snapshot once and runs every
+    algorithm's queries against it.
     """
+    if engine not in ("per-query", "batched"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'per-query' or 'batched'")
     results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
     for n in node_counts:
         num_communities = max(2, n // community_size)
@@ -192,6 +221,19 @@ def scalability_sweep(
             description="planted partition scalability workload",
         )
         query_sets = generate_query_sets(dataset, num_sets=num_queries, seed=seed, truss_k=2)
+        if engine == "batched":
+            per_algorithm = evaluate_batch(
+                dataset,
+                algorithms,
+                query_sets,
+                time_budget_seconds=time_budget_seconds,
+                max_workers=max_workers,
+            )
+            for algorithm in algorithms:
+                results[algorithm][n] = statistics.fmean(
+                    record.elapsed_seconds for record in per_algorithm[algorithm]
+                )
+            continue
         for algorithm in algorithms:
             records = evaluate_algorithm(
                 dataset, algorithm, query_sets, time_budget_seconds=time_budget_seconds

@@ -14,6 +14,17 @@ from .connectivity import (
     stoer_wagner_min_cut,
 )
 from .coreness import core_numbers, degeneracy_ordering, k_core_subgraph, max_core_number
+from .csr import (
+    CSRGraph,
+    FrozenGraph,
+    csr_articulation_points,
+    csr_connected_component,
+    csr_connected_components,
+    csr_core_numbers,
+    csr_multi_source_bfs,
+    csr_shortest_path,
+    freeze,
+)
 from .generators import (
     LFRResult,
     barabasi_albert,
@@ -60,6 +71,16 @@ __all__ = [
     "GraphError",
     "Node",
     "Edge",
+    # csr fast path
+    "CSRGraph",
+    "FrozenGraph",
+    "freeze",
+    "csr_multi_source_bfs",
+    "csr_connected_component",
+    "csr_connected_components",
+    "csr_shortest_path",
+    "csr_articulation_points",
+    "csr_core_numbers",
     # components
     "connected_components",
     "connected_component_containing",

@@ -251,6 +251,29 @@ class Graph:
         return clone
 
     # ------------------------------------------------------------------
+    # CSR fast path
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Return an immutable snapshot backed by the CSR fast path.
+
+        The returned :class:`~repro.graph.csr.FrozenGraph` behaves like this
+        graph for every read operation, rejects mutation, and carries a
+        lazily built :class:`~repro.graph.csr.CSRGraph`.  The peeling
+        algorithms (``nca`` / ``fpa``) detect frozen inputs and run their
+        array-backed kernels instead of the dict ones — build the snapshot
+        once and reuse it across queries to amortise the conversion.
+        """
+        from .csr import FrozenGraph
+
+        return FrozenGraph.from_graph(self)
+
+    def to_csr(self):
+        """Return a :class:`~repro.graph.csr.CSRGraph` snapshot of this graph."""
+        from .csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
+
+    # ------------------------------------------------------------------
     # dunder protocol
     # ------------------------------------------------------------------
     def __contains__(self, node: Node) -> bool:

@@ -95,16 +95,22 @@ class CommunityStatistics:
             self.degree_sum -= self.graph.degree(node)
 
     def density_modularity(self) -> float:
-        """Return DM of the current community."""
+        """Return DM of the current community.
+
+        The unweighted branch performs the exact float-operation sequence of
+        :func:`repro.core.objectives.objective_from_scalars` so dict and CSR
+        peels stay bit-identical.
+        """
         if self.size == 0:
             raise GraphError("community is empty")
         if self.weighted:
             w_g = self.graph.total_edge_weight()
-            return (self.internal_edges - (self.degree_sum**2) / (4.0 * w_g)) / self.size
+            d_c = self.degree_sum
+            return (self.internal_edges - (d_c * d_c) / (4.0 * w_g)) / self.size
         num_edges = self.graph.number_of_edges()
-        return (2.0 * self.internal_edges - (self.degree_sum**2) / (2.0 * num_edges)) / (
-            2.0 * self.size
-        )
+        d_c = self.degree_sum
+        numerator = 2.0 * self.internal_edges - (d_c * d_c) / (2.0 * num_edges)
+        return numerator / (2.0 * self.size)
 
 
 def density_modularity(graph: Graph, community: Iterable[Node], weighted: bool = False) -> float:

@@ -1,0 +1,265 @@
+"""Property-style parity tests: dict backend vs the CSR fast path.
+
+The CSR backend must be a *drop-in* replacement: every kernel and both
+peeling algorithms have to return results identical to the dict reference
+implementation — same node sets, same scores, same removal orders, same
+traces (bit-identical floats).  These tests sweep random graph families
+(Erdős–Rényi, planted partition, LFR, ring of cliques) plus the hand-built
+fixtures and compare both paths exhaustively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fpa, nca
+from repro.core.framework import graph_backend
+from repro.experiments import evaluate_algorithm, evaluate_batch, generate_query_sets
+from repro.graph import (
+    Graph,
+    GraphError,
+    articulation_points,
+    core_numbers,
+    csr_articulation_points,
+    csr_connected_components,
+    csr_core_numbers,
+    csr_multi_source_bfs,
+    csr_shortest_path,
+    connected_components,
+    erdos_renyi,
+    freeze,
+    lfr_benchmark,
+    multi_source_bfs,
+    planted_partition,
+    ring_of_cliques,
+    shortest_path,
+)
+
+
+def _graph_zoo():
+    """A diverse family of test graphs (some disconnected, some weighted)."""
+    graphs = [erdos_renyi(60, 0.07, seed=seed) for seed in range(4)]
+    graphs.append(erdos_renyi(80, 0.02, seed=11))  # sparse, disconnected
+    pp, _ = planted_partition(5, 16, 0.35, 0.02, seed=2)
+    graphs.append(pp)
+    graphs.append(ring_of_cliques(8, 5))
+    lfr = lfr_benchmark(
+        n=150, avg_degree=8, max_degree=30, mu=0.25, min_community=12, max_community=40, seed=9
+    )
+    graphs.append(lfr.graph)
+    mixed = Graph([("a", "b", 2.0), ("b", "c"), ("c", "a", 0.5), ("d", "e")])
+    graphs.append(mixed)
+    return graphs
+
+
+@pytest.fixture(scope="module", params=range(8))
+def zoo_graph(request):
+    return _graph_zoo()[request.param]
+
+
+class TestKernelParity:
+    def test_bfs_distances_and_layers(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        nodes = [node for node in zoo_graph.iter_nodes() if zoo_graph.degree(node) > 0]
+        if not nodes:
+            pytest.skip("empty graph")
+        for sources in ([nodes[0]], nodes[:3]):
+            dict_dist = multi_source_bfs(zoo_graph, sources)
+            dist, order = csr_multi_source_bfs(csr, [csr.index_of[s] for s in sources])
+            csr_dist = {csr.node_list[i]: dist[i] for i in order}
+            assert dict_dist == csr_dist
+            # discovery order must match too (FPA's layers depend on it)
+            assert list(dict_dist) == [csr.node_list[i] for i in order]
+
+    def test_connected_components(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        dict_components = [frozenset(c) for c in connected_components(zoo_graph)]
+        csr_components = [
+            frozenset(csr.node_list[i] for i in component)
+            for component in csr_connected_components(csr)
+        ]
+        assert dict_components == csr_components
+
+    def test_articulation_points(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        expected = articulation_points(zoo_graph)
+        got = {csr.node_list[i] for i in csr_articulation_points(csr)}
+        assert expected == got
+
+    def test_articulation_points_with_alive_mask(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        nodes = list(zoo_graph.iter_nodes())
+        keep = set(nodes[: max(3, 2 * len(nodes) // 3)])
+        alive = bytearray(csr.number_of_nodes())
+        for node in keep:
+            alive[csr.index_of[node]] = 1
+        expected = articulation_points(zoo_graph.subgraph(keep))
+        got = {csr.node_list[i] for i in csr_articulation_points(csr, alive)}
+        assert expected == got
+
+    def test_coreness(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        expected = core_numbers(zoo_graph)
+        core = csr_core_numbers(csr)
+        got = {csr.node_list[i]: c for i, c in enumerate(core) if c >= 0}
+        assert expected == got
+
+    def test_shortest_path(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        nodes = list(zoo_graph.iter_nodes())
+        for src, dst in [(nodes[0], nodes[-1]), (nodes[0], nodes[len(nodes) // 2])]:
+            expected = shortest_path(zoo_graph, src, dst)
+            got = csr_shortest_path(csr, csr.index_of[src], csr.index_of[dst])
+            if expected is None:
+                assert got is None
+            else:
+                assert expected == [csr.node_list[i] for i in got]
+
+
+def _assert_identical(a, b, context):
+    assert a.nodes == b.nodes, context
+    assert a.score == b.score, context
+    assert a.removal_order == b.removal_order, context
+    assert a.trace == b.trace, context
+    assert a.algorithm == b.algorithm, context
+
+
+class TestAlgorithmParity:
+    def test_nca_single_and_multi_query(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        nodes = [node for node in zoo_graph.iter_nodes() if zoo_graph.degree(node) > 0]
+        for queries in ([nodes[0]], nodes[:3]):
+            for selection in ("gain", "ratio"):
+                dict_result = nca(zoo_graph, queries, selection=selection)
+                csr_result = nca(frozen, queries, selection=selection)
+                assert dict_result.extra.get("backend", "dict") == "dict"
+                if not dict_result.extra.get("failed"):
+                    assert csr_result.extra["backend"] == "csr"
+                _assert_identical(dict_result, csr_result, (queries, selection))
+
+    def test_fpa_all_variants(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        nodes = [node for node in zoo_graph.iter_nodes() if zoo_graph.degree(node) > 0]
+        variants = [
+            {},
+            {"layer_pruning": False},
+            {"selection": "gain"},
+            {"objective": "classic_modularity"},
+            {"objective": "generalized_modularity_density"},
+        ]
+        for queries in ([nodes[0]], nodes[:4]):
+            for kwargs in variants:
+                dict_result = fpa(zoo_graph, queries, **kwargs)
+                csr_result = fpa(frozen, queries, **kwargs)
+                _assert_identical(dict_result, csr_result, (queries, kwargs))
+
+    def test_nca_max_iterations_parity(self, karate_graph):
+        frozen = freeze(karate_graph)
+        for cap in (1, 3, 7):
+            _assert_identical(
+                nca(karate_graph, [0], max_iterations=cap),
+                nca(frozen, [0], max_iterations=cap),
+                cap,
+            )
+
+    def test_fpa_seed_parity(self, karate_graph):
+        frozen = freeze(karate_graph)
+        for seed in range(4):
+            _assert_identical(
+                fpa(karate_graph, [0, 33, 16], seed=seed),
+                fpa(frozen, [0, 33, 16], seed=seed),
+                seed,
+            )
+
+    def test_failures_match(self):
+        graph = Graph([(1, 2), (3, 4)])
+        frozen = freeze(graph)
+        for algo in (nca, fpa):
+            a, b = algo(graph, [1, 3]), algo(frozen, [1, 3])
+            assert a.size == b.size == 0
+            assert a.extra.get("failed") and b.extra.get("failed")
+        # unknown query node: nca fails softly, fpa raises — on both backends
+        assert nca(frozen, [999]).extra.get("failed")
+        with pytest.raises(GraphError):
+            fpa(frozen, [999])
+
+
+class TestFrozenGraph:
+    def test_backend_detection(self, karate_graph):
+        assert graph_backend(karate_graph) == "dict"
+        assert graph_backend(freeze(karate_graph)) == "csr"
+
+    def test_freeze_is_a_readable_graph(self, karate_graph):
+        frozen = freeze(karate_graph)
+        assert frozen == karate_graph
+        assert frozen.number_of_edges() == karate_graph.number_of_edges()
+        assert frozen.degree(0) == karate_graph.degree(0)
+        assert freeze(frozen) is frozen  # idempotent
+
+    def test_freeze_is_immutable_and_thawable(self, karate_graph):
+        frozen = freeze(karate_graph)
+        with pytest.raises(GraphError):
+            frozen.add_edge(0, 99)
+        with pytest.raises(GraphError):
+            frozen.remove_node(0)
+        with pytest.raises(GraphError):
+            frozen.add_node(99)
+        thawed = frozen.thaw()
+        thawed.add_edge(0, 99)  # mutable again
+        assert thawed.has_edge(0, 99) and not frozen.has_node(99)
+
+    def test_freeze_snapshots(self, karate_graph):
+        graph = karate_graph.copy()
+        frozen = graph.freeze()
+        graph.remove_node(33)
+        assert frozen.has_node(33)  # snapshot unaffected by later mutation
+
+    def test_to_csr_roundtrip(self, karate_graph):
+        csr = karate_graph.to_csr()
+        assert csr.number_of_nodes() == karate_graph.number_of_nodes()
+        assert csr.number_of_edges() == karate_graph.number_of_edges()
+        for node in karate_graph.iter_nodes():
+            index = csr.index_of[node]
+            assert csr.degree(index) == karate_graph.degree(node)
+            expected = [csr.index_of[nbr] for nbr in karate_graph.adjacency(node)]
+            assert list(csr.neighbors(index)) == expected
+
+    def test_frozen_graph_pickles(self, karate_graph):
+        import pickle
+
+        frozen = freeze(karate_graph)
+        frozen.csr.adjacency_lists()  # populate caches
+        clone = pickle.loads(pickle.dumps(frozen))
+        assert clone == karate_graph
+        _assert_identical(fpa(frozen, [0]), fpa(clone, [0]), "pickle")
+
+
+class TestBatchedEngineParity:
+    def test_batched_records_match_per_query(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=5, seed=1)
+        algorithms = ["FPA", "NCA", "kc", "kecc"]
+        batched = evaluate_batch(karate, algorithms, query_sets)
+        for algorithm in algorithms:
+            per_query = evaluate_algorithm(karate, algorithm, query_sets)
+            for a, b in zip(per_query, batched[algorithm]):
+                assert (a.nmi, a.ari, a.fscore, a.community_size, a.failed) == (
+                    b.nmi,
+                    b.ari,
+                    b.fscore,
+                    b.community_size,
+                    b.failed,
+                ), algorithm
+
+    def test_batched_reuses_frozen_snapshot(self, karate):
+        query_sets = generate_query_sets(karate, num_sets=3, seed=2)
+        frozen = karate.graph.freeze()
+        records = evaluate_batch(karate, ["kecc"], query_sets, frozen=frozen)["kecc"]
+        assert len(records) == 3
+        # the query-independent decomposition was memoised on the snapshot
+        assert any(key[0] == "kcore-structure" for key in frozen.shared_cache())

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import CommunityResult
 from repro.experiments import (
+    EvaluationRecord,
     QuerySet,
     aggregate,
     evaluate_algorithm,
@@ -99,3 +100,32 @@ class TestAggregate:
         fpa_agg = aggregate(evaluate_algorithm(karate, "FPA", query_sets))
         kc_agg = aggregate(evaluate_algorithm(karate, "kc", query_sets))
         assert fpa_agg.median_nmi >= kc_agg.median_nmi
+
+    def test_failed_records_do_not_drag_medians(self):
+        """Failures are counted, not averaged in as zeros."""
+        good = EvaluationRecord(
+            dataset="d", algorithm="a", query_nodes=(1,), community_size=5,
+            nmi=0.8, ari=0.6, fscore=0.7, elapsed_seconds=1.0,
+        )
+        bad = EvaluationRecord(
+            dataset="d", algorithm="a", query_nodes=(2,), community_size=0,
+            nmi=0.0, ari=0.0, fscore=0.0, elapsed_seconds=0.0, failed=True,
+        )
+        agg = aggregate([good, bad, bad])
+        assert agg.num_queries == 3
+        assert agg.failure_count == 2
+        assert agg.failures == 2  # backwards-compatible alias
+        assert agg.median_nmi == pytest.approx(0.8)
+        assert agg.mean_ari == pytest.approx(0.6)
+        assert agg.mean_seconds == pytest.approx(1.0)
+        assert agg.as_row()["failures"] == 2
+
+    def test_all_failed_aggregates_to_zero(self):
+        bad = EvaluationRecord(
+            dataset="d", algorithm="a", query_nodes=(2,), community_size=0,
+            nmi=0.0, ari=0.0, fscore=0.0, elapsed_seconds=0.0, failed=True,
+        )
+        agg = aggregate([bad, bad])
+        assert agg.failure_count == 2
+        assert agg.median_nmi == 0.0
+        assert agg.mean_seconds == 0.0
