@@ -1,0 +1,76 @@
+"""Shared plumbing for the standalone micro-benches.
+
+Both ``bench_csr_backend.py`` and ``bench_truss_cut.py`` time dict-vs-CSR
+kernel pairs, print the same table, and emit the same ``--json`` trajectory
+payload — the helpers live here so the schema the ``BENCH_*.json`` files
+depend on has exactly one definition.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+
+def time_median(function, repeat: int = 3):
+    """Return (median seconds, last result) of ``repeat`` runs."""
+    seconds = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        seconds.append(time.perf_counter() - start)
+    return statistics.median(seconds), result
+
+
+def print_table(rows: list[tuple[str, float, float]], name_width: int = 28) -> None:
+    """Print the dict-vs-CSR timing table."""
+    print()
+    print(f"{'kernel':<{name_width}}{'dict (s)':>12}{'csr (s)':>12}{'speedup':>10}")
+    for name, dict_seconds, csr_seconds in rows:
+        ratio = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
+        print(f"{name:<{name_width}}{dict_seconds:>12.5f}{csr_seconds:>12.5f}{ratio:>9.2f}x")
+
+
+def write_json(
+    json_path: str,
+    bench: str,
+    scale: float,
+    rows: list[tuple[str, float, float]],
+    parity: bool,
+    **extra,
+) -> None:
+    """Write the machine-readable trajectory record future PRs diff against."""
+    payload = {
+        "bench": bench,
+        "scale": scale,
+        **extra,
+        "rows": [
+            {
+                "kernel": name,
+                "dict_seconds": round(dict_seconds, 6),
+                "csr_seconds": round(csr_seconds, 6),
+                "speedup": round(dict_seconds / csr_seconds, 2) if csr_seconds else None,
+            }
+            for name, dict_seconds, csr_seconds in rows
+        ],
+        "parity": parity,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+
+def add_common_arguments(parser) -> None:
+    """Register the --scale / --parity-only / --json flags shared by the benches."""
+    parser.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
+    parser.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="check dict-vs-CSR parity and exit (CI smoke mode; never fails on timing)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write timings to this JSON file"
+    )

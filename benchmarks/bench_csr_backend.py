@@ -11,6 +11,8 @@ Usage::
     python benchmarks/bench_csr_backend.py --parity-only # CI smoke: exit 1 on
                                                          # mismatch, ignore time
     python benchmarks/bench_csr_backend.py --scale 4     # larger graphs
+    python benchmarks/bench_csr_backend.py --json out.json  # machine-readable
+                                                            # trajectory record
 
 The ``--parity-only`` mode is what the CI workflow runs: it fails the job on
 any dict-vs-CSR divergence but never on timing (shared runners are noisy).
@@ -20,7 +22,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+from _bench_util import add_common_arguments, print_table, time_median as _time, write_json
 
 from repro.core import fpa, nca
 from repro.graph import (
@@ -35,18 +38,7 @@ from repro.graph import (
 )
 
 
-def _time(function, repeat: int = 3):
-    """Return (best seconds, last result) of ``repeat`` runs."""
-    best = float("inf")
-    result = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = function()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
-def run(scale: float = 1.0, parity_only: bool = False) -> int:
+def run(scale: float = 1.0, parity_only: bool = False, json_path: str | None = None) -> int:
     """Run the comparison; return a process exit code (0 = parity holds)."""
     num_communities = max(2, int(10 * scale))
     graph, _ = planted_partition(num_communities, 50, 0.3, 0.008, seed=4)
@@ -105,11 +97,13 @@ def run(scale: float = 1.0, parity_only: bool = False) -> int:
     rows.append(("nca", dict_seconds, csr_seconds))
 
     if not parity_only:
-        print()
-        print(f"{'kernel':<22}{'dict (s)':>12}{'csr (s)':>12}{'speedup':>10}")
-        for name, dict_seconds, csr_seconds in rows:
-            ratio = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
-            print(f"{name:<22}{dict_seconds:>12.5f}{csr_seconds:>12.5f}{ratio:>9.2f}x")
+        print_table(rows, name_width=22)
+
+    if json_path:
+        write_json(
+            json_path, "bench_csr_backend", scale, rows,
+            parity=not failures, workload=repr(graph),
+        )
 
     if failures:
         print(f"PARITY FAILURE: dict and CSR backends disagree on: {', '.join(failures)}")
@@ -120,14 +114,9 @@ def run(scale: float = 1.0, parity_only: bool = False) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
-    parser.add_argument(
-        "--parity-only",
-        action="store_true",
-        help="check dict-vs-CSR parity and exit (CI smoke mode; never fails on timing)",
-    )
+    add_common_arguments(parser)
     args = parser.parse_args(argv)
-    return run(scale=args.scale, parity_only=args.parity_only)
+    return run(scale=args.scale, parity_only=args.parity_only, json_path=args.json_path)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,168 @@
+"""Micro-benchmark: truss & min-cut kernels, dict backend vs the CSR fast path.
+
+PR 2 moved the last exact baselines (``kt`` / ``hightruss`` / ``huang2015``
+truss peeling, ``kecc`` recursive Stoer–Wagner) onto the CSR backend.  This
+bench times each kernel on both backends, checks the results are identical,
+and measures the end-to-end effect on batched ``kt`` / ``kecc`` queries —
+the headline numbers recorded in CHANGES.md.
+
+Usage::
+
+    python benchmarks/bench_truss_cut.py                  # timings + parity
+    python benchmarks/bench_truss_cut.py --parity-only    # CI smoke: exit 1 on
+                                                          # mismatch, ignore time
+    python benchmarks/bench_truss_cut.py --scale 2        # larger graphs
+    python benchmarks/bench_truss_cut.py --json out.json  # machine-readable
+                                                          # trajectory record
+
+The ``--parity-only`` mode is what the CI workflow runs: it fails the job on
+any dict-vs-CSR divergence but never on timing (shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _bench_util import add_common_arguments, print_table, time_median as _time, write_json
+
+from repro.baselines import kecc_community, ktruss_community
+from repro.graph import (
+    csr_edge_index,
+    csr_k_edge_connected_components,
+    csr_stoer_wagner,
+    csr_truss_numbers,
+    freeze,
+    k_edge_connected_components,
+    k_truss_subgraph,
+    planted_partition,
+    stoer_wagner_min_cut,
+    truss_numbers,
+)
+
+
+def run(scale: float = 1.0, parity_only: bool = False, json_path: str | None = None) -> int:
+    """Run the comparison; return a process exit code (0 = parity holds)."""
+    # triangle-rich workload for the truss kernels
+    truss_graph, _ = planted_partition(max(2, int(8 * scale)), 45, 0.3, 0.01, seed=7)
+    truss_frozen = freeze(truss_graph)
+    truss_csr = truss_frozen.csr
+    truss_csr.adjacency_lists()
+    truss_index = csr_edge_index(truss_csr)
+    # smaller connected workload for the cubic-ish min-cut kernels
+    cut_graph, _ = planted_partition(3, max(20, int(40 * scale)), 0.35, 0.05, seed=5)
+    cut_frozen = freeze(cut_graph)
+    cut_frozen.csr.adjacency_lists()
+    print(f"truss workload: {truss_graph!r}   cut workload: {cut_graph!r}")
+
+    rows: list[tuple[str, float, float]] = []
+    failures: list[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        if not ok:
+            failures.append(name)
+
+    # truss peel (the full decomposition)
+    dict_seconds, dict_truss = _time(lambda: truss_numbers(truss_graph), repeat=7)
+    csr_seconds, csr_truss = _time(lambda: csr_truss_numbers(truss_csr, truss_index), repeat=7)
+    node_list = truss_csr.node_list
+    as_dict = {}
+    for e in range(truss_index.num_edges):
+        u = node_list[truss_index.eu[e]]
+        v = node_list[truss_index.ev[e]]
+        as_dict[(u, v) if repr(u) <= repr(v) else (v, u)] = csr_truss[e]
+    check("truss_numbers", dict_truss == as_dict)
+    rows.append(("truss_numbers", dict_seconds, csr_seconds))
+
+    # k-truss extraction (memoised filter on the frozen snapshot)
+    truss_numbers(truss_frozen)  # warm the per-snapshot memo once
+    dict_seconds, dict_sub = _time(lambda: k_truss_subgraph(truss_graph, 4))
+    csr_seconds, csr_sub = _time(lambda: k_truss_subgraph(truss_frozen, 4))
+    check("k_truss_subgraph", dict_sub == csr_sub)
+    rows.append(("k_truss_subgraph(k=4)", dict_seconds, csr_seconds))
+
+    # global minimum cut
+    dict_seconds, (dict_weight, dict_side) = _time(lambda: stoer_wagner_min_cut(cut_graph))
+    csr_seconds, (csr_weight, csr_side) = _time(lambda: csr_stoer_wagner(cut_frozen.csr))
+    check(
+        "stoer_wagner",
+        dict_weight == csr_weight
+        and dict_side == {cut_frozen.csr.node_list[i] for i in csr_side},
+    )
+    rows.append(("stoer_wagner_min_cut", dict_seconds, csr_seconds))
+
+    # k-edge-connected decomposition
+    dict_seconds, dict_parts = _time(lambda: k_edge_connected_components(cut_graph, 3), repeat=2)
+    csr_seconds, csr_parts = _time(
+        lambda: csr_k_edge_connected_components(cut_frozen.csr, 3), repeat=2
+    )
+    check(
+        "kecc_partition",
+        dict_parts == [set(cut_frozen.csr.nodes_for(piece)) for piece in csr_parts],
+    )
+    rows.append(("k_edge_connected_components", dict_seconds, csr_seconds))
+
+    # end-to-end: a batch of kt queries (dict per-query vs shared frozen snapshot)
+    queries = [[node] for node in list(truss_graph.iter_nodes())[:12]]
+    dict_seconds, dict_results = _time(
+        lambda: [ktruss_community(truss_graph, q, k=4) for q in queries], repeat=2
+    )
+
+    def _kt_batch():
+        snapshot = freeze(truss_graph)  # fresh snapshot: pays freeze + one peel
+        return [ktruss_community(snapshot, q, k=4) for q in queries]
+
+    csr_seconds, csr_results = _time(_kt_batch, repeat=2)
+    check(
+        "kt_batch",
+        [(r.nodes, r.score) for r in dict_results] == [(r.nodes, r.score) for r in csr_results],
+    )
+    rows.append(("kt x12 queries (batched)", dict_seconds, csr_seconds))
+
+    # end-to-end: exact kecc queries against the shared snapshot
+    kecc_queries = [[node] for node in list(cut_graph.iter_nodes())[:4]]
+    dict_seconds, dict_results = _time(
+        lambda: [kecc_community(cut_graph, q, approximate_above=None) for q in kecc_queries],
+        repeat=1,
+    )
+
+    def _kecc_batch():
+        snapshot = freeze(cut_graph)
+        return [kecc_community(snapshot, q, approximate_above=None) for q in kecc_queries]
+
+    csr_seconds, csr_results = _time(_kecc_batch, repeat=1)
+    check(
+        "kecc_batch",
+        [(r.nodes, r.score) for r in dict_results] == [(r.nodes, r.score) for r in csr_results],
+    )
+    rows.append(("kecc x4 queries (batched)", dict_seconds, csr_seconds))
+
+    if not parity_only:
+        print_table(rows)
+
+    if json_path:
+        write_json(
+            json_path,
+            "bench_truss_cut",
+            scale,
+            rows,
+            parity=not failures,
+            workloads={"truss": repr(truss_graph), "cut": repr(cut_graph)},
+        )
+
+    if failures:
+        print(f"PARITY FAILURE: dict and CSR backends disagree on: {', '.join(failures)}")
+        return 1
+    print("parity: dict and CSR backends agree on every truss/cut kernel and baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_common_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(scale=args.scale, parity_only=args.parity_only, json_path=args.json_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

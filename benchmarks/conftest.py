@@ -5,15 +5,50 @@ Every module in this directory regenerates one table or figure of the paper
 whole suite finishes in minutes of pure Python; the ``REPRO_BENCH_SCALE``
 environment variable multiplies the graph sizes for longer, higher-fidelity
 runs (e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only``).
+
+Passing ``--json out.json`` to any pytest invocation of this directory
+writes a machine-readable record of every bench wall-clock (one entry per
+``run_once`` call) — the ``BENCH_*.json`` trajectory files future PRs diff
+against.  The standalone micro-benches (``bench_csr_backend.py``,
+``bench_truss_cut.py``) accept the same flag directly.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
 
 from repro.datasets import LFRConfig
+
+# wall-clock records collected by run_once, flushed by pytest_sessionfinish
+_BENCH_RECORDS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        help="write a machine-readable record of every bench timing to this file",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    if not path or not _BENCH_RECORDS:
+        return
+    payload = {
+        "bench": "benchmarks",
+        "scale": bench_scale(),
+        "rows": _BENCH_RECORDS,
+        "exit_status": int(exitstatus),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def bench_scale() -> float:
@@ -62,6 +97,12 @@ def run_once(benchmark, function, *args, **kwargs):
 
     The experiment sweeps are deterministic and relatively heavy, so a single
     round gives the wall-clock number we want without multiplying the suite's
-    runtime.
+    runtime.  The elapsed seconds are also recorded for the ``--json`` report.
     """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    test_name = os.environ.get("PYTEST_CURRENT_TEST", "unknown").split(" ")[0]
+    _BENCH_RECORDS.append(
+        {"test": test_name, "seconds": round(time.perf_counter() - start, 6)}
+    )
+    return result

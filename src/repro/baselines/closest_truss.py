@@ -30,6 +30,7 @@ from ..graph import (
     multi_source_bfs,
     node_truss_numbers,
 )
+from .ktruss import ktruss_structure
 
 __all__ = ["closest_truss_community"]
 
@@ -101,14 +102,19 @@ def closest_truss_community(
 def _maximal_connected_truss(
     graph: Graph, queries: frozenset[Node]
 ) -> Optional[tuple[int, set[Node]]]:
-    """Return ``(k, nodes)`` of the connected k-truss containing queries with max k."""
+    """Return ``(k, nodes)`` of the connected k-truss containing queries with max k.
+
+    Uses the memoised per-``k`` truss component structure, so on a frozen
+    snapshot a batch of queries shares one decomposition (and ``kt`` /
+    ``hightruss`` queries share the same cache entries).
+    """
     trussness = node_truss_numbers(graph)
     upper = min(trussness[node] for node in queries)
     for k in range(upper, 2, -1):
-        truss = k_truss_subgraph(graph, k)
-        if not all(truss.has_node(node) for node in queries):
+        components, member_of = ktruss_structure(graph, k)
+        if not all(node in member_of for node in queries):
             continue
-        component = connected_component_containing(truss, next(iter(queries)))
+        component = components[member_of[next(iter(queries))]]
         if queries <= component:
             return k, set(component)
     # fall back to the plain connected component (truss level 2)

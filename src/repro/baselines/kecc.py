@@ -47,9 +47,11 @@ def _kecc_partition(graph: Graph, candidate: set[Node], k: int) -> list[set[Node
         cache = graph.shared_cache()
         key = ("kecc-partition", k, frozenset(candidate))
         if key not in cache:
-            cache[key] = k_edge_connected_components(graph.subgraph(candidate), k)
+            # within= routes the frozen snapshot to the CSR min-cut kernels
+            # (recursion on index subviews) instead of a mutable subgraph copy
+            cache[key] = k_edge_connected_components(graph, k, within=candidate)
         return cache[key]
-    return k_edge_connected_components(graph.subgraph(candidate), k)
+    return k_edge_connected_components(graph, k, within=candidate)
 
 
 def kecc_community(

@@ -3,6 +3,12 @@
 ``kt`` follows Huang et al. (SIGMOD 2014): the community is the connected
 component of the maximal ``k``-truss that contains the query node(s).
 ``hightruss`` maximises ``k`` instead of taking it as a parameter.
+
+The truss decomposition is query independent, so when the input is a
+:class:`~repro.graph.csr.FrozenGraph` the per-``k`` component structure is
+memoised on the snapshot's shared cache (mirroring ``kc``/``highcore``) —
+and the decomposition itself runs once on the CSR kernels, so a batch of
+queries pays for one peel per dataset instead of one per query.
 """
 
 from __future__ import annotations
@@ -12,15 +18,39 @@ from collections.abc import Sequence
 
 from ..core.result import CommunityResult
 from ..graph import (
+    FrozenGraph,
     Graph,
     GraphError,
     Node,
     connected_component_containing,
+    connected_components,
     k_truss_subgraph,
     node_truss_numbers,
 )
 
-__all__ = ["ktruss_community", "highest_truss_community"]
+__all__ = ["ktruss_community", "highest_truss_community", "ktruss_structure"]
+
+
+def ktruss_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, int]]:
+    """Return ``(components, member_of)`` of the ``k``-truss of ``graph``.
+
+    ``components`` lists the connected components of the k-truss as node
+    sets; ``member_of`` maps every surviving node to its component index.
+    Memoised on frozen graphs (the decomposition is query independent).
+    """
+    if isinstance(graph, FrozenGraph):
+        cache = graph.shared_cache()
+        key = ("ktruss-structure", k)
+        if key not in cache:
+            cache[key] = _compute_ktruss_structure(graph, k)
+        return cache[key]
+    return _compute_ktruss_structure(graph, k)
+
+
+def _compute_ktruss_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, int]]:
+    components = connected_components(k_truss_subgraph(graph, k))
+    member_of = {node: index for index, component in enumerate(components) for node in component}
+    return components, member_of
 
 
 def ktruss_community(graph: Graph, query_nodes: Sequence[Node], k: int = 4) -> CommunityResult:
@@ -32,13 +62,13 @@ def ktruss_community(graph: Graph, query_nodes: Sequence[Node], k: int = 4) -> C
     for node in queries:
         if not graph.has_node(node):
             raise GraphError(f"query node {node!r} is not in the graph")
-    truss = k_truss_subgraph(graph, k)
-    missing = [node for node in queries if not truss.has_node(node)]
+    components, member_of = ktruss_structure(graph, k)
+    missing = [node for node in queries if node not in member_of]
     if missing:
         return CommunityResult.empty(
             queries, "kt", reason=f"query nodes {missing!r} are not in the {k}-truss"
         )
-    component = connected_component_containing(truss, next(iter(queries)))
+    component = components[member_of[next(iter(queries))]]
     if not queries <= component:
         return CommunityResult.empty(
             queries, "kt", reason="query nodes lie in different components of the k-truss"
@@ -67,10 +97,10 @@ def highest_truss_community(graph: Graph, query_nodes: Sequence[Node]) -> Commun
     trussness = node_truss_numbers(graph)
     upper = min(trussness[node] for node in queries)
     for k in range(upper, 2, -1):
-        truss = k_truss_subgraph(graph, k)
-        if not all(truss.has_node(node) for node in queries):
+        components, member_of = ktruss_structure(graph, k)
+        if not all(node in member_of for node in queries):
             continue
-        component = connected_component_containing(truss, next(iter(queries)))
+        component = components[member_of[next(iter(queries))]]
         if queries <= component:
             elapsed = time.perf_counter() - start
             return CommunityResult(

@@ -25,6 +25,14 @@ from .csr import (
     csr_shortest_path,
     freeze,
 )
+from .csr_cut import csr_k_edge_connected_components, csr_stoer_wagner
+from .csr_truss import (
+    CSREdgeIndex,
+    csr_edge_index,
+    csr_edge_support,
+    csr_k_truss_edges,
+    csr_truss_numbers,
+)
 from .generators import (
     LFRResult,
     barabasi_albert,
@@ -81,6 +89,13 @@ __all__ = [
     "csr_shortest_path",
     "csr_articulation_points",
     "csr_core_numbers",
+    "CSREdgeIndex",
+    "csr_edge_index",
+    "csr_edge_support",
+    "csr_truss_numbers",
+    "csr_k_truss_edges",
+    "csr_stoer_wagner",
+    "csr_k_edge_connected_components",
     # components
     "connected_components",
     "connected_component_containing",

@@ -6,6 +6,13 @@ decomposition: repeatedly split a candidate subgraph along a global minimum
 cut until every remaining piece is k-edge-connected, then report the maximal
 pieces.  Minimum cuts are found with the Stoer–Wagner algorithm implemented
 on top of the :class:`~repro.graph.graph.Graph` substrate.
+
+Both functions dispatch on the graph backend: a frozen snapshot
+(:class:`~repro.graph.csr.FrozenGraph`) routes to the int-indexed kernels of
+:mod:`repro.graph.csr_cut`, which recurse on induced CSR subviews instead of
+``graph.copy()``.  Induced subgraphs are always ordered by the host graph's
+insertion order (not set-iteration order), so the two backends make the same
+cut and split choices and return identical components in identical order.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from collections.abc import Iterable
 from typing import Optional
 
 from .components import connected_components
+from .csr import FrozenGraph
+from .csr_cut import csr_k_edge_connected_components, csr_stoer_wagner
 from .graph import Graph, GraphError, Node
 
 __all__ = ["stoer_wagner_min_cut", "k_edge_connected_components", "k_edge_connected_subgraphs"]
@@ -23,9 +32,16 @@ def stoer_wagner_min_cut(graph: Graph) -> tuple[float, set[Node]]:
     """Return ``(cut_weight, one_side)`` of a global minimum edge cut.
 
     The graph must be connected and have at least two nodes.  Runs the
-    classic Stoer–Wagner minimum-cut phases with a simple priority queue.
+    classic Stoer–Wagner minimum-cut phases with a simple priority queue;
+    frozen snapshots run the int-indexed mirror in
+    :mod:`repro.graph.csr_cut` with bit-identical results.
     """
     import heapq
+
+    if isinstance(graph, FrozenGraph):
+        csr = graph.csr
+        weight, side = csr_stoer_wagner(csr)
+        return weight, set(csr.nodes_for(side))
 
     if graph.number_of_nodes() < 2:
         raise GraphError("minimum cut requires at least two nodes")
@@ -82,40 +98,88 @@ def stoer_wagner_min_cut(graph: Graph) -> tuple[float, set[Node]]:
     return best_weight, best_side
 
 
-def _is_k_edge_connected(graph: Graph, k: int) -> bool:
-    """Return ``True`` when ``graph`` is k-edge-connected (unweighted cuts)."""
-    n = graph.number_of_nodes()
-    if n == 1:
-        return True
-    if n == 0:
-        return False
-    if min(graph.degree(node) for node in graph.iter_nodes()) < k:
-        return False
-    # Unweighted connectivity: use edge multiplicity of 1 regardless of weight
-    unweighted = Graph()
-    unweighted.add_nodes_from(graph.iter_nodes())
-    for u, v, _ in graph.iter_edges():
-        unweighted.add_edge(u, v, 1.0)
-    cut_weight, _ = stoer_wagner_min_cut(unweighted)
-    return cut_weight >= k
+def _induced(graph: Graph, nodes: Iterable[Node], position: dict[Node, int]) -> Graph:
+    """Return ``G[nodes]`` with nodes ordered by the host's insertion order.
+
+    Unlike :meth:`Graph.subgraph` (which iterates a Python set, so node and
+    adjacency orders depend on hashes), the result's node order is the host
+    order filtered to ``nodes`` and each adjacency keeps the host's
+    (filtered) neighbour order — deterministic, and identical to the order
+    the CSR kernels see.
+    """
+    keep = set(nodes)
+    missing = keep - position.keys()
+    if missing:
+        raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))[:5]}")
+    order = sorted(keep, key=position.__getitem__)
+    sub = Graph()
+    adjacency = sub._adj
+    num_edges = 0
+    total_weight = 0.0
+    for node in order:
+        adjacency[node] = {
+            neighbor: weight
+            for neighbor, weight in graph.adjacency(node).items()
+            if neighbor in keep
+        }
+    for node in order:
+        rank = position[node]
+        for neighbor, weight in adjacency[node].items():
+            if rank < position[neighbor]:
+                num_edges += 1
+                total_weight += weight
+    sub._num_edges = num_edges
+    sub._total_weight = total_weight
+    return sub
 
 
-def k_edge_connected_components(graph: Graph, k: int) -> list[set[Node]]:
+def _unweighted_view(graph: Graph) -> Graph:
+    """Return a copy of ``graph`` with every edge weight set to ``1.0``."""
+    clone = Graph()
+    clone._adj = {
+        node: dict.fromkeys(graph.adjacency(node), 1.0) for node in graph.iter_nodes()
+    }
+    clone._num_edges = graph.number_of_edges()
+    clone._total_weight = float(graph.number_of_edges())
+    return clone
+
+
+def k_edge_connected_components(
+    graph: Graph, k: int, within: Optional[Iterable[Node]] = None
+) -> list[set[Node]]:
     """Return the maximal k-edge-connected components of ``graph``.
 
     Every returned node set induces a subgraph whose global minimum cut is at
     least ``k``.  Components of a single node are omitted for ``k >= 1``
-    because a singleton cannot host any community.
+    because a singleton cannot host any community.  ``within`` restricts the
+    decomposition to an induced subview (equivalent to decomposing
+    ``graph.subgraph(within)`` but without materialising a copy on the CSR
+    backend).
     """
     if k < 1:
         raise GraphError(f"k must be positive, got {k}")
+
+    if isinstance(graph, FrozenGraph):
+        csr = graph.csr
+        subset = csr.indices_for(within) if within is not None else None
+        pieces = csr_k_edge_connected_components(csr, k, subset)
+        return [set(csr.nodes_for(piece)) for piece in pieces]
+
+    position = {node: index for index, node in enumerate(graph.iter_nodes())}
+    host = graph if within is None else _induced(graph, within, position)
+    # on a uniformly 1.0-weighted host (the common case) every induced piece
+    # *is* its own unweighted view, so the k-connectivity test needs no copy
+    # at all and its cut doubles as the splitting cut; otherwise one unit-
+    # weight view per surviving piece (never one per recursive call)
+    uniform = all(weight == 1.0 for _, _, weight in host.iter_edges())
+
     results: list[set[Node]] = []
-    stack: list[set[Node]] = [component for component in connected_components(graph)]
+    stack: list[set[Node]] = [component for component in connected_components(host)]
     while stack:
         nodes = stack.pop()
         if len(nodes) < 2:
             continue
-        sub = graph.subgraph(nodes)
+        sub = _induced(host, nodes, position)
         # quick reject: prune nodes of degree < k first (cheap and sound)
         changed = True
         while changed:
@@ -128,10 +192,15 @@ def k_edge_connected_components(graph: Graph, k: int) -> list[set[Node]]:
         if len(pieces) > 1:
             stack.extend(pieces)
             continue
-        if _is_k_edge_connected(sub, k):
+        # unweighted connectivity test: edge multiplicity 1 regardless of weight
+        cut_weight, side = stoer_wagner_min_cut(sub if uniform else _unweighted_view(sub))
+        if cut_weight >= k:
             results.append(set(sub.iter_nodes()))
             continue
-        _, side = stoer_wagner_min_cut(sub)
+        if not uniform:
+            # weighted split: the unit-weight cut above need not be minimal
+            # under the real weights
+            _, side = stoer_wagner_min_cut(sub)
         other = set(sub.iter_nodes()) - side
         stack.append(side)
         stack.append(other)

@@ -1,0 +1,277 @@
+"""Array-backed minimum-cut kernels for the CSR fast path.
+
+The exact ``kecc`` baseline spends its time in recursive Stoer–Wagner
+minimum cuts, and the dict implementation pays for a fresh
+``graph.copy()`` / ``graph.subgraph()`` (node-object dicts, method-call
+overhead, bookkeeping) at every level of the recursion.  The kernels here
+speak integer indices end to end:
+
+* :func:`csr_stoer_wagner` — the classic minimum-cut phases on int-keyed
+  adjacency dicts built straight from the CSR arrays, with the subview
+  renumbered to compact local ids so every per-phase structure is sized to
+  the piece, not the snapshot.  It mirrors the dict implementation
+  operation for operation (same start node, same lazy heap with a push
+  counter, same last-into-second-last contraction, same float-accumulation
+  order), so cut weights — and, on a frozen snapshot, the returned side —
+  are bit-identical to :func:`repro.graph.connectivity.stoer_wagner_min_cut`;
+* :func:`csr_k_edge_connected_components` — the recursive min-cut
+  decomposition over index subsets: degree pruning, component splitting and
+  the unweighted-test / weighted-split asymmetry of the dict path are all
+  replicated on ``alive`` masks over the shared CSR arrays instead of
+  per-level ``Graph`` copies.
+
+Subsets are always processed in index order (the source graph's insertion
+order), matching the deterministic ordering the dict path uses since PR 2.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+from .csr import CSRGraph
+from .graph import GraphError
+
+__all__ = ["csr_stoer_wagner", "csr_k_edge_connected_components"]
+
+
+def _induced_adjacency(
+    csr: CSRGraph, nodes: Optional[Sequence[int]], unit_weights: bool
+) -> tuple[list[int], list[dict[int, float]]]:
+    """Return ``(original ids, adjacency)`` of the subview in local ids.
+
+    Local id ``i`` is the ``i``-th entry of ``nodes`` (or CSR index ``i``
+    when ``nodes`` is ``None``); adjacency dicts preserve the CSR (= source
+    insertion) order, filtered to the subset — the same order the dict path
+    sees after ``_induced``.
+    """
+    indptr = csr.indptr
+    indices = csr.indices
+    weights = csr.weights
+    if nodes is None:
+        to_orig = list(range(csr.number_of_nodes()))
+        local_of = to_orig
+    else:
+        to_orig = list(nodes)
+        local_of = [-1] * csr.number_of_nodes()
+        for local, i in enumerate(to_orig):
+            local_of[i] = local
+    adjacency: list[dict[int, float]] = []
+    for i in to_orig:
+        row: dict[int, float] = {}
+        for pos in range(indptr[i], indptr[i + 1]):
+            local = local_of[indices[pos]]
+            if local >= 0:
+                row[local] = 1.0 if unit_weights else weights[pos]
+        adjacency.append(row)
+    return to_orig, adjacency
+
+
+def csr_stoer_wagner(
+    csr: CSRGraph,
+    nodes: Optional[Sequence[int]] = None,
+    unit_weights: bool = False,
+) -> tuple[float, set[int]]:
+    """Return ``(cut_weight, one_side)`` of a global minimum cut, as indices.
+
+    ``nodes`` restricts the computation to an induced subview (which must be
+    connected); ``unit_weights`` replaces every edge weight with ``1.0`` for
+    unweighted-connectivity tests.  Mirrors the dict implementation's phase
+    and contraction order exactly.
+    """
+    to_orig, adjacency = _induced_adjacency(csr, nodes, unit_weights)
+    size = len(to_orig)
+    if size < 2:
+        raise GraphError("minimum cut requires at least two nodes")
+
+    members: list[Optional[list[int]]] = [[i] for i in range(size)]
+    alive = bytearray(b"\x01") * size
+    # flat per-phase state (validity tracked by the phase stamp): the dict
+    # path's `added` set and `weights` dict, as O(1) array slots
+    added = bytearray(size)
+    weights = [0.0] * size
+    in_phase = [0] * size
+    stamp = 0
+    best_weight = float("inf")
+    best_side: list[int] = []
+
+    remaining = size
+    while remaining > 1:
+        # --- one minimum cut phase -------------------------------------
+        current = [i for i in range(size) if alive[i]]
+        start = current[0]
+        stamp += 1
+        for i in current:
+            added[i] = 0
+        added[start] = 1
+        counter = 0
+        heap: list[tuple[float, int, int]] = []
+        push = heapq.heappush
+        for neighbor, weight in adjacency[start].items():
+            weights[neighbor] = weight
+            in_phase[neighbor] = stamp
+            push(heap, (-weight, counter, neighbor))
+            counter += 1
+        phase_order = [start]
+        phase_size = len(current)
+        heappop = heapq.heappop
+        while len(phase_order) < phase_size:
+            while True:
+                neg_weight, _, node = heappop(heap)
+                if not added[node] and in_phase[node] == stamp and weights[node] == -neg_weight:
+                    break
+            added[node] = 1
+            phase_order.append(node)
+            for neighbor, weight in adjacency[node].items():
+                if added[neighbor]:
+                    continue
+                if in_phase[neighbor] == stamp:
+                    weight = weights[neighbor] + weight
+                weights[neighbor] = weight
+                in_phase[neighbor] = stamp
+                push(heap, (-weight, counter, neighbor))
+                counter += 1
+        last = phase_order[-1]
+        cut_weight = sum(adjacency[last].values())
+        if cut_weight < best_weight:
+            best_weight = cut_weight
+            best_side = list(members[last])
+        # contract the last two nodes added
+        second_last = phase_order[-2]
+        members[second_last].extend(members[last])
+        members[last] = None
+        row_second = adjacency[second_last]
+        for neighbor, weight in list(adjacency[last].items()):
+            if neighbor == second_last:
+                continue
+            if neighbor in row_second:
+                new_weight = row_second[neighbor] + weight
+                row_second[neighbor] = new_weight
+                adjacency[neighbor][second_last] = new_weight
+            else:
+                row_second[neighbor] = weight
+                adjacency[neighbor][second_last] = weight
+        for neighbor in adjacency[last]:
+            del adjacency[neighbor][last]
+        adjacency[last] = {}
+        alive[last] = 0
+        remaining -= 1
+    return best_weight, {to_orig[i] for i in best_side}
+
+
+def csr_k_edge_connected_components(
+    csr: CSRGraph, k: int, nodes: Optional[Sequence[int]] = None
+) -> list[list[int]]:
+    """Return the maximal k-edge-connected components of the subview.
+
+    The recursion works on ``alive`` masks over the shared CSR arrays —
+    degree-prune, split into connected pieces, test k-connectivity with an
+    unweighted cut, otherwise split along a weighted minimum cut — and
+    mirrors the dict path's piece ordering, so both backends return the
+    same components in the same order.
+    """
+    if k < 1:
+        raise GraphError(f"k must be positive, got {k}")
+    n = csr.number_of_nodes()
+    adj = csr.adjacency_lists()
+
+    if nodes is None:
+        subset = None
+        uniform = all(weight == 1.0 for weight in csr.weights)
+    else:
+        subset = bytearray(n)
+        for i in nodes:
+            subset[i] = 1
+        indptr = csr.indptr
+        indices = csr.indices
+        csr_weights = csr.weights
+        uniform = all(
+            csr_weights[pos] == 1.0
+            for i in nodes
+            for pos in range(indptr[i], indptr[i + 1])
+            if subset[indices[pos]]
+        )
+
+    # initial pieces: connected components of the subview, in index order
+    seen = bytearray(n)
+    stack: list[list[int]] = []
+    for root in range(n):
+        if seen[root] or (subset is not None and not subset[root]):
+            continue
+        component = [root]
+        seen[root] = 1
+        head = 0
+        while head < len(component):
+            node = component[head]
+            head += 1
+            for neighbor in adj[node]:
+                if not seen[neighbor] and (subset is None or subset[neighbor]):
+                    seen[neighbor] = 1
+                    component.append(neighbor)
+        stack.append(sorted(component))
+
+    # shared scratch, reset per piece so each level costs O(|piece|)
+    alive = bytearray(n)
+    degree = [0] * n
+    visited = bytearray(n)
+    results: list[list[int]] = []
+    while stack:
+        piece = stack.pop()
+        if len(piece) < 2:
+            continue
+        for i in piece:
+            alive[i] = 1
+        for i in piece:
+            degree[i] = sum(1 for j in adj[i] if alive[j])
+        # quick reject: prune nodes of degree < k first (cheap and sound)
+        changed = True
+        while changed:
+            low = [i for i in piece if alive[i] and degree[i] < k]
+            changed = bool(low)
+            for i in low:
+                alive[i] = 0
+                for j in adj[i]:
+                    if alive[j]:
+                        degree[j] -= 1
+        survivors = [i for i in piece if alive[i]]
+        if len(survivors) < 2:
+            for i in piece:
+                alive[i] = 0
+                degree[i] = 0
+            continue
+        pieces: list[list[int]] = []
+        for root in survivors:
+            if visited[root]:
+                continue
+            component = [root]
+            visited[root] = 1
+            head = 0
+            while head < len(component):
+                node = component[head]
+                head += 1
+                for neighbor in adj[node]:
+                    if alive[neighbor] and not visited[neighbor]:
+                        visited[neighbor] = 1
+                        component.append(neighbor)
+            pieces.append(sorted(component))
+        for i in piece:
+            alive[i] = 0
+            degree[i] = 0
+        for i in survivors:
+            visited[i] = 0
+        if len(pieces) > 1:
+            stack.extend(pieces)
+            continue
+        # unweighted connectivity test: edge multiplicity 1 regardless of
+        # weight; on a uniform host its cut doubles as the splitting cut
+        cut_weight, side = csr_stoer_wagner(csr, nodes=survivors, unit_weights=True)
+        if cut_weight >= k:
+            results.append(survivors)
+            continue
+        if not uniform:
+            # weighted split: the unit-weight cut above need not be minimal
+            # under the real weights
+            _, side = csr_stoer_wagner(csr, nodes=survivors)
+        stack.append([i for i in survivors if i in side])
+        stack.append([i for i in survivors if i not in side])
+    return results

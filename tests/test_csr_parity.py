@@ -26,13 +26,20 @@ from repro.graph import (
     csr_multi_source_bfs,
     csr_shortest_path,
     connected_components,
+    edge_support,
     erdos_renyi,
     freeze,
+    is_connected,
+    k_edge_connected_components,
+    k_truss_subgraph,
     lfr_benchmark,
     multi_source_bfs,
+    node_truss_numbers,
     planted_partition,
     ring_of_cliques,
     shortest_path,
+    stoer_wagner_min_cut,
+    truss_numbers,
 )
 
 
@@ -120,6 +127,187 @@ class TestKernelParity:
                 assert got is None
             else:
                 assert expected == [csr.node_list[i] for i in got]
+
+
+def _assert_same_graph_and_orders(a: Graph, b: Graph, context) -> None:
+    """Equality plus identical node / adjacency *orders* (tie-break safety)."""
+    assert a == b, context
+    assert list(a.iter_nodes()) == list(b.iter_nodes()), context
+    for node in a.iter_nodes():
+        assert list(a.adjacency(node).items()) == list(b.adjacency(node).items()), (
+            context,
+            node,
+        )
+
+
+class TestTrussKernelParity:
+    """The truss decomposition must be identical on both backends.
+
+    ``Graph`` rejects self-loops at construction, so every zoo graph is
+    simple; several zoo graphs are disconnected, which exercises the
+    multi-component paths of the kernels.
+    """
+
+    def test_edge_support_parity(self, zoo_graph):
+        assert edge_support(zoo_graph) == edge_support(freeze(zoo_graph))
+
+    def test_truss_numbers_parity(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        assert truss_numbers(zoo_graph) == truss_numbers(frozen)
+        assert node_truss_numbers(zoo_graph) == node_truss_numbers(frozen)
+
+    def test_k_truss_subgraph_parity(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        for k in (2, 3, 4, 5):
+            _assert_same_graph_and_orders(
+                k_truss_subgraph(zoo_graph, k), k_truss_subgraph(frozen, k), k
+            )
+
+    def test_k_truss_within_parity(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        nodes = list(zoo_graph.iter_nodes())
+        subset = nodes[: max(4, 2 * len(nodes) // 3)]
+        for k in (3, 4):
+            _assert_same_graph_and_orders(
+                k_truss_subgraph(zoo_graph, k, within=subset),
+                k_truss_subgraph(frozen, k, within=subset),
+                k,
+            )
+
+    def test_invalid_k_matches(self, zoo_graph):
+        with pytest.raises(GraphError):
+            k_truss_subgraph(freeze(zoo_graph), 1)
+
+    def test_k_truss_edge_mask(self, zoo_graph):
+        from repro.graph import csr_edge_index, csr_k_truss_edges
+
+        frozen = freeze(zoo_graph)
+        csr = frozen.csr
+        index = csr_edge_index(csr)
+        for k in (3, 4):
+            mask = csr_k_truss_edges(csr, k, index)
+            kept = {
+                frozenset((csr.node_list[index.eu[e]], csr.node_list[index.ev[e]]))
+                for e in range(index.num_edges)
+                if mask[e]
+            }
+            expected = {
+                frozenset(edge) for edge in k_truss_subgraph(zoo_graph, k).edges()
+            }
+            assert kept == expected, k
+
+
+class TestCutKernelParity:
+    def test_stoer_wagner_parity(self, zoo_graph):
+        components = connected_components(zoo_graph)
+        for component in components:
+            if len(component) < 2:
+                continue
+            sub = zoo_graph.subgraph(component)
+            dict_weight, dict_side = stoer_wagner_min_cut(sub)
+            csr_weight, csr_side = stoer_wagner_min_cut(freeze(sub))
+            assert dict_weight == csr_weight
+            assert dict_side == csr_side
+
+    def test_stoer_wagner_weighted_parity(self):
+        graph = Graph([(1, 2, 10.0), (2, 3, 0.5), (3, 4, 10.0), (4, 1, 0.5), (1, 3, 2.0)])
+        dict_weight, dict_side = stoer_wagner_min_cut(graph)
+        csr_weight, csr_side = stoer_wagner_min_cut(freeze(graph))
+        assert dict_weight == csr_weight
+        assert dict_side == csr_side
+
+    def test_stoer_wagner_requires_two_nodes(self):
+        with pytest.raises(GraphError):
+            stoer_wagner_min_cut(freeze(Graph(nodes=[1])))
+
+    def test_kecc_partition_parity(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        for k in (1, 2, 3):
+            # full list equality: same components in the same order
+            assert k_edge_connected_components(zoo_graph, k) == k_edge_connected_components(
+                frozen, k
+            ), k
+
+    def test_kecc_within_parity(self, zoo_graph):
+        frozen = freeze(zoo_graph)
+        nodes = list(zoo_graph.iter_nodes())
+        subset = nodes[: max(4, 2 * len(nodes) // 3)]
+        for k in (2, 3):
+            assert k_edge_connected_components(
+                zoo_graph, k, within=subset
+            ) == k_edge_connected_components(frozen, k, within=subset), k
+
+    def test_kecc_multi_component(self):
+        # two triangles joined by a bridge plus a fully separate triangle and
+        # an isolated node: exercises both bridge-splitting and the
+        # multi-component top level of the recursion
+        graph = Graph(
+            [(1, 2), (2, 3), (1, 3), (10, 11), (11, 12), (10, 12), (3, 10)],
+            nodes=[99],
+        )
+        graph.add_edges_from([(20, 21), (21, 22), (20, 22)])
+        assert not is_connected(graph)
+        frozen = freeze(graph)
+        for k in (1, 2, 3):
+            dict_parts = k_edge_connected_components(graph, k)
+            assert dict_parts == k_edge_connected_components(frozen, k)
+        assert {frozenset(part) for part in k_edge_connected_components(frozen, 2)} == {
+            frozenset({1, 2, 3}),
+            frozenset({10, 11, 12}),
+            frozenset({20, 21, 22}),
+        }
+
+
+class TestTrussCutMemoisation:
+    def test_truss_memoised_on_snapshot(self, karate_graph):
+        frozen = freeze(karate_graph)
+        first = truss_numbers(frozen)
+        assert first is truss_numbers(frozen)  # cached, not recomputed
+        keys = {key[0] for key in frozen.shared_cache()}
+        assert {"csr-edge-index", "csr-edge-truss", "truss-numbers"} <= keys
+
+    def test_kecc_partition_via_baseline_memoised(self, karate_graph):
+        from repro.baselines import kecc_community
+
+        frozen = freeze(karate_graph)
+        a = kecc_community(frozen, [0], approximate_above=None)
+        b = kecc_community(frozen, [33], approximate_above=None)
+        assert any(key[0] == "kecc-partition" for key in frozen.shared_cache())
+        dict_a = kecc_community(karate_graph, [0], approximate_above=None)
+        dict_b = kecc_community(karate_graph, [33], approximate_above=None)
+        assert (a.nodes, a.score, a.extra.get("failed")) == (
+            dict_a.nodes,
+            dict_a.score,
+            dict_a.extra.get("failed"),
+        )
+        assert (b.nodes, b.score, b.extra.get("failed")) == (
+            dict_b.nodes,
+            dict_b.score,
+            dict_b.extra.get("failed"),
+        )
+
+    def test_truss_baselines_parity_and_memo(self, karate_graph):
+        from repro.baselines import (
+            closest_truss_community,
+            highest_truss_community,
+            ktruss_community,
+        )
+
+        frozen = freeze(karate_graph)
+        for runner, kwargs in (
+            (ktruss_community, {"k": 4}),
+            (highest_truss_community, {}),
+            (closest_truss_community, {}),
+        ):
+            for queries in ([0], [0, 33], [5, 6]):
+                a = runner(karate_graph, queries, **kwargs)
+                b = runner(frozen, queries, **kwargs)
+                assert (a.nodes, a.score, a.algorithm) == (b.nodes, b.score, b.algorithm), (
+                    runner.__name__,
+                    queries,
+                )
+        assert any(key[0] == "ktruss-structure" for key in frozen.shared_cache())
+        assert ("node-truss-numbers",) in frozen.shared_cache()
 
 
 def _assert_identical(a, b, context):
@@ -243,7 +431,7 @@ class TestFrozenGraph:
 class TestBatchedEngineParity:
     def test_batched_records_match_per_query(self, karate):
         query_sets = generate_query_sets(karate, num_sets=5, seed=1)
-        algorithms = ["FPA", "NCA", "kc", "kecc"]
+        algorithms = ["FPA", "NCA", "kc", "kecc", "kt", "hightruss", "huang2015"]
         batched = evaluate_batch(karate, algorithms, query_sets)
         for algorithm in algorithms:
             per_query = evaluate_algorithm(karate, algorithm, query_sets)
@@ -259,7 +447,8 @@ class TestBatchedEngineParity:
     def test_batched_reuses_frozen_snapshot(self, karate):
         query_sets = generate_query_sets(karate, num_sets=3, seed=2)
         frozen = karate.graph.freeze()
-        records = evaluate_batch(karate, ["kecc"], query_sets, frozen=frozen)["kecc"]
-        assert len(records) == 3
-        # the query-independent decomposition was memoised on the snapshot
-        assert any(key[0] == "kcore-structure" for key in frozen.shared_cache())
+        records = evaluate_batch(karate, ["kecc", "kt"], query_sets, frozen=frozen)
+        assert len(records["kecc"]) == len(records["kt"]) == 3
+        # the query-independent decompositions were memoised on the snapshot
+        cached = {key[0] for key in frozen.shared_cache()}
+        assert {"kcore-structure", "csr-edge-truss", "ktruss-structure"} <= cached
