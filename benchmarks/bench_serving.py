@@ -1,0 +1,485 @@
+"""Serving load generator: the per-query dict path vs ``repro serve``.
+
+Stands up a **real** server (``python -m repro serve`` in a subprocess,
+ephemeral port) and drives it with a multi-dataset, multi-client workload
+through the blocking :class:`repro.serving.ServingClient` — the full
+request → shard → micro-batch → cache → response path.  Two comparisons:
+
+* **cold** — one client streams every distinct request once against a
+  fresh server.  Cache hits play no role; the speedup is the shard's
+  snapshot memoisation (one truss/core decomposition per dataset instead
+  of one per query), i.e. the batched-engine effect behind a socket.
+  Measured once by construction (a second run would be warm).
+* **closed-loop xC** — C client threads each replay the workload
+  back-to-back (rotated so they collide mid-stream, exercising the LRU
+  result cache and in-flight coalescing).  The per-query baseline runs the
+  identical request multiset sequentially on the mutable dict graph — what
+  a naive service would do per request.
+
+Usage::
+
+    python benchmarks/bench_serving.py                    # timings + parity
+    python benchmarks/bench_serving.py --parity-only      # CI smoke: server up,
+                                                          # parity vs the dict
+                                                          # reference, errors
+                                                          # structured, clean
+                                                          # shutdown
+    python benchmarks/bench_serving.py --mode open --rate 200
+    python benchmarks/bench_serving.py --json out.json    # trajectory record
+
+In the shared ``--json`` schema the ``dict_seconds`` column is the
+per-query reference path and ``csr_seconds`` is the served path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from _bench_util import add_common_arguments, print_table, time_median as _time, write_json
+
+import repro
+from repro.datasets import load_dataset
+from repro.experiments import generate_query_sets
+from repro.experiments.registry import run_algorithm
+from repro.serving import ServingClient, latency_percentile
+
+HOST = "127.0.0.1"
+SMALL_DATASETS = ("karate", "dolphin", "mexican")
+# decomposition-heavy baselines: the workload where batching/memoisation
+# matters most (huang2015 exercises the ported phase-2 loop)
+SMALL_ALGORITHMS = ("kt", "kc", "hightruss", "huang2015")
+# one big graph where a per-query truss peel really hurts; huang2015's greedy
+# deletion is quadratic-ish there, so it stays on the small datasets
+HEAVY_DATASET = "dblp"
+HEAVY_ALGORITHMS = ("kt", "kc", "hightruss")
+MEASURE_DATASETS = SMALL_DATASETS + (HEAVY_DATASET,)
+PARITY_ALGORITHMS = ("kt", "kc", "kecc", "hightruss", "huang2015", "FPA", "NCA")
+
+
+# ----------------------------------------------------------------------------
+# server process management
+# ----------------------------------------------------------------------------
+
+
+class ServerProcess:
+    """``repro serve`` in a subprocess; parses the announce line for the port."""
+
+    def __init__(self, datasets, *, max_batch: int = 64) -> None:
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--datasets",
+                *datasets,
+                "--max-batch",
+                str(max_batch),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        line = self.proc.stdout.readline()
+        if "serving on" not in line:
+            self.proc.kill()
+            raise RuntimeError(f"server failed to start: {line!r}")
+        self.port = int(line.rsplit(":", 1)[1])
+
+    def shutdown(self, timeout: float = 30.0) -> int:
+        """Request shutdown over the wire; return the process exit code."""
+        try:
+            with ServingClient(HOST, self.port) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait(5)
+
+
+# ----------------------------------------------------------------------------
+# workload construction
+# ----------------------------------------------------------------------------
+
+
+def build_workload(scale: float, datasets=SMALL_DATASETS, algorithms=SMALL_ALGORITHMS):
+    """Return ``[(dataset, algorithm, nodes), ...]`` distinct requests."""
+    requests = []
+    num_sets = max(2, int(3 * scale))
+    for name in datasets:
+        dataset = load_dataset(name)
+        singles = generate_query_sets(dataset, num_sets=num_sets, query_size=1, seed=17)
+        pairs = generate_query_sets(dataset, num_sets=max(1, num_sets // 2), query_size=2, seed=23)
+        for query_set in singles + pairs:
+            for algorithm in algorithms:
+                requests.append((name, algorithm, list(query_set.nodes)))
+    return requests
+
+
+def reference_results(requests):
+    """Run every request on the mutable dict graph (the reference path)."""
+    graphs = {name: load_dataset(name).graph for name in {r[0] for r in requests}}
+    return [
+        run_algorithm(algorithm, graphs[dataset], nodes)
+        for dataset, algorithm, nodes in requests
+    ]
+
+
+def run_per_query(requests, graphs):
+    """The per-query baseline: fresh dict-path execution, request by request.
+
+    ``graphs`` is built by the caller, outside the timed region — the served
+    side loads datasets at server startup (also untimed), so including
+    ``load_dataset`` here would inflate the baseline.
+    """
+    latencies = []
+    for dataset, algorithm, nodes in requests:
+        start = time.perf_counter()
+        run_algorithm(algorithm, graphs[dataset], nodes)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+# ----------------------------------------------------------------------------
+# load generation
+# ----------------------------------------------------------------------------
+
+
+def run_closed_loop(port: int, requests, clients: int):
+    """Each client thread replays the workload back-to-back (rotated start)."""
+    all_latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+
+    def worker(index: int) -> None:
+        offset = (index * len(requests)) // clients
+        rotated = requests[offset:] + requests[:offset]
+        try:
+            with ServingClient(HOST, port) as client:
+                for dataset, algorithm, nodes in rotated:
+                    start = time.perf_counter()
+                    response = client.query(dataset, algorithm, nodes)
+                    all_latencies[index].append(time.perf_counter() - start)
+                    if not response["ok"]:
+                        errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"load generation failed: {errors[:3]}")
+    return wall, [latency for per_client in all_latencies for latency in per_client]
+
+
+def run_open_loop(port: int, requests, clients: int, rate: float):
+    """Dispatch at a fixed aggregate rate; latency includes queueing delay.
+
+    Request ``i`` is *scheduled* at ``start + i / rate`` and handed to one of
+    ``clients`` workers round-robin; a worker that falls behind sends as fast
+    as it can, so latencies reflect the backlog an overloaded server builds.
+    """
+    total = list(requests) * clients
+    all_latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    start = time.perf_counter() + 0.05  # small lead so worker 0 isn't late
+
+    def worker(index: int) -> None:
+        try:
+            with ServingClient(HOST, port) as client:
+                for position in range(index, len(total), clients):
+                    dataset, algorithm, nodes = total[position]
+                    scheduled = start + position / rate
+                    delay = scheduled - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    response = client.query(dataset, algorithm, nodes)
+                    all_latencies[index].append(time.perf_counter() - scheduled)
+                    if not response["ok"]:
+                        errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"load generation failed: {errors[:3]}")
+    return wall, [latency for per_client in all_latencies for latency in per_client]
+
+
+def percentile_ms(latencies, fraction: float) -> float:
+    """Server-side nearest-rank percentile (shared helper), in milliseconds."""
+    return round(latency_percentile(latencies, fraction) * 1000.0, 3)
+
+
+# ----------------------------------------------------------------------------
+# parity smoke (the CI mode)
+# ----------------------------------------------------------------------------
+
+
+def run_parity(scale: float) -> int:
+    failures: list[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        if not ok:
+            failures.append(name)
+
+    requests = build_workload(min(scale, 1.0), algorithms=PARITY_ALGORITHMS)
+    references = reference_results(requests)
+    server = ServerProcess(SMALL_DATASETS)
+    try:
+        with ServingClient(HOST, server.port) as client:
+            check("ping", client.ping() == {"ok": True, "op": "ping"})
+            for (dataset, algorithm, nodes), reference in zip(requests, references):
+                response = client.query(dataset, algorithm, nodes)
+                label = f"{dataset}/{algorithm}{nodes}"
+                if not response["ok"]:
+                    check(f"{label}: {response['error']}", False)
+                    continue
+                failed = bool(reference.extra.get("failed")) or not reference.nodes
+                check(f"{label} failed-flag", response["failed"] == failed)
+                check(f"{label} nodes", response["nodes"] == sorted(reference.nodes, key=repr))
+                check(f"{label} size", response["size"] == reference.size)
+                if failed:
+                    check(f"{label} score", response["score"] is None)
+                else:
+                    # exact float equality: the JSON round-trip is repr-exact
+                    # and the CSR backend is bit-identical to the dict path
+                    check(f"{label} score", response["score"] == reference.score)
+
+            # duplicate request comes back from the LRU result cache
+            dataset, algorithm, nodes = requests[0]
+            check("cached-repeat", client.query(dataset, algorithm, nodes)["cached"])
+
+            # structured errors, all on a connection that must stay alive
+            check(
+                "unknown-dataset",
+                client.query("atlantis", "kt", [0])["error"]["code"] == "unknown_dataset",
+            )
+            check(
+                "unknown-algorithm",
+                client.query("karate", "quantum", [0])["error"]["code"] == "unknown_algorithm",
+            )
+            check(
+                "bad-query-node",
+                client.query("karate", "kt", [10**9])["error"]["code"] == "bad_query",
+            )
+            check(
+                "malformed-json",
+                client.send_raw(b"{not json")["error"]["code"] == "bad_request",
+            )
+            check("alive-after-errors", client.ping()["ok"])
+
+            stats = client.stats()
+            check("stats-shards", set(SMALL_DATASETS) <= set(stats["shards"]))
+            check("stats-hits", stats["totals"]["cache_hits"] >= 1)
+            check("stats-executed", stats["totals"]["executed"] >= len(requests) - 1)
+    finally:
+        exit_code = server.shutdown()
+    check("clean-shutdown", exit_code == 0)
+
+    if failures:
+        print(f"PARITY FAILURES ({len(failures)}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"parity ok: {len(requests)} served requests identical to the dict "
+          f"reference path; errors structured; clean shutdown")
+    return 0
+
+
+# ----------------------------------------------------------------------------
+# main
+# ----------------------------------------------------------------------------
+
+
+def run(
+    scale: float = 1.0,
+    parity_only: bool = False,
+    json_path: str | None = None,
+    clients: int = 4,
+    mode: str = "closed",
+    rate: float = 200.0,
+) -> int:
+    if parity_only:
+        return run_parity(scale)
+
+    requests = build_workload(scale) + build_workload(
+        scale, datasets=(HEAVY_DATASET,), algorithms=HEAVY_ALGORITHMS
+    )
+    multiset = list(requests) * clients
+    print(
+        f"workload: {len(requests)} distinct requests over {len(MEASURE_DATASETS)} datasets; "
+        f"{clients} clients ({mode}-loop)"
+    )
+
+    # per-query reference path (sequential dict-graph execution, no caching)
+    graphs = {name: load_dataset(name).graph for name in {r[0] for r in requests}}
+    per_query_cold_seconds, per_query_cold_latencies = _time(
+        lambda: run_per_query(requests, graphs), repeat=3
+    )
+    per_query_multi_seconds, per_query_multi_latencies = _time(
+        lambda: run_per_query(multiset, graphs), repeat=3
+    )
+
+    server = ServerProcess(MEASURE_DATASETS)
+    try:
+        # spot parity before timing anything: served == dict reference
+        with ServingClient(HOST, server.port) as client:
+            parity = True
+            for dataset, algorithm, nodes in requests[:: max(1, len(requests) // 5)]:
+                response = client.query(dataset, algorithm, nodes)
+                reference = run_algorithm(algorithm, load_dataset(dataset).graph, nodes)
+                parity &= response["ok"] and response["nodes"] == sorted(
+                    reference.nodes, key=repr
+                )
+
+        # served, cold: one client streams the distinct workload once against
+        # the (result-cache-cold) server.  Measured once by construction — a
+        # second pass would be answered from the LRU cache.  The spot-parity
+        # requests above warmed a few entries; exclude them from the cold
+        # numbers by restarting the server.
+        exit_code = server.shutdown()
+        if exit_code != 0:
+            print(f"WARNING: parity server exited with code {exit_code}")
+        server = ServerProcess(MEASURE_DATASETS)
+        served_cold_wall, served_cold_latencies = run_closed_loop(
+            server.port, requests, clients=1
+        )
+
+        # served, multi-client steady state: C clients replay the workload
+        # concurrently (closed-loop) or at a fixed aggregate rate (open-loop);
+        # median of 3 replays against the now-warm shards
+        walls = []
+        served_multi_latencies: list[float] = []
+        for _ in range(3):
+            if mode == "open":
+                wall, latencies = run_open_loop(server.port, requests, clients, rate)
+            else:
+                wall, latencies = run_closed_loop(server.port, requests, clients)
+            walls.append(wall)
+            served_multi_latencies.extend(latencies)
+        served_multi_wall = statistics.median(walls)
+
+        with ServingClient(HOST, server.port) as client:
+            server_stats = client.stats()
+    finally:
+        exit_code = server.shutdown()
+    if exit_code != 0:
+        print(f"SERVER FAILURE: exit code {exit_code}")
+        return 1
+
+    rows = [
+        (f"cold x1 client ({len(requests)} reqs)", per_query_cold_seconds, served_cold_wall),
+        (
+            f"{mode}-loop x{clients} clients ({len(multiset)} reqs)",
+            per_query_multi_seconds,
+            served_multi_wall,
+        ),
+    ]
+    print_table(rows)
+    print()
+    print(f"{'latency (ms)':<36}{'p50':>10}{'p95':>10}")
+    latency_rows = [
+        ("per-query path (cold workload)", per_query_cold_latencies),
+        ("served (cold workload)", served_cold_latencies),
+        (f"per-query path (x{clients} multiset)", per_query_multi_latencies),
+        (f"served ({mode}-loop x{clients})", served_multi_latencies),
+    ]
+    for name, latencies in latency_rows:
+        print(
+            f"{name:<36}{percentile_ms(latencies, 0.50):>10.3f}"
+            f"{percentile_ms(latencies, 0.95):>10.3f}"
+        )
+    throughput_per_query = len(multiset) / per_query_multi_seconds
+    throughput_served = len(multiset) / served_multi_wall
+    print()
+    print(
+        f"throughput (x{clients} clients): per-query {throughput_per_query:,.0f} req/s, "
+        f"served {throughput_served:,.0f} req/s "
+        f"({throughput_served / throughput_per_query:.2f}x); parity={parity}"
+    )
+    totals = server_stats["totals"]
+    print(
+        f"server totals: {totals['queries']} queries, {totals['executed']} executed, "
+        f"{totals['cache_hits']} cache hits, {totals['coalesced']} coalesced, "
+        f"{totals['batches']} batches"
+    )
+
+    if json_path:
+        write_json(
+            json_path,
+            bench="serving",
+            scale=scale,
+            rows=rows,
+            parity=parity,
+            clients=clients,
+            mode=mode,
+            rate=rate if mode == "open" else None,
+            distinct_requests=len(requests),
+            total_requests=len(multiset),
+            throughput_req_per_s={
+                "per_query": round(throughput_per_query, 1),
+                "served": round(throughput_served, 1),
+                "speedup": round(throughput_served / throughput_per_query, 2),
+            },
+            latency_ms={
+                name: {"p50": percentile_ms(lat, 0.50), "p95": percentile_ms(lat, 0.95)}
+                for name, lat in (
+                    ("per_query_cold", per_query_cold_latencies),
+                    ("served_cold", served_cold_latencies),
+                    ("per_query_multi", per_query_multi_latencies),
+                    ("served_multi", served_multi_latencies),
+                )
+            },
+            server_totals=totals,
+        )
+    return 0 if parity else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_common_arguments(parser)
+    parser.add_argument("--clients", type=int, default=4, help="concurrent client connections")
+    parser.add_argument(
+        "--mode", choices=["closed", "open"], default="closed", help="load-generation mode"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=200.0, help="aggregate request rate for --mode open (req/s)"
+    )
+    args = parser.parse_args(argv)
+    return run(
+        scale=args.scale,
+        parity_only=args.parity_only,
+        json_path=args.json_path,
+        clients=args.clients,
+        mode=args.mode,
+        rate=args.rate,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

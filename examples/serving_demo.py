@@ -1,0 +1,65 @@
+"""The query-serving subsystem end to end, in one script.
+
+Run with::
+
+    python examples/serving_demo.py
+
+The script starts a real server (the same stack as ``repro serve``) in a
+background thread, then acts as three different clients:
+
+1. a cold client whose first query pays the truss decomposition once;
+2. a repeat client answered from the per-shard LRU result cache;
+3. a burst of identical concurrent requests that the shard coalesces into
+   a single execution.
+
+It finishes by printing the per-shard statistics — the same payload the
+``{"op": "stats"}`` wire operation returns.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.serving import ServerThread, ServingClient
+
+
+def main() -> None:
+    with ServerThread(datasets=["karate", "dolphin"]) as server:
+        print(f"server up on 127.0.0.1:{server.port}\n")
+
+        with ServingClient("127.0.0.1", server.port) as client:
+            # 1. cold query: executes on the shard's frozen snapshot
+            response = client.query("karate", "kt", [0, 1], k=4)
+            print(f"kt(0, 1):   size={response['size']}  "
+                  f"elapsed={response['elapsed_ms']}ms  cached={response['cached']}")
+
+            # 2. the repeat is a result-cache hit
+            response = client.query("karate", "kt", [0, 1], k=4)
+            print(f"repeat:     size={response['size']}  cached={response['cached']}")
+
+            # 3. a structured error: the server never sends tracebacks
+            response = client.query("karate", "kt", [999])
+            print(f"bad node:   ok={response['ok']}  code={response['error']['code']}\n")
+
+        # 4. concurrent identical requests from separate connections
+        #    coalesce onto one execution (watch `coalesced` in the stats)
+        def fire() -> None:
+            with ServingClient("127.0.0.1", server.port) as connection:
+                connection.query("dolphin", "hightruss", [14])
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        with ServingClient("127.0.0.1", server.port) as client:
+            stats = client.stats()
+        print("per-shard statistics:")
+        print(json.dumps(stats["shards"], indent=2))
+    print("\nserver shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,9 @@ The package is organised as:
 * :mod:`repro.metrics` — NMI, ARI, F-score, centralities;
 * :mod:`repro.datasets` — built-in and surrogate datasets;
 * :mod:`repro.experiments` — the benchmark harness reproducing the paper's
-  tables and figures.
+  tables and figures;
+* :mod:`repro.serving` — the sharded async query-serving subsystem
+  (``repro serve``) built on frozen snapshots.
 
 Quickstart
 ----------
@@ -23,7 +25,7 @@ Quickstart
 True
 """
 
-from . import baselines, core, datasets, experiments, graph, metrics, modularity
+from . import baselines, core, datasets, experiments, graph, metrics, modularity, serving
 from .core import CommunityResult, fpa, fpa_search, nca, nca_search
 from .graph import Graph, GraphError
 from .modularity import classic_modularity, density_modularity
@@ -47,5 +49,6 @@ __all__ = [
     "metrics",
     "datasets",
     "experiments",
+    "serving",
     "__version__",
 ]

@@ -22,10 +22,12 @@ from typing import Optional
 
 from ..core.result import CommunityResult
 from ..graph import (
+    FrozenGraph,
     Graph,
     GraphError,
     Node,
     connected_component_containing,
+    csr_multi_source_bfs,
     k_truss_subgraph,
     multi_source_bfs,
     node_truss_numbers,
@@ -61,8 +63,7 @@ def closest_truss_community(
     deletions = 0
     limit = max_deletions if max_deletions is not None else len(community)
     while deletions < limit:
-        subgraph = graph.subgraph(working)
-        distances = multi_source_bfs(subgraph, queries)
+        distances = _distances_within(graph, working, queries)
         # candidates: non-query nodes, farthest first
         candidates = sorted(
             (node for node in working if node not in queries),
@@ -124,8 +125,34 @@ def _maximal_connected_truss(
     return None
 
 
+def _distances_within(
+    graph: Graph, nodes: set[Node], queries: frozenset[Node]
+) -> dict[Node, int]:
+    """Min hop distance from any query node inside the subgraph induced on ``nodes``.
+
+    The dict path materialises the induced subgraph and runs the reference
+    BFS on it; on a frozen snapshot the same distances come from the CSR
+    multi-source BFS restricted by an alive mask — no subgraph is ever
+    built, which removes the last dict-bound inner loop of the phase-2
+    greedy deletion.  Distances are backend independent (minimum hop counts
+    have no tie-breaks), so results stay bit-identical.
+    """
+    if isinstance(graph, FrozenGraph):
+        csr = graph.csr
+        index_of = csr.index_of
+        alive = bytearray(csr.number_of_nodes())
+        for node in nodes:
+            alive[index_of[node]] = 1
+        dist, order = csr_multi_source_bfs(
+            csr, [index_of[query] for query in queries], alive=alive
+        )
+        node_list = csr.node_list
+        return {node_list[index]: dist[index] for index in order}
+    subgraph = graph.subgraph(nodes)
+    return multi_source_bfs(subgraph, queries)
+
+
 def _query_distance(graph: Graph, nodes: set[Node], queries: frozenset[Node]) -> int:
     """Return the maximum distance from any member to its closest query node."""
-    subgraph = graph.subgraph(nodes)
-    distances = multi_source_bfs(subgraph, queries)
+    distances = _distances_within(graph, nodes, queries)
     return max((distances.get(node, 0) for node in nodes), default=0)

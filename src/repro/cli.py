@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four sub-commands expose the library without writing any code:
+Five sub-commands expose the library without writing any code:
 
 * ``datasets`` — list the built-in datasets with their Table-1 statistics;
 * ``algorithms`` — list the registered community-search algorithms;
@@ -8,12 +8,19 @@ Four sub-commands expose the library without writing any code:
   edge-list file and print the community plus its quality scores;
 * ``evaluate`` — run one or more algorithms over generated query sets and
   print the aggregated NMI / ARI / runtime table (a one-dataset slice of the
-  paper's accuracy figures).
+  paper's accuracy figures);
+* ``serve`` — run the sharded async query-serving daemon (line-delimited
+  JSON over TCP; see ``repro.serving``).
+
+Errors are production-shaped: unknown dataset/algorithm names, bad query
+nodes and invalid parameters print a one-line ``error: ...`` message to
+stderr and exit with code 2 — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 from typing import Optional
@@ -28,7 +35,7 @@ from .experiments import (
     get_algorithm,
     list_algorithms,
 )
-from .graph import read_edge_list
+from .graph import GraphError, read_edge_list
 from .metrics import community_ari, community_nmi
 from .modularity import classic_modularity, density_modularity
 
@@ -75,6 +82,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fan the batched engine out over this many worker processes",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the async query-serving daemon (JSON lines over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port", type=int, default=7531, help="TCP port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["karate"],
+        help="datasets to preload into shards; any other registered dataset "
+        "loads lazily on its first request",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process workers per shard (default: in-process execution)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="LRU result-cache entries per shard"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size limit per shard"
     )
     return parser
 
@@ -164,6 +198,20 @@ def _command_evaluate(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .serving import ServingEngine, run_server
+
+    if args.workers is not None and args.workers < 1:
+        raise ValueError("--workers must be a positive integer")
+    engine = ServingEngine(
+        datasets=args.datasets,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        workers=args.workers,
+    )
+    return run_server(engine, args.host, args.port)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -177,9 +225,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_search(args)
         if args.command == "evaluate":
             return _command_evaluate(args)
+        if args.command == "serve":
+            return _command_serve(args)
     except BrokenPipeError:
         # piping into `head` and friends closes stdout early; exit quietly
         return 0
+    except (KeyError, ValueError, GraphError, OSError) as exc:
+        # unknown dataset/algorithm names, bad query nodes, invalid parameter
+        # values, unreadable edge lists, a serve port already in use: a
+        # structured one-liner and exit code 2, never a traceback.
+        # REPRO_DEBUG=1 re-raises so internal bugs stay diagnosable.
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        message = str(exc) if isinstance(exc, OSError) else (
+            exc.args[0] if exc.args else str(exc)
+        )
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,47 @@
+"""Sharded async query-serving on top of frozen snapshots.
+
+The serving subsystem turns the offline batched engine into a persistent
+multi-user service: one shard per dataset (each dataset frozen **once**
+into an immutable CSR snapshot whose memo cache amortises decompositions
+across every request the shard ever serves), an asyncio loop that routes,
+coalesces and micro-batches structured query requests, an LRU result
+cache, and per-shard statistics.
+
+Three entry points, all bit-identical to ``evaluate_algorithm`` on the
+dict reference path:
+
+* :class:`ServingEngine` — the in-process async API;
+* ``repro serve`` — the CLI daemon (line-delimited JSON over TCP, see
+  :mod:`repro.serving.protocol`);
+* :class:`ServingClient` / ``benchmarks/bench_serving.py`` — the blocking
+  client and the open/closed-loop load generator.
+"""
+
+from .client import ServingClient
+from .engine import ServingEngine
+from .protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    QueryRequest,
+    error_payload,
+    parse_request,
+    result_payload,
+)
+from .server import QueryServer, ServerThread, run_server
+from .shard import Shard, latency_percentile
+
+__all__ = [
+    "ServingEngine",
+    "ServingClient",
+    "QueryServer",
+    "ServerThread",
+    "run_server",
+    "Shard",
+    "latency_percentile",
+    "QueryRequest",
+    "ProtocolError",
+    "ERROR_CODES",
+    "parse_request",
+    "result_payload",
+    "error_payload",
+]

@@ -1,0 +1,95 @@
+"""Blocking client for the query-serving protocol.
+
+A thin ``socket`` wrapper speaking the line-delimited JSON protocol of
+:mod:`repro.serving.protocol`.  One client per thread — the load generator
+opens one connection per simulated user, which is also what lets the
+server's micro-batching see genuinely concurrent traffic.
+
+Example session (against ``repro serve --datasets karate``)::
+
+    with ServingClient("127.0.0.1", 7531) as client:
+        client.ping()
+        response = client.query("karate", "kt", [0], k=4)
+        print(response["size"], response["cached"])
+        print(client.stats()["shards"]["karate"]["cache_hits"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One TCP connection to a query server; not thread-safe by design."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # raw protocol
+    # ------------------------------------------------------------------
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one JSON payload line; return the decoded response."""
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        return self._read_response()
+
+    def send_raw(self, line: bytes) -> dict[str, Any]:
+        """Send a raw (possibly malformed) line; used by the error tests."""
+        self._file.write(line.rstrip(b"\n") + b"\n")
+        self._file.flush()
+        return self._read_response()
+
+    def _read_response(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def query(self, dataset: str, algorithm: str, nodes, **params) -> dict[str, Any]:
+        """Run one community search; returns the response payload."""
+        payload: dict[str, Any] = {
+            "op": "query",
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "nodes": list(nodes),
+        }
+        if params:
+            payload["params"] = params
+        return self.request(payload)
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness check."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        """Fetch the per-shard statistics snapshot."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to shut down cleanly."""
+        return self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,233 @@
+"""The in-process serving engine: shard management + request routing.
+
+:class:`ServingEngine` is the API the TCP server wraps and the one tests
+and examples use directly.  It owns one :class:`~repro.serving.shard.Shard`
+per dataset (the shard-per-dataset layout the ROADMAP calls for), routes
+each validated :class:`~repro.serving.protocol.QueryRequest` to the owning
+shard, and exposes the aggregate statistics.
+
+Shards for the configured ``datasets`` are loaded eagerly at
+:meth:`ServingEngine.start`; any other *registered* dataset is loaded
+lazily on first request (dataset loading runs off the event loop so a cold
+shard does not stall in-flight traffic to warm ones).  Unknown names never
+reach a shard — they fail validation with a structured
+``unknown_dataset`` / ``unknown_algorithm`` error.
+
+Typical in-process use::
+
+    async def main():
+        async with ServingEngine(datasets=["karate"]) as engine:
+            result, cached, coalesced = await engine.query(
+                "karate", "kt", [0], k=4
+            )
+            print(sorted(result.nodes), engine.stats()["totals"])
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Optional
+
+from ..datasets import list_datasets, load_dataset
+from ..experiments.registry import list_algorithms
+from .protocol import (
+    ProtocolError,
+    QueryRequest,
+    error_payload,
+    parse_request,
+    result_payload,
+)
+from .shard import Shard
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Route structured query requests to per-dataset shards."""
+
+    def __init__(
+        self,
+        datasets: Optional[list[str]] = None,
+        *,
+        cache_size: int = 1024,
+        max_batch: int = 64,
+        workers: Optional[int] = None,
+    ) -> None:
+        self._known_datasets = set(list_datasets())
+        self._known_algorithms = set(list_algorithms())
+        preload = tuple(datasets) if datasets else ()
+        for name in preload:
+            if name not in self._known_datasets:
+                raise KeyError(
+                    f"unknown dataset {name!r}; available: "
+                    f"{', '.join(sorted(self._known_datasets))}"
+                )
+        self._preload = preload
+        self._shard_options = {
+            "cache_size": cache_size,
+            "max_batch": max_batch,
+            "workers": workers,
+        }
+        self._shards: dict[str, Shard] = {}
+        self._load_lock: Optional[asyncio.Lock] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Load the configured shards and start their batch loops."""
+        if self._started:
+            return
+        self._load_lock = asyncio.Lock()
+        self._closed = False
+        for name in self._preload:
+            await self._get_shard(name)
+        self._started = True
+
+    async def close(self) -> None:
+        """Stop every shard (queued requests fail with ``internal_error``).
+
+        Takes the load lock first so a lazy shard load racing with shutdown
+        either completes (and is closed here) or observes ``_closed`` and
+        refuses — no shard task or worker pool can leak past close().
+        """
+        if self._load_lock is not None:
+            async with self._load_lock:
+                self._closed = True
+        else:
+            self._closed = True
+        for shard in self._shards.values():
+            await shard.close()
+        self._shards.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "ServingEngine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    async def _get_shard(self, name: str) -> Shard:
+        shard = self._shards.get(name)
+        if shard is not None:
+            return shard
+        if self._load_lock is None:
+            raise ProtocolError("internal_error", "engine is not started")
+        async with self._load_lock:
+            if self._closed:
+                raise ProtocolError("internal_error", "engine is shutting down")
+            shard = self._shards.get(name)  # a concurrent request may have won
+            if shard is not None:
+                return shard
+            if name not in self._known_datasets:
+                raise ProtocolError("unknown_dataset", f"unknown dataset {name!r}")
+            loop = asyncio.get_running_loop()
+
+            def _build() -> Shard:
+                # dataset construction AND the freeze + CSR prebuild in
+                # Shard.__init__ are the expensive parts — run the whole
+                # build off the loop so warm shards keep serving meanwhile
+                return Shard(load_dataset(name), key=name, **self._shard_options)
+
+            shard = await loop.run_in_executor(None, _build)
+            await shard.start()
+            self._shards[name] = shard
+        return shard
+
+    async def submit(self, request: QueryRequest) -> tuple[Any, bool, bool]:
+        """Resolve a validated request; returns ``(result, cached, coalesced)``."""
+        shard = await self._get_shard(request.dataset)
+        return await shard.submit(request)
+
+    async def query(
+        self, dataset: str, algorithm: str, nodes, **params
+    ) -> tuple[Any, bool, bool]:
+        """Convenience wrapper: build, validate and submit one request."""
+        request = parse_request(
+            {
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "nodes": list(nodes),
+                "params": params,
+            },
+            self._known_datasets,
+            self._known_algorithms,
+        )
+        return await self.submit(request)
+
+    async def handle(self, payload: Any) -> dict[str, Any]:
+        """Serve one decoded wire payload; never raises, always a response.
+
+        This is the single entry point the TCP server uses: validation
+        failures and execution failures alike come back as structured
+        ``{"ok": false, "error": ...}`` payloads.
+        """
+        request_id = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            op = payload.get("op", "query") if isinstance(payload, dict) else None
+            if op == "ping":
+                return {"ok": True, "op": "ping", **_with_id(request_id)}
+            if op == "stats":
+                return {"ok": True, "op": "stats", **self.stats(), **_with_id(request_id)}
+            if op == "shutdown":
+                # acknowledged here for protocol completeness; stopping the
+                # transport is the owner's job (QueryServer intercepts this
+                # op before handle() and closes the listener itself)
+                return {"ok": True, "op": "shutdown", **_with_id(request_id)}
+            if op == "query":
+                request = parse_request(
+                    payload, self._known_datasets, self._known_algorithms
+                )
+                started = time.perf_counter()
+                result, cached, coalesced = await self.submit(request)
+                return result_payload(
+                    request,
+                    result,
+                    cached=cached,
+                    coalesced=coalesced,
+                    served_seconds=time.perf_counter() - started,
+                    request_id=request_id,
+                )
+            raise ProtocolError("bad_request", f"unknown operation {op!r}")
+        except ProtocolError as exc:
+            return error_payload(exc, request_id)
+        except Exception as exc:  # noqa: BLE001 - the server must stay up
+            return error_payload(
+                ProtocolError("internal_error", f"{type(exc).__name__}: {exc}"), request_id
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> dict[str, Shard]:
+        """The live shards keyed by dataset name (read-only use)."""
+        return self._shards
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate + per-shard statistics, JSON-serialisable."""
+        per_shard = {name: shard.stats() for name, shard in sorted(self._shards.items())}
+        totals = {
+            key: sum(stats[key] for stats in per_shard.values())
+            for key in (
+                "queries",
+                "cache_hits",
+                "cache_misses",
+                "coalesced",
+                "batches",
+                "executed",
+                "errors",
+            )
+        }
+        return {"shards": per_shard, "totals": totals}
+
+
+def _with_id(request_id: Any) -> dict[str, Any]:
+    return {} if request_id is None else {"id": request_id}

@@ -1,0 +1,252 @@
+"""Wire protocol of the query-serving subsystem: line-delimited JSON.
+
+One request per line, one response per line, UTF-8 JSON objects.  A query
+request looks like::
+
+    {"op": "query", "dataset": "karate", "algorithm": "kt",
+     "nodes": [0, 33], "params": {"k": 4}, "id": 7}
+
+``op`` defaults to ``"query"`` when omitted; ``id`` is an optional client
+correlation token echoed back verbatim.  The other operations are
+``"ping"``, ``"stats"`` and ``"shutdown"``.  Every response carries
+``"ok"``; failures are *structured* — never tracebacks on the wire::
+
+    {"ok": false, "error": {"code": "unknown_dataset",
+                            "message": "unknown dataset 'katare'; ..."}}
+
+Error codes are a closed set (:data:`ERROR_CODES`) so clients can dispatch
+on them: ``bad_request`` (malformed JSON / missing or ill-typed fields),
+``unknown_dataset`` / ``unknown_algorithm`` (name not registered),
+``bad_query`` (well-formed request the graph rejects, e.g. a query node
+that is not in the dataset) and ``internal_error`` (anything else; the
+server stays up).
+
+This module is deliberately transport-free: it validates payloads into
+:class:`QueryRequest` values and formats :class:`~repro.core.result.
+CommunityResult` values back into payloads.  The asyncio server, the
+blocking client and the in-process engine all share it, which is what keeps
+the three entry points bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.result import CommunityResult
+
+__all__ = [
+    "ERROR_CODES",
+    "ProtocolError",
+    "QueryRequest",
+    "parse_request",
+    "result_payload",
+    "error_payload",
+    "encode",
+    "decode_line",
+]
+
+#: The closed set of machine-readable error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_dataset",
+    "unknown_algorithm",
+    "bad_query",
+    "internal_error",
+)
+
+#: JSON scalar types accepted for algorithm parameter values.
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+class ProtocolError(Exception):
+    """A structured, client-visible request failure.
+
+    Raised by validation and execution; the serving layers convert it into
+    an ``{"ok": false, "error": {...}}`` response instead of letting it
+    escape as a traceback.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def __reduce__(self):
+        # default Exception pickling would replay __init__ with args=(message,)
+        # only; the worker-pool path ships these across process boundaries
+        return (ProtocolError, (self.code, self.message))
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A validated community-search request.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so the
+    whole request is hashable — :attr:`cache_key` keys the per-shard LRU
+    result cache and the in-flight deduplication map.
+    """
+
+    dataset: str
+    algorithm: str
+    nodes: tuple
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def cache_key(self) -> tuple:
+        """Hashable identity of the request (dataset, algorithm, nodes, params)."""
+        return (self.dataset, self.algorithm, self.nodes, self.params)
+
+    def param_dict(self) -> dict[str, Any]:
+        """Return the parameter overrides as a plain dict."""
+        return dict(self.params)
+
+
+def _parse_node(token: Any) -> Any:
+    """Normalise a JSON node id the way the CLI does: int when possible."""
+    if isinstance(token, bool) or not isinstance(token, (int, str)):
+        raise ProtocolError(
+            "bad_request", f"query node {token!r} must be an integer or string"
+        )
+    if isinstance(token, str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+    return token
+
+
+def parse_request(
+    payload: Any,
+    known_datasets: Optional[set[str]] = None,
+    known_algorithms: Optional[set[str]] = None,
+) -> QueryRequest:
+    """Validate a decoded JSON payload into a :class:`QueryRequest`.
+
+    Raises :class:`ProtocolError` with a structured code on any problem;
+    name checks are skipped when the corresponding ``known_*`` set is None.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+
+    dataset = payload.get("dataset")
+    if not isinstance(dataset, str) or not dataset:
+        raise ProtocolError("bad_request", "request needs a 'dataset' string")
+    if known_datasets is not None and dataset not in known_datasets:
+        raise ProtocolError(
+            "unknown_dataset",
+            f"unknown dataset {dataset!r}; available: {', '.join(sorted(known_datasets))}",
+        )
+
+    algorithm = payload.get("algorithm")
+    if not isinstance(algorithm, str) or not algorithm:
+        raise ProtocolError("bad_request", "request needs an 'algorithm' string")
+    if known_algorithms is not None and algorithm not in known_algorithms:
+        raise ProtocolError(
+            "unknown_algorithm",
+            f"unknown algorithm {algorithm!r}; available: {', '.join(sorted(known_algorithms))}",
+        )
+
+    raw_nodes = payload.get("nodes")
+    if raw_nodes is None:
+        raise ProtocolError("bad_request", "request needs a non-empty 'nodes' list")
+    if not isinstance(raw_nodes, list) or not raw_nodes:
+        raise ProtocolError("bad_request", "'nodes' must be a non-empty list")
+    nodes = tuple(_parse_node(token) for token in raw_nodes)
+
+    raw_params = payload.get("params", {})
+    if not isinstance(raw_params, dict):
+        raise ProtocolError("bad_request", "'params' must be a JSON object")
+    for name, value in raw_params.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ProtocolError(
+                "bad_request", f"parameter {name!r} must be a JSON scalar, got {value!r}"
+            )
+    params = tuple(sorted(raw_params.items()))
+
+    return QueryRequest(dataset=dataset, algorithm=algorithm, nodes=nodes, params=params)
+
+
+def result_payload(
+    request: QueryRequest,
+    result: CommunityResult,
+    *,
+    cached: bool = False,
+    coalesced: bool = False,
+    served_seconds: Optional[float] = None,
+    request_id: Any = None,
+) -> dict[str, Any]:
+    """Format a :class:`CommunityResult` as a response payload.
+
+    ``nodes`` come back sorted by ``repr`` (the library's canonical node
+    order) so responses are byte-stable; non-finite scores (a failed
+    search's ``-inf``) are serialised as ``null`` to stay strict-JSON.
+    ``elapsed_ms`` is the *algorithm execution* time (replayed verbatim on a
+    cache hit); ``served_ms``, when provided, is this request's actual wall
+    time in the service — the number latency monitoring should use.
+    """
+    failed = bool(result.extra.get("failed")) or not result.nodes
+    score: Optional[float] = result.score
+    if score is not None and not math.isfinite(score):
+        score = None
+    payload: dict[str, Any] = {
+        "ok": True,
+        "op": "query",
+        "dataset": request.dataset,
+        "algorithm": request.algorithm,
+        "query": list(request.nodes),
+        "nodes": sorted(result.nodes, key=repr),
+        "size": result.size,
+        "score": score,
+        "objective": result.objective_name,
+        "elapsed_ms": round(result.elapsed_seconds * 1000.0, 3),
+        "failed": failed,
+        "cached": cached,
+        "coalesced": coalesced,
+    }
+    if served_seconds is not None:
+        payload["served_ms"] = round(served_seconds * 1000.0, 3)
+    reason = result.extra.get("reason")
+    if reason is not None:
+        payload["reason"] = reason
+    extra = {
+        key: value
+        for key, value in result.extra.items()
+        if key not in ("failed", "reason") and isinstance(value, _SCALAR_TYPES)
+    }
+    if extra:
+        payload["extra"] = extra
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def error_payload(error: ProtocolError, request_id: Any = None) -> dict[str, Any]:
+    """Format a :class:`ProtocolError` as a structured error response."""
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": error.code, "message": error.message},
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """Encode one response/request payload as a JSON line."""
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Decode one request line; raises ``bad_request`` on malformed input."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_request", f"malformed JSON request: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    return payload

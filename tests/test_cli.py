@@ -77,3 +77,75 @@ class TestEvaluateCommand:
         output = capsys.readouterr().out
         assert "FPA" in output and "kc" in output
         assert "NMI" in output
+
+
+class TestStructuredErrors:
+    """Unknown names and bad queries exit with code 2 and a one-line error
+    on stderr — production-shaped, never a traceback."""
+
+    def test_evaluate_unknown_dataset(self, capsys):
+        assert main(["evaluate", "--dataset", "atlantis", "--algorithms", "kt"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown dataset" in err
+
+    def test_evaluate_unknown_algorithm(self, capsys):
+        assert main(["evaluate", "--dataset", "karate", "--algorithms", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err
+
+    def test_search_unknown_dataset(self, capsys):
+        assert main(["search", "--dataset", "atlantis", "--query", "0"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_search_unknown_algorithm(self, capsys):
+        assert main(["search", "--dataset", "karate", "--algorithm", "nope", "--query", "0"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_search_missing_query_node(self, capsys):
+        assert main(["search", "--dataset", "karate", "--algorithm", "kt", "--query", "999"]) == 2
+        assert "not in the graph" in capsys.readouterr().err
+
+    def test_serve_unknown_dataset(self, capsys):
+        assert main(["serve", "--datasets", "atlantis"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_serve_port_in_use_is_structured(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--port", str(port), "--datasets", "figure1"])
+        finally:
+            blocker.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "in use" in err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7531
+        assert args.datasets == ["karate"]
+        assert args.workers is None
+        assert args.cache_size == 1024
+        assert args.max_batch == 64
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--datasets", "karate", "dolphin",
+             "--workers", "2", "--cache-size", "16", "--max-batch", "8"]
+        )
+        assert args.port == 0
+        assert args.datasets == ["karate", "dolphin"]
+        assert args.workers == 2
+        assert args.cache_size == 16
+        assert args.max_batch == 8

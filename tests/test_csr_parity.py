@@ -452,3 +452,44 @@ class TestBatchedEngineParity:
         # the query-independent decompositions were memoised on the snapshot
         cached = {key[0] for key in frozen.shared_cache()}
         assert {"kcore-structure", "csr-edge-truss", "ktruss-structure"} <= cached
+
+
+class TestClosestTrussParity:
+    """The huang2015 phase-2 greedy deletion now runs its BFS distance
+    recomputation on the CSR kernels (alive-mask multi-source BFS instead of
+    mutable dict subgraphs).  Sweep query sets chosen to actually exercise
+    deletions and require bit-identical results, deletion counts included."""
+
+    def _assert_closest_truss_identical(self, graph, queries):
+        from repro.baselines import closest_truss_community
+
+        dict_result = closest_truss_community(graph, queries)
+        csr_result = closest_truss_community(freeze(graph), queries)
+        assert dict_result.nodes == csr_result.nodes, queries
+        assert dict_result.score == csr_result.score, queries
+        assert dict_result.extra.get("failed") == csr_result.extra.get("failed")
+        if not dict_result.extra.get("failed"):
+            for key in ("k", "query_distance", "deletions"):
+                assert dict_result.extra[key] == csr_result.extra[key], (queries, key)
+        return dict_result
+
+    def test_karate_sweep_exercises_deletions(self, karate_graph):
+        total_deletions = 0
+        for queries in ([0], [0, 33], [5, 16], [0, 1, 2], [8, 30]):
+            result = self._assert_closest_truss_identical(karate_graph, queries)
+            total_deletions += result.extra.get("deletions", 0)
+        # the sweep must actually run the ported phase-2 loop
+        assert total_deletions > 0
+
+    def test_planted_partition_multi_query(self):
+        pp, _ = planted_partition(4, 30, 0.4, 0.02, seed=3)
+        nodes = list(pp.iter_nodes())
+        deletions = 0
+        for queries in ([nodes[0]], [nodes[0], nodes[40]], [nodes[10], nodes[75], nodes[100]]):
+            result = self._assert_closest_truss_identical(pp, queries)
+            deletions += result.extra.get("deletions", 0)
+        assert deletions > 0
+
+    def test_disconnected_queries_fail_on_both_backends(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)])
+        self._assert_closest_truss_identical(graph, [1, 4])
