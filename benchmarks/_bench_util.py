@@ -33,16 +33,14 @@ def print_table(rows: list[tuple[str, float, float]], name_width: int = 28) -> N
         print(f"{name:<{name_width}}{dict_seconds:>12.5f}{csr_seconds:>12.5f}{ratio:>9.2f}x")
 
 
-def write_json(
-    json_path: str,
+def _trajectory_record(
     bench: str,
     scale: float,
     rows: list[tuple[str, float, float]],
     parity: bool,
     **extra,
-) -> None:
-    """Write the machine-readable trajectory record future PRs diff against."""
-    payload = {
+) -> dict:
+    return {
         "bench": bench,
         "scale": scale,
         **extra,
@@ -57,10 +55,51 @@ def write_json(
         ],
         "parity": parity,
     }
+
+
+def write_json(
+    json_path: str,
+    bench: str,
+    scale: float,
+    rows: list[tuple[str, float, float]],
+    parity: bool,
+    **extra,
+) -> None:
+    """Write the machine-readable trajectory record future PRs diff against."""
+    payload = _trajectory_record(bench, scale, rows, parity, **extra)
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {json_path}")
+
+
+def append_json(
+    json_path: str,
+    bench: str,
+    scale: float,
+    rows: list[tuple[str, float, float]],
+    parity: bool,
+    **extra,
+) -> None:
+    """Append a trajectory record, keeping earlier points in the file.
+
+    The file becomes a JSON **list** of records ordered oldest-first (an
+    existing single-record file is wrapped on first append), so a bench
+    whose configuration evolves across PRs keeps its whole trajectory
+    diffable instead of overwriting history.
+    """
+    import os
+
+    records: list = []
+    if os.path.exists(json_path):
+        with open(json_path) as handle:
+            existing = json.load(handle)
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(_trajectory_record(bench, scale, rows, parity, **extra))
+    with open(json_path, "w") as handle:
+        json.dump(records, handle, indent=2)
+        handle.write("\n")
+    print(f"appended to {json_path} ({len(records)} records)")
 
 
 def add_common_arguments(parser) -> None:

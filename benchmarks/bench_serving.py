@@ -2,8 +2,9 @@
 
 Stands up a **real** server (``python -m repro serve`` in a subprocess,
 ephemeral port) and drives it with a multi-dataset, multi-client workload
-through the blocking :class:`repro.serving.ServingClient` — the full
-request → shard → micro-batch → cache → response path.  Two comparisons:
+through the keep-alive :class:`repro.serving.ServingClientPool` — the full
+request → placement → replica → micro-batch → cache → response path.
+Three comparisons:
 
 * **cold** — one client streams every distinct request once against a
   fresh server.  Cache hits play no role; the speedup is the shard's
@@ -11,10 +12,16 @@ request → shard → micro-batch → cache → response path.  Two comparisons:
   of one per query), i.e. the batched-engine effect behind a socket.
   Measured once by construction (a second run would be warm).
 * **closed-loop xC** — C client threads each replay the workload
-  back-to-back (rotated so they collide mid-stream, exercising the LRU
-  result cache and in-flight coalescing).  The per-query baseline runs the
-  identical request multiset sequentially on the mutable dict graph — what
-  a naive service would do per request.
+  back-to-back through the shared connection pool (rotated so they collide
+  mid-stream, exercising the LRU result cache and in-flight coalescing).
+  The per-query baseline runs the identical request multiset sequentially
+  on the mutable dict graph — what a naive service would do per request.
+* **overload** — a dedicated server with a deliberately tiny
+  ``--max-queue`` is flooded with distinct (uncacheable) queries; the
+  shard sheds with structured ``overloaded`` errors and the pool retries
+  with the advertised ``retry_after_ms`` until every request succeeds.
+  The recorded numbers are the server-side shed/retried counters and the
+  client-side retry counters — the admission-control story end to end.
 
 Usage::
 
@@ -24,8 +31,13 @@ Usage::
                                                           # reference, errors
                                                           # structured, clean
                                                           # shutdown
+    python benchmarks/bench_serving.py --parity-only \\
+        --replicas 2 --executor process --max-queue 1     # replicated worker
+                                                          # processes + shedding
     python benchmarks/bench_serving.py --mode open --rate 200
     python benchmarks/bench_serving.py --json out.json    # trajectory record
+                                                          # (appended, not
+                                                          # overwritten)
 
 In the shared ``--json`` schema the ``dict_seconds`` column is the
 per-query reference path and ``csr_seconds`` is the served path.
@@ -42,13 +54,13 @@ import threading
 import time
 from pathlib import Path
 
-from _bench_util import add_common_arguments, print_table, time_median as _time, write_json
+from _bench_util import add_common_arguments, append_json, print_table, time_median as _time
 
 import repro
 from repro.datasets import load_dataset
 from repro.experiments import generate_query_sets
 from repro.experiments.registry import run_algorithm
-from repro.serving import ServingClient, latency_percentile
+from repro.serving import ServingClient, ServingClientPool, latency_percentile
 
 HOST = "127.0.0.1"
 SMALL_DATASETS = ("karate", "dolphin", "mexican")
@@ -62,6 +74,12 @@ HEAVY_ALGORITHMS = ("kt", "kc", "hightruss")
 MEASURE_DATASETS = SMALL_DATASETS + (HEAVY_DATASET,)
 PARITY_ALGORITHMS = ("kt", "kc", "kecc", "hightruss", "huang2015", "FPA", "NCA")
 
+#: server flags for the dedicated overload phase: a queue bound this tiny
+#: guarantees shedding under any concurrent flood
+OVERLOAD_MAX_QUEUE = 1
+OVERLOAD_CLIENTS = 6
+OVERLOAD_RETRIES = 40
+
 
 # ----------------------------------------------------------------------------
 # server process management
@@ -71,23 +89,44 @@ PARITY_ALGORITHMS = ("kt", "kc", "kecc", "hightruss", "huang2015", "FPA", "NCA")
 class ServerProcess:
     """``repro serve`` in a subprocess; parses the announce line for the port."""
 
-    def __init__(self, datasets, *, max_batch: int = 64) -> None:
+    def __init__(
+        self,
+        datasets,
+        *,
+        max_batch: int = 64,
+        replicas=None,
+        executor: str | None = None,
+        max_queue: int = 0,
+        routing: str | None = None,
+        workers: int | None = None,
+    ) -> None:
         env = dict(os.environ)
         src_dir = str(Path(repro.__file__).resolve().parents[1])
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--datasets",
+            *datasets,
+            "--max-batch",
+            str(max_batch),
+        ]
+        if replicas:
+            command += ["--replicas", *[str(token) for token in replicas]]
+        if executor:
+            command += ["--executor", executor]
+        if max_queue:
+            command += ["--max-queue", str(max_queue)]
+        if routing:
+            command += ["--routing", routing]
+        if workers:
+            command += ["--workers", str(workers)]
         self.proc = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                "--port",
-                "0",
-                "--datasets",
-                *datasets,
-                "--max-batch",
-                str(max_batch),
-            ],
+            command,
             stdout=subprocess.PIPE,
             text=True,
             env=env,
@@ -112,6 +151,15 @@ class ServerProcess:
             return self.proc.wait(5)
 
 
+def server_config_from_args(args) -> dict:
+    """The server-shaping flags shared by the parity and timing modes."""
+    return {
+        "replicas": args.replicas,
+        "executor": args.executor,
+        "max_queue": args.max_queue,
+    }
+
+
 # ----------------------------------------------------------------------------
 # workload construction
 # ----------------------------------------------------------------------------
@@ -128,6 +176,26 @@ def build_workload(scale: float, datasets=SMALL_DATASETS, algorithms=SMALL_ALGOR
         for query_set in singles + pairs:
             for algorithm in algorithms:
                 requests.append((name, algorithm, list(query_set.nodes)))
+    return requests
+
+
+def build_flood(count: int):
+    """Distinct, uncacheable pair queries for the overload phase.
+
+    Every request is unique (distinct node pairs), so neither the LRU
+    result cache nor in-flight coalescing can absorb the flood — each one
+    is real work the bounded queue has to admit or shed.
+    """
+    dataset = load_dataset("dolphin")
+    nodes = sorted(dataset.graph.nodes(), key=repr)
+    requests = []
+    index = 0
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if index >= count:
+                return requests
+            requests.append(("dolphin", "huang2015", [nodes[i], nodes[j]]))
+            index += 1
     return requests
 
 
@@ -156,11 +224,11 @@ def run_per_query(requests, graphs):
 
 
 # ----------------------------------------------------------------------------
-# load generation
+# load generation (all traffic through the keep-alive client pool)
 # ----------------------------------------------------------------------------
 
 
-def run_closed_loop(port: int, requests, clients: int):
+def run_closed_loop(pool: ServingClientPool, requests, clients: int):
     """Each client thread replays the workload back-to-back (rotated start)."""
     all_latencies: list[list[float]] = [[] for _ in range(clients)]
     errors: list[str] = []
@@ -169,13 +237,12 @@ def run_closed_loop(port: int, requests, clients: int):
         offset = (index * len(requests)) // clients
         rotated = requests[offset:] + requests[:offset]
         try:
-            with ServingClient(HOST, port) as client:
-                for dataset, algorithm, nodes in rotated:
-                    start = time.perf_counter()
-                    response = client.query(dataset, algorithm, nodes)
-                    all_latencies[index].append(time.perf_counter() - start)
-                    if not response["ok"]:
-                        errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
+            for dataset, algorithm, nodes in rotated:
+                start = time.perf_counter()
+                response = pool.query(dataset, algorithm, nodes)
+                all_latencies[index].append(time.perf_counter() - start)
+                if not response["ok"]:
+                    errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
         except Exception as exc:  # noqa: BLE001 - surfaced below
             errors.append(f"client {index}: {type(exc).__name__}: {exc}")
 
@@ -191,7 +258,7 @@ def run_closed_loop(port: int, requests, clients: int):
     return wall, [latency for per_client in all_latencies for latency in per_client]
 
 
-def run_open_loop(port: int, requests, clients: int, rate: float):
+def run_open_loop(pool: ServingClientPool, requests, clients: int, rate: float):
     """Dispatch at a fixed aggregate rate; latency includes queueing delay.
 
     Request ``i`` is *scheduled* at ``start + i / rate`` and handed to one of
@@ -205,17 +272,16 @@ def run_open_loop(port: int, requests, clients: int, rate: float):
 
     def worker(index: int) -> None:
         try:
-            with ServingClient(HOST, port) as client:
-                for position in range(index, len(total), clients):
-                    dataset, algorithm, nodes = total[position]
-                    scheduled = start + position / rate
-                    delay = scheduled - time.perf_counter()
-                    if delay > 0:
-                        time.sleep(delay)
-                    response = client.query(dataset, algorithm, nodes)
-                    all_latencies[index].append(time.perf_counter() - scheduled)
-                    if not response["ok"]:
-                        errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
+            for position in range(index, len(total), clients):
+                dataset, algorithm, nodes = total[position]
+                scheduled = start + position / rate
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                response = pool.query(dataset, algorithm, nodes)
+                all_latencies[index].append(time.perf_counter() - scheduled)
+                if not response["ok"]:
+                    errors.append(f"{dataset}/{algorithm}{nodes}: {response['error']}")
         except Exception as exc:  # noqa: BLE001 - surfaced below
             errors.append(f"client {index}: {type(exc).__name__}: {exc}")
 
@@ -230,6 +296,74 @@ def run_open_loop(port: int, requests, clients: int, rate: float):
     return wall, [latency for per_client in all_latencies for latency in per_client]
 
 
+def run_flood(pool: ServingClientPool, requests, clients: int):
+    """Flood distinct queries through the pool; returns per-request outcomes.
+
+    Unlike the closed/open loops this tolerates non-ok responses (an
+    exhausted retry budget) and reports them, because the whole point of
+    the overload phase is to count what got shed and what recovered.
+    """
+    outcomes: list[bool] = []
+    lock = threading.Lock()
+    failures: list[str] = []
+
+    def worker(index: int) -> None:
+        try:
+            for position in range(index, len(requests), clients):
+                dataset, algorithm, nodes = requests[position]
+                response = pool.query(
+                    dataset, algorithm, nodes, max_retries=OVERLOAD_RETRIES
+                )
+                with lock:
+                    outcomes.append(bool(response.get("ok")))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            with lock:
+                failures.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise RuntimeError(f"overload phase failed: {failures[:3]}")
+    return outcomes
+
+
+def run_overload_phase(server_config: dict):
+    """Stand up a tiny-queue server, flood it, and report the counters.
+
+    The queue bound is always :data:`OVERLOAD_MAX_QUEUE` regardless of the
+    caller's ``--max-queue``: with ``OVERLOAD_CLIENTS`` closed-loop clients
+    the queue depth can never exceed the client count, so only a bound
+    below it guarantees the sheds this phase exists to measure.
+    """
+    flood_requests = build_flood(count=OVERLOAD_CLIENTS * 20)
+    config = dict(server_config)
+    config["max_queue"] = OVERLOAD_MAX_QUEUE
+    server = ServerProcess(("dolphin",), **config)
+    try:
+        with ServingClientPool(HOST, server.port, size=OVERLOAD_CLIENTS) as pool:
+            outcomes = run_flood(pool, flood_requests, clients=OVERLOAD_CLIENTS)
+            with ServingClient(HOST, server.port) as client:
+                shard_stats = client.stats()["shards"]["dolphin"]
+            counters = pool.counters()
+    finally:
+        exit_code = server.shutdown()
+    return {
+        "max_queue": config["max_queue"],
+        "requests": len(outcomes),
+        "succeeded": sum(outcomes),
+        "failed": len(outcomes) - sum(outcomes),
+        "server_shed": shard_stats["shed"],
+        "server_retried": shard_stats["retried"],
+        "client_retries": counters["retries"],
+        "client_overloaded_responses": counters["overloaded_responses"],
+        "client_exhausted": counters["exhausted"],
+        "clean_shutdown": exit_code == 0,
+    }
+
+
 def percentile_ms(latencies, fraction: float) -> float:
     """Server-side nearest-rank percentile (shared helper), in milliseconds."""
     return round(latency_percentile(latencies, fraction) * 1000.0, 3)
@@ -240,7 +374,7 @@ def percentile_ms(latencies, fraction: float) -> float:
 # ----------------------------------------------------------------------------
 
 
-def run_parity(scale: float) -> int:
+def run_parity(scale: float, server_config: dict) -> int:
     failures: list[str] = []
 
     def check(name: str, ok: bool) -> None:
@@ -249,12 +383,14 @@ def run_parity(scale: float) -> int:
 
     requests = build_workload(min(scale, 1.0), algorithms=PARITY_ALGORITHMS)
     references = reference_results(requests)
-    server = ServerProcess(SMALL_DATASETS)
+    server = ServerProcess(SMALL_DATASETS, **server_config)
     try:
-        with ServingClient(HOST, server.port) as client:
+        with ServingClientPool(HOST, server.port, size=4) as pool, ServingClient(
+            HOST, server.port
+        ) as client:
             check("ping", client.ping() == {"ok": True, "op": "ping"})
             for (dataset, algorithm, nodes), reference in zip(requests, references):
-                response = client.query(dataset, algorithm, nodes)
+                response = pool.query(dataset, algorithm, nodes)
                 label = f"{dataset}/{algorithm}{nodes}"
                 if not response["ok"]:
                     check(f"{label}: {response['error']}", False)
@@ -272,7 +408,7 @@ def run_parity(scale: float) -> int:
 
             # duplicate request comes back from the LRU result cache
             dataset, algorithm, nodes = requests[0]
-            check("cached-repeat", client.query(dataset, algorithm, nodes)["cached"])
+            check("cached-repeat", pool.query(dataset, algorithm, nodes)["cached"])
 
             # structured errors, all on a connection that must stay alive
             check(
@@ -297,17 +433,50 @@ def run_parity(scale: float) -> int:
             check("stats-shards", set(SMALL_DATASETS) <= set(stats["shards"]))
             check("stats-hits", stats["totals"]["cache_hits"] >= 1)
             check("stats-executed", stats["totals"]["executed"] >= len(requests) - 1)
+            # the placement/replication schema dashboards rely on
+            check("stats-placement", "placement" in stats)
+            for name in SMALL_DATASETS:
+                shard = stats["shards"][name]
+                check(f"stats-{name}-replicas", len(shard["replicas"]) == shard["replica_count"])
+                check(
+                    f"stats-{name}-admission",
+                    all(key in shard for key in ("shed", "retried", "max_queue")),
+                )
+                if server_config.get("executor"):
+                    check(
+                        f"stats-{name}-executor",
+                        shard["executor"] == server_config["executor"],
+                    )
     finally:
         exit_code = server.shutdown()
     check("clean-shutdown", exit_code == 0)
+
+    # with a bounded queue the smoke also exercises shedding + pool retry
+    # against a dedicated tiny-queue server (distinct uncacheable queries)
+    overload = None
+    if server_config.get("max_queue"):
+        overload = run_overload_phase(server_config)
+        check("overload-all-succeeded", overload["failed"] == 0)
+        check("overload-shed-nonzero", overload["server_shed"] > 0)
+        check("overload-server-saw-retries", overload["server_retried"] > 0)
+        check("overload-client-retried", overload["client_retries"] > 0)
+        check("overload-clean-shutdown", overload["clean_shutdown"])
 
     if failures:
         print(f"PARITY FAILURES ({len(failures)}):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"parity ok: {len(requests)} served requests identical to the dict "
-          f"reference path; errors structured; clean shutdown")
+    print(
+        f"parity ok: {len(requests)} served requests identical to the dict "
+        f"reference path; errors structured; clean shutdown"
+    )
+    if overload is not None:
+        print(
+            f"overload ok: {overload['requests']} distinct queries against "
+            f"max_queue={overload['max_queue']}; {overload['server_shed']} shed, "
+            f"{overload['client_retries']} client retries, all recovered"
+        )
     return 0
 
 
@@ -323,9 +492,11 @@ def run(
     clients: int = 4,
     mode: str = "closed",
     rate: float = 200.0,
+    server_config: dict | None = None,
 ) -> int:
+    server_config = server_config or {}
     if parity_only:
-        return run_parity(scale)
+        return run_parity(scale, server_config)
 
     requests = build_workload(scale) + build_workload(
         scale, datasets=(HEAVY_DATASET,), algorithms=HEAVY_ALGORITHMS
@@ -345,7 +516,11 @@ def run(
         lambda: run_per_query(multiset, graphs), repeat=3
     )
 
-    server = ServerProcess(MEASURE_DATASETS)
+    # the measured server keeps the queue unbounded (shedding would distort
+    # throughput numbers); the dedicated overload phase below bounds it
+    measured_config = dict(server_config)
+    measured_config["max_queue"] = 0
+    server = ServerProcess(MEASURE_DATASETS, **measured_config)
     try:
         # spot parity before timing anything: served == dict reference
         with ServingClient(HOST, server.port) as client:
@@ -365,23 +540,26 @@ def run(
         exit_code = server.shutdown()
         if exit_code != 0:
             print(f"WARNING: parity server exited with code {exit_code}")
-        server = ServerProcess(MEASURE_DATASETS)
-        served_cold_wall, served_cold_latencies = run_closed_loop(
-            server.port, requests, clients=1
-        )
+        server = ServerProcess(MEASURE_DATASETS, **measured_config)
+        with ServingClientPool(HOST, server.port, size=1) as cold_pool:
+            served_cold_wall, served_cold_latencies = run_closed_loop(
+                cold_pool, requests, clients=1
+            )
 
         # served, multi-client steady state: C clients replay the workload
         # concurrently (closed-loop) or at a fixed aggregate rate (open-loop);
-        # median of 3 replays against the now-warm shards
+        # median of 3 replays against the now-warm shards.  One shared
+        # keep-alive pool across all replays: no per-replay connect cost.
         walls = []
         served_multi_latencies: list[float] = []
-        for _ in range(3):
-            if mode == "open":
-                wall, latencies = run_open_loop(server.port, requests, clients, rate)
-            else:
-                wall, latencies = run_closed_loop(server.port, requests, clients)
-            walls.append(wall)
-            served_multi_latencies.extend(latencies)
+        with ServingClientPool(HOST, server.port, size=clients) as pool:
+            for _ in range(3):
+                if mode == "open":
+                    wall, latencies = run_open_loop(pool, requests, clients, rate)
+                else:
+                    wall, latencies = run_closed_loop(pool, requests, clients)
+                walls.append(wall)
+                served_multi_latencies.extend(latencies)
         served_multi_wall = statistics.median(walls)
 
         with ServingClient(HOST, server.port) as client:
@@ -391,6 +569,9 @@ def run(
     if exit_code != 0:
         print(f"SERVER FAILURE: exit code {exit_code}")
         return 1
+
+    # the admission-control story: tiny queue, distinct queries, pool retry
+    overload = run_overload_phase(server_config)
 
     rows = [
         (f"cold x1 client ({len(requests)} reqs)", per_query_cold_seconds, served_cold_wall),
@@ -428,9 +609,17 @@ def run(
         f"{totals['cache_hits']} cache hits, {totals['coalesced']} coalesced, "
         f"{totals['batches']} batches"
     )
+    print(
+        f"overload phase (max_queue={overload['max_queue']}, "
+        f"{OVERLOAD_CLIENTS} clients): {overload['requests']} distinct requests, "
+        f"{overload['server_shed']} shed, {overload['client_retries']} client retries, "
+        f"{overload['succeeded']} succeeded / {overload['failed']} failed"
+    )
+
+    overload_ok = overload["failed"] == 0 and overload["server_shed"] > 0
 
     if json_path:
-        write_json(
+        append_json(
             json_path,
             bench="serving",
             scale=scale,
@@ -439,6 +628,10 @@ def run(
             clients=clients,
             mode=mode,
             rate=rate if mode == "open" else None,
+            server_config={
+                "replicas": server_config.get("replicas") or ["1"],
+                "executor": server_config.get("executor") or "inline",
+            },
             distinct_requests=len(requests),
             total_requests=len(multiset),
             throughput_req_per_s={
@@ -456,8 +649,9 @@ def run(
                 )
             },
             server_totals=totals,
+            admission=overload,
         )
-    return 0 if parity else 1
+    return 0 if parity and overload_ok else 1
 
 
 def main(argv=None) -> int:
@@ -470,6 +664,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--rate", type=float, default=200.0, help="aggregate request rate for --mode open (req/s)"
     )
+    parser.add_argument(
+        "--replicas",
+        nargs="+",
+        default=None,
+        metavar="N|DATASET=N",
+        help="forwarded to `repro serve --replicas`",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["inline", "pool", "process"],
+        default=None,
+        help="forwarded to `repro serve --executor`",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="forwarded to `repro serve --max-queue`; with --parity-only a "
+        "nonzero bound also runs the shedding + retry smoke",
+    )
     args = parser.parse_args(argv)
     return run(
         scale=args.scale,
@@ -478,6 +692,7 @@ def main(argv=None) -> int:
         clients=args.clients,
         mode=args.mode,
         rate=args.rate,
+        server_config=server_config_from_args(args),
     )
 
 

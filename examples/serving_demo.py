@@ -10,10 +10,14 @@ background thread, then acts as three different clients:
 1. a cold client whose first query pays the truss decomposition once;
 2. a repeat client answered from the per-shard LRU result cache;
 3. a burst of identical concurrent requests that the shard coalesces into
-   a single execution.
+   a single execution;
+4. a threaded burst through the keep-alive ``ServingClientPool`` — the
+   client every load generator should use (connection reuse, automatic
+   retry of ``overloaded`` sheds).
 
 It finishes by printing the per-shard statistics — the same payload the
-``{"op": "stats"}`` wire operation returns.
+``{"op": "stats"}`` wire operation returns, including the per-replica
+breakdown.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from __future__ import annotations
 import json
 import threading
 
-from repro.serving import ServerThread, ServingClient
+from repro.serving import ServerThread, ServingClient, ServingClientPool
 
 
 def main() -> None:
@@ -54,8 +58,19 @@ def main() -> None:
         for thread in threads:
             thread.join()
 
-        with ServingClient("127.0.0.1", server.port) as client:
-            stats = client.stats()
+        # 5. the pooled client: keep-alive connections shared by threads,
+        #    shed (`overloaded`) responses retried automatically
+        with ServingClientPool("127.0.0.1", server.port, size=4) as pool:
+            workers = [
+                threading.Thread(target=pool.query, args=("karate", "kc", [node]))
+                for node in (0, 1, 2, 3, 33)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            print(f"pool counters: {pool.counters()}\n")
+            stats = pool.stats()
         print("per-shard statistics:")
         print(json.dumps(stats["shards"], indent=2))
     print("\nserver shut down cleanly")

@@ -99,10 +99,40 @@ def build_parser() -> argparse.ArgumentParser:
         "loads lazily on its first request",
     )
     serve.add_argument(
+        "--executor",
+        choices=["inline", "pool", "process"],
+        default=None,
+        help="execution strategy per replica: 'inline' (thread, the default), "
+        "'pool' (shared process pool, see --workers), or 'process' (one "
+        "dedicated worker process per replica, each freezing its own snapshot)",
+    )
+    serve.add_argument(
+        "--replicas",
+        nargs="+",
+        default=["1"],
+        metavar="N|DATASET=N",
+        help="replicas per shard: a default count and/or per-dataset "
+        "overrides, e.g. --replicas 2 dblp=4",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="bound on queued requests per shard; beyond it requests are shed "
+        "with a structured 'overloaded' error (default 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--routing",
+        choices=["least-loaded", "round-robin"],
+        default="least-loaded",
+        help="replica routing policy (default least-loaded by queue depth)",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="process workers per shard (default: in-process execution)",
+        help="size of the shared process pool (implies --executor pool; "
+        "--executor pool without --workers defaults to 2)",
     )
     serve.add_argument(
         "--cache-size", type=int, default=1024, help="LRU result-cache entries per shard"
@@ -199,15 +229,27 @@ def _command_evaluate(args) -> int:
 
 
 def _command_serve(args) -> int:
-    from .serving import ServingEngine, run_server
+    from .serving import ServingEngine, parse_replica_spec, run_server
 
     if args.workers is not None and args.workers < 1:
         raise ValueError("--workers must be a positive integer")
+    if args.max_queue < 0:
+        raise ValueError("--max-queue must be >= 0 (0 disables the bound)")
+    if args.workers is not None and args.executor not in (None, "pool"):
+        # a flag-shaped message here; the engine/placement guard the same
+        # combination for API users (and own the executor defaulting)
+        raise ValueError("--workers only applies to --executor pool")
+    replicas, replica_overrides = parse_replica_spec(args.replicas, set(list_datasets()))
     engine = ServingEngine(
         datasets=args.datasets,
         cache_size=args.cache_size,
         max_batch=args.max_batch,
+        max_queue=args.max_queue,
         workers=args.workers,
+        executor=args.executor,
+        replicas=replicas,
+        replica_overrides=replica_overrides,
+        routing=args.routing,
     )
     return run_server(engine, args.host, args.port)
 

@@ -1,11 +1,21 @@
-"""Sharded async query-serving on top of frozen snapshots.
+"""Replicated, admission-controlled query serving on frozen snapshots.
 
 The serving subsystem turns the offline batched engine into a persistent
-multi-user service: one shard per dataset (each dataset frozen **once**
-into an immutable CSR snapshot whose memo cache amortises decompositions
-across every request the shard ever serves), an asyncio loop that routes,
-coalesces and micro-batches structured query requests, an LRU result
-cache, and per-shard statistics.
+multi-user service, structured in four layers:
+
+* **executors** (:mod:`~repro.serving.executor`) — where batches run:
+  inline threads, a shared process pool, or a dedicated spawn-safe worker
+  process per replica (each freezing its own snapshot);
+* **placement** (:mod:`~repro.serving.placement`) — each dataset maps to a
+  replica set with a routing policy (least-loaded / round-robin), replacing
+  the flat shard dict;
+* **shards** (:mod:`~repro.serving.shard`) — queueing, coalescing, the LRU
+  result cache, and admission control (bounded queues shed with structured
+  ``overloaded`` + ``retry_after_ms`` errors);
+* **transport/clients** — the asyncio TCP server (read backpressure,
+  graceful drain), the blocking :class:`ServingClient` (reconnect-once) and
+  the keep-alive :class:`ServingClientPool` (bounded retry of shed
+  requests).
 
 Three entry points, all bit-identical to ``evaluate_algorithm`` on the
 dict reference path:
@@ -13,12 +23,29 @@ dict reference path:
 * :class:`ServingEngine` — the in-process async API;
 * ``repro serve`` — the CLI daemon (line-delimited JSON over TCP, see
   :mod:`repro.serving.protocol`);
-* :class:`ServingClient` / ``benchmarks/bench_serving.py`` — the blocking
-  client and the open/closed-loop load generator.
+* :class:`ServingClient` / :class:`ServingClientPool` /
+  ``benchmarks/bench_serving.py`` — the blocking clients and the
+  open/closed-loop load generator.
 """
 
 from .client import ServingClient
 from .engine import ServingEngine
+from .executor import (
+    EXECUTOR_KINDS,
+    InlineExecutor,
+    PoolExecutor,
+    WorkerProcessExecutor,
+)
+from .placement import (
+    ROUTING_POLICIES,
+    LeastLoadedPolicy,
+    Placement,
+    Replica,
+    ReplicaSet,
+    RoundRobinPolicy,
+    parse_replica_spec,
+)
+from .pool import ServingClientPool
 from .protocol import (
     ERROR_CODES,
     ProtocolError,
@@ -33,11 +60,23 @@ from .shard import Shard, latency_percentile
 __all__ = [
     "ServingEngine",
     "ServingClient",
+    "ServingClientPool",
     "QueryServer",
     "ServerThread",
     "run_server",
     "Shard",
     "latency_percentile",
+    "Placement",
+    "Replica",
+    "ReplicaSet",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "ROUTING_POLICIES",
+    "EXECUTOR_KINDS",
+    "InlineExecutor",
+    "PoolExecutor",
+    "WorkerProcessExecutor",
+    "parse_replica_spec",
     "QueryRequest",
     "ProtocolError",
     "ERROR_CODES",

@@ -1,9 +1,17 @@
 """Blocking client for the query-serving protocol.
 
 A thin ``socket`` wrapper speaking the line-delimited JSON protocol of
-:mod:`repro.serving.protocol`.  One client per thread — the load generator
-opens one connection per simulated user, which is also what lets the
-server's micro-batching see genuinely concurrent traffic.
+:mod:`repro.serving.protocol`.  One client per thread; concurrent traffic
+(what the server's micro-batching feeds on) comes from many connections,
+usually via :class:`repro.serving.pool.ServingClientPool` — the pooled
+keep-alive layer with automatic retry of ``overloaded`` responses that
+the load generator drives everything through.
+
+A dropped or half-closed connection (a server restart, an idle timeout, a
+connection the server abandoned after an oversized line) is repaired
+transparently: :meth:`request` reconnects **once** and replays the request
+before surfacing any error.  Queries are pure reads, so the replay is safe;
+genuine timeouts are *not* retried (the request may still be executing).
 
 Example session (against ``repro serve --datasets karate``)::
 
@@ -27,29 +35,55 @@ class ServingClient:
     """One TCP connection to a query server; not thread-safe by design."""
 
     def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
         self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
 
     # ------------------------------------------------------------------
     # raw protocol
     # ------------------------------------------------------------------
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one JSON payload line; return the decoded response."""
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
-        return self._read_response()
+        """Send one JSON payload line; return the decoded response.
+
+        Reconnects and replays once if the connection turns out to be
+        dropped or half-closed (a server restart would otherwise strand
+        every client mid-session).  Timeouts are never replayed.
+        """
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        try:
+            return self._round_trip(line)
+        except TimeoutError:
+            raise  # the server may still be working on it; replay is not safe
+        except (ConnectionError, OSError):
+            self._reconnect()
+            return self._round_trip(line)
 
     def send_raw(self, line: bytes) -> dict[str, Any]:
-        """Send a raw (possibly malformed) line; used by the error tests."""
-        self._file.write(line.rstrip(b"\n") + b"\n")
-        self._file.flush()
-        return self._read_response()
+        """Send a raw (possibly malformed) line; used by the error tests.
 
-    def _read_response(self) -> dict[str, Any]:
-        line = self._file.readline()
-        if not line:
+        No reconnect-and-replay here: raw lines exist to probe error
+        behaviour, so the failure must surface exactly as it happened.
+        """
+        return self._round_trip(line.rstrip(b"\n") + b"\n")
+
+    def _round_trip(self, line: bytes) -> dict[str, Any]:
+        self._file.write(line)
+        self._file.flush()
+        response = self._file.readline()
+        if not response:
             raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        return json.loads(response)
 
     # ------------------------------------------------------------------
     # operations
@@ -85,6 +119,8 @@ class ServingClient:
         """Close the connection; idempotent."""
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._sock.close()
 

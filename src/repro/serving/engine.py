@@ -1,10 +1,13 @@
-"""The in-process serving engine: shard management + request routing.
+"""The in-process serving engine: validation + routing through placement.
 
 :class:`ServingEngine` is the API the TCP server wraps and the one tests
-and examples use directly.  It owns one :class:`~repro.serving.shard.Shard`
-per dataset (the shard-per-dataset layout the ROADMAP calls for), routes
-each validated :class:`~repro.serving.protocol.QueryRequest` to the owning
-shard, and exposes the aggregate statistics.
+and examples use directly.  Since PR 4 it no longer owns a flat shard
+dict: a :class:`~repro.serving.placement.Placement` maps each dataset to a
+replicated shard (``replicas`` / ``replica_overrides``), chooses the
+execution strategy (``executor`` ∈ inline / pool / process), routes
+admitted requests to replicas (``routing`` ∈ least-loaded / round-robin)
+and bounds the per-shard queues (``max_queue``; shed requests come back as
+structured ``overloaded`` errors carrying ``retry_after_ms``).
 
 Shards for the configured ``datasets`` are loaded eagerly at
 :meth:`ServingEngine.start`; any other *registered* dataset is loaded
@@ -16,7 +19,7 @@ reach a shard — they fail validation with a structured
 Typical in-process use::
 
     async def main():
-        async with ServingEngine(datasets=["karate"]) as engine:
+        async with ServingEngine(datasets=["karate"], replicas=2) as engine:
             result, cached, coalesced = await engine.query(
                 "karate", "kt", [0], k=4
             )
@@ -25,12 +28,12 @@ Typical in-process use::
 
 from __future__ import annotations
 
-import asyncio
 import time
 from typing import Any, Optional
 
-from ..datasets import list_datasets, load_dataset
+from ..datasets import list_datasets
 from ..experiments.registry import list_algorithms
+from .placement import Placement
 from .protocol import (
     ProtocolError,
     QueryRequest,
@@ -44,7 +47,7 @@ __all__ = ["ServingEngine"]
 
 
 class ServingEngine:
-    """Route structured query requests to per-dataset shards."""
+    """Validate structured requests and route them through placement."""
 
     def __init__(
         self,
@@ -52,7 +55,12 @@ class ServingEngine:
         *,
         cache_size: int = 1024,
         max_batch: int = 64,
+        max_queue: int = 0,
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        replicas: int = 1,
+        replica_overrides: Optional[dict[str, int]] = None,
+        routing: str = "least-loaded",
     ) -> None:
         self._known_datasets = set(list_datasets())
         self._known_algorithms = set(list_algorithms())
@@ -64,44 +72,37 @@ class ServingEngine:
                     f"{', '.join(sorted(self._known_datasets))}"
                 )
         self._preload = preload
-        self._shard_options = {
-            "cache_size": cache_size,
-            "max_batch": max_batch,
-            "workers": workers,
-        }
-        self._shards: dict[str, Shard] = {}
-        self._load_lock: Optional[asyncio.Lock] = None
+        if executor is None:
+            # PR 3 compatibility: ``workers=N`` alone meant "process pool"
+            executor = "pool" if workers is not None else "inline"
+        self._placement = Placement(
+            self._known_datasets,
+            cache_size=cache_size,
+            max_batch=max_batch,
+            max_queue=max_queue,
+            replicas=replicas,
+            replica_overrides=replica_overrides,
+            executor=executor,
+            workers=workers,
+            routing=routing,
+        )
         self._started = False
-        self._closed = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Load the configured shards and start their batch loops."""
+        """Load the configured shards and start their replica loops."""
         if self._started:
             return
-        self._load_lock = asyncio.Lock()
-        self._closed = False
-        for name in self._preload:
-            await self._get_shard(name)
+        await self._placement.start(self._preload)
         self._started = True
 
-    async def close(self) -> None:
-        """Stop every shard (queued requests fail with ``internal_error``).
-
-        Takes the load lock first so a lazy shard load racing with shutdown
-        either completes (and is closed here) or observes ``_closed`` and
-        refuses — no shard task or worker pool can leak past close().
-        """
-        if self._load_lock is not None:
-            async with self._load_lock:
-                self._closed = True
-        else:
-            self._closed = True
-        for shard in self._shards.values():
-            await shard.close()
-        self._shards.clear()
+    async def close(self, drain: bool = True) -> None:
+        """Close every shard.  With ``drain`` (the default) in-flight
+        batches finish and their clients get real results; queued-but-
+        unstarted requests fail with structured errors either way."""
+        await self._placement.close(drain=drain)
         self._started = False
 
     async def __aenter__(self) -> "ServingEngine":
@@ -114,37 +115,9 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # request routing
     # ------------------------------------------------------------------
-    async def _get_shard(self, name: str) -> Shard:
-        shard = self._shards.get(name)
-        if shard is not None:
-            return shard
-        if self._load_lock is None:
-            raise ProtocolError("internal_error", "engine is not started")
-        async with self._load_lock:
-            if self._closed:
-                raise ProtocolError("internal_error", "engine is shutting down")
-            shard = self._shards.get(name)  # a concurrent request may have won
-            if shard is not None:
-                return shard
-            if name not in self._known_datasets:
-                raise ProtocolError("unknown_dataset", f"unknown dataset {name!r}")
-            loop = asyncio.get_running_loop()
-
-            def _build() -> Shard:
-                # dataset construction AND the freeze + CSR prebuild in
-                # Shard.__init__ are the expensive parts — run the whole
-                # build off the loop so warm shards keep serving meanwhile
-                return Shard(load_dataset(name), key=name, **self._shard_options)
-
-            shard = await loop.run_in_executor(None, _build)
-            await shard.start()
-            self._shards[name] = shard
-        return shard
-
     async def submit(self, request: QueryRequest) -> tuple[Any, bool, bool]:
         """Resolve a validated request; returns ``(result, cached, coalesced)``."""
-        shard = await self._get_shard(request.dataset)
-        return await shard.submit(request)
+        return await self._placement.submit(request)
 
     async def query(
         self, dataset: str, algorithm: str, nodes, **params
@@ -207,26 +180,18 @@ class ServingEngine:
     # introspection
     # ------------------------------------------------------------------
     @property
+    def placement(self) -> Placement:
+        """The placement layer (replica config, routing, shard map)."""
+        return self._placement
+
+    @property
     def shards(self) -> dict[str, Shard]:
         """The live shards keyed by dataset name (read-only use)."""
-        return self._shards
+        return self._placement.shards
 
     def stats(self) -> dict[str, Any]:
-        """Aggregate + per-shard statistics, JSON-serialisable."""
-        per_shard = {name: shard.stats() for name, shard in sorted(self._shards.items())}
-        totals = {
-            key: sum(stats[key] for stats in per_shard.values())
-            for key in (
-                "queries",
-                "cache_hits",
-                "cache_misses",
-                "coalesced",
-                "batches",
-                "executed",
-                "errors",
-            )
-        }
-        return {"shards": per_shard, "totals": totals}
+        """Aggregate + per-shard (+ per-replica) statistics, JSON-safe."""
+        return self._placement.stats()
 
 
 def _with_id(request_id: Any) -> dict[str, Any]:

@@ -1,0 +1,386 @@
+"""Pluggable batch executors: *where* a replica's micro-batches run.
+
+PR 3's :class:`~repro.serving.shard.Shard` hard-wired execution (a thread,
+or an optional process pool) into the shard itself.  This module tears the
+execution concern out into a small closed family of executors so the
+placement layer can replicate a dataset across independent execution
+contexts:
+
+* :class:`InlineExecutor` — runs each batch on the default thread-pool
+  against the shard's **shared** frozen snapshot.  Zero setup cost, one
+  memo cache; today's default.  Replicas of an inline shard overlap I/O
+  and queueing but share the GIL for compute, and a *cold* burst spread
+  across several inline replicas can compute the same query-independent
+  decomposition more than once before the first write lands in the
+  (idempotent, last-write-wins) memo cache — correctness is unaffected,
+  but single-flight memoisation is an open ROADMAP item.  Replication
+  pays off here mainly through queueing isolation; use ``process``
+  replicas for CPU scale-out.
+* :class:`PoolExecutor` — submits batch items to a **shared**
+  ``ProcessPoolExecutor`` (one pool per shard, created by the replica set;
+  the frozen dataset is shipped once per pool worker via the initializer).
+  PR 3's ``--workers N`` path, now one strategy among three.
+* :class:`WorkerProcessExecutor` — owns a **dedicated spawn-safe worker
+  process per replica**.  The child loads the (mutable) dataset shipped at
+  spawn time and freezes **its own** snapshot, so each replica has a
+  private memo cache and hot datasets scale past the GIL: two process
+  replicas really do peel two truss decompositions concurrently.  A
+  crashed worker is respawned on the next batch; the batch that observed
+  the crash fails with a structured ``internal_error``.
+
+Every executor exposes the same tiny surface — ``start``, ``run_batch``,
+``close``, ``describe`` — and maps execution failures to the closed
+:class:`~repro.serving.protocol.ProtocolError` code set, so replicas and
+shards never see a raw traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import replace
+from typing import Any, Optional, Union
+
+from ..datasets import Dataset
+from ..experiments.registry import get_algorithm
+from ..graph import FrozenGraph, GraphError, freeze
+from .protocol import ProtocolError, QueryRequest
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "Outcome",
+    "InlineExecutor",
+    "PoolExecutor",
+    "WorkerProcessExecutor",
+]
+
+#: The closed set of executor strategies ``--executor`` accepts.
+EXECUTOR_KINDS = ("inline", "pool", "process")
+
+Outcome = Union["ProtocolError", Any]  # CommunityResult or a structured error
+
+
+def _resolve_algorithm(algorithm: str, params: dict):
+    """Look the algorithm up, mapping *lookup* failure to its structured code.
+
+    A ``KeyError`` raised later, inside the algorithm itself, must not be
+    reported as ``unknown_algorithm`` — it falls through to
+    ``internal_error`` via :func:`as_protocol_error`.
+    """
+    try:
+        return get_algorithm(algorithm, **params)
+    except KeyError as exc:
+        raise ProtocolError(
+            "unknown_algorithm", str(exc.args[0]) if exc.args else str(exc)
+        ) from None
+
+
+def as_protocol_error(exc: Exception) -> ProtocolError:
+    """Map an execution failure to a structured, client-visible error."""
+    if isinstance(exc, ProtocolError):
+        return exc
+    if isinstance(exc, GraphError):
+        return ProtocolError("bad_query", str(exc))
+    if isinstance(exc, TypeError):
+        # an unsupported parameter name surfaces as a TypeError at call time
+        return ProtocolError("bad_request", f"{type(exc).__name__}: {exc}")
+    return ProtocolError("internal_error", f"{type(exc).__name__}: {exc}")
+
+
+def execute_one(graph, algorithm: str, params: dict, nodes) -> Outcome:
+    """Run one request against ``graph``; failures come back as values."""
+    try:
+        runner = _resolve_algorithm(algorithm, params)
+        return runner(graph, list(nodes))
+    except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+        return as_protocol_error(exc)
+
+
+# ----------------------------------------------------------------------------
+# inline: a thread hop per batch against the shared snapshot
+# ----------------------------------------------------------------------------
+
+
+class InlineExecutor:
+    """Run batches on the default thread-pool against the shared snapshot."""
+
+    kind = "inline"
+
+    def __init__(self, frozen: FrozenGraph) -> None:
+        self._frozen = frozen
+
+    async def start(self) -> None:  # nothing to warm up
+        return None
+
+    async def run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
+        # one thread hop for the whole batch: the event loop keeps
+        # accepting (and queueing) requests while the batch executes
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._execute_batch, requests)
+
+    def _execute_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
+        return [
+            execute_one(self._frozen, request.algorithm, request.param_dict(), request.nodes)
+            for request in requests
+        ]
+
+    async def close(self) -> None:
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+
+# ----------------------------------------------------------------------------
+# pool: batch items fan out over a shared per-shard process pool
+# ----------------------------------------------------------------------------
+
+_POOL_DATASET: Optional[Dataset] = None
+
+
+def _pool_worker_init(dataset: Dataset) -> None:
+    globals()["_POOL_DATASET"] = dataset
+
+
+def _pool_worker_run(algorithm: str, params: tuple, nodes: tuple):
+    outcome = execute_one(_POOL_DATASET.graph, algorithm, dict(params), nodes)
+    if isinstance(outcome, ProtocolError):
+        raise outcome
+    return outcome
+
+
+class SharedProcessPool:
+    """One ``ProcessPoolExecutor`` per shard, shared by its pool replicas.
+
+    The frozen dataset is pickled once per pool worker via the initializer
+    (mirroring ``experiments.runner``'s batched fan-out), not per task.
+    """
+
+    def __init__(self, dataset: Dataset, frozen: FrozenGraph, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._dataset = dataset
+        self._frozen = frozen
+        self._pool = None
+
+    def ensure_started(self):
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_worker_init,
+                initargs=(replace(self._dataset, graph=self._frozen),),
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class PoolExecutor:
+    """Fan batch items out over the shard's shared process pool."""
+
+    kind = "pool"
+
+    def __init__(self, shared_pool: SharedProcessPool) -> None:
+        self._shared = shared_pool
+
+    async def start(self) -> None:
+        self._shared.ensure_started()
+
+    async def run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
+        loop = asyncio.get_running_loop()
+        pool = self._shared.ensure_started()
+        futures = [
+            loop.run_in_executor(
+                pool, _pool_worker_run, request.algorithm, request.params, request.nodes
+            )
+            for request in requests
+        ]
+        outcomes: list[Outcome] = []
+        for future in futures:
+            try:
+                outcomes.append(await future)
+            except Exception as exc:  # noqa: BLE001 - mapped to structured codes
+                outcomes.append(as_protocol_error(exc))
+        return outcomes
+
+    async def close(self) -> None:
+        # the pool itself is owned (and shut down) by the replica set
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.kind, "workers": self._shared.workers}
+
+
+# ----------------------------------------------------------------------------
+# process: a dedicated spawn-safe worker process per replica
+# ----------------------------------------------------------------------------
+
+
+def _worker_process_main(conn, dataset: Dataset) -> None:
+    """Entry point of a replica's worker process (spawn-safe, module level).
+
+    The child freezes **its own** snapshot from the shipped mutable dataset
+    — its memo cache is private, so replicas never contend on one
+    interpreter — then answers ``("batch", items)`` messages until it
+    receives ``("stop", None)`` or the pipe closes.
+    """
+    try:
+        frozen = freeze(dataset.graph)
+        frozen.csr.adjacency_lists()  # prebuild outside any batch timing
+        conn.send(("ready", None))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if kind != "batch":
+            break
+        outcomes = []
+        for algorithm, params, nodes in payload:
+            outcome = execute_one(frozen, algorithm, dict(params), nodes)
+            if isinstance(outcome, ProtocolError):
+                outcomes.append(("err", outcome))
+            else:
+                outcomes.append(("ok", outcome))
+        conn.send(("batch", outcomes))
+    conn.close()
+
+
+class WorkerProcessExecutor:
+    """One dedicated worker process per replica, spawned (not forked).
+
+    The spawn context is used deliberately: it is safe under threads and
+    event loops on every platform, and it forces the child to build its own
+    world (import, dataset, **its own frozen snapshot**) instead of
+    inheriting a possibly-inconsistent fork of the parent.  All pipe I/O is
+    blocking and therefore pushed onto the default thread-pool; one batch
+    is in flight per worker at a time (the owning replica's loop guarantees
+    that, the lock makes it safe even under direct use).
+    """
+
+    kind = "process"
+
+    def __init__(self, dataset: Dataset, *, start_timeout: float = 120.0) -> None:
+        self._dataset = dataset
+        self._start_timeout = start_timeout
+        self._proc = None
+        self._conn = None
+        self._lock = threading.Lock()
+        self.restarts = -1  # first spawn brings it to 0
+
+    # -- child management (all called from worker threads, under the lock) --
+    def _spawn(self) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_process_main,
+            args=(child_conn, self._dataset),
+            name=f"repro-replica:{self._dataset.name}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            try:
+                if not parent_conn.poll(self._start_timeout):
+                    raise RuntimeError(
+                        f"worker process for {self._dataset.name!r} did not become ready "
+                        f"within {self._start_timeout}s"
+                    )
+                kind, detail = parent_conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"worker process for {self._dataset.name!r} died during startup"
+                ) from None
+            if kind != "ready":
+                raise RuntimeError(
+                    f"worker process for {self._dataset.name!r} failed to start: {detail}"
+                )
+        except BaseException:
+            # a failed handshake must not leak the child or the pipe fd
+            parent_conn.close()
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(5)
+            raise
+        self._proc = proc
+        self._conn = parent_conn
+        self.restarts += 1
+
+    def _teardown(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join(5)
+            self._proc = None
+
+    def _roundtrip(self, items: list[tuple]) -> list[tuple]:
+        with self._lock:
+            if self._proc is None or not self._proc.is_alive():
+                # first use, or the previous batch killed the worker
+                self._teardown()
+                self._spawn()
+            try:
+                self._conn.send(("batch", items))
+                return self._conn.recv()
+            except (EOFError, OSError) as exc:
+                self._teardown()
+                raise RuntimeError(
+                    f"worker process for {self._dataset.name!r} died mid-batch "
+                    f"({type(exc).__name__}); it will be respawned"
+                ) from None
+
+    def _stop(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.send(("stop", None))
+                except (OSError, ValueError):
+                    pass
+            if self._proc is not None:
+                self._proc.join(10)
+            self._teardown()
+
+    # -- the async surface ------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self._roundtrip_ready())
+
+    def _roundtrip_ready(self) -> None:
+        with self._lock:
+            if self._proc is None or not self._proc.is_alive():
+                self._teardown()
+                self._spawn()
+
+    async def run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
+        items = [(request.algorithm, request.params, request.nodes) for request in requests]
+        loop = asyncio.get_running_loop()
+        _, tagged = await loop.run_in_executor(None, self._roundtrip, items)
+        return [outcome for _tag, outcome in tagged]
+
+    async def close(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._stop)
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.kind, "restarts": max(self.restarts, 0)}

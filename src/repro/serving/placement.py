@@ -1,0 +1,604 @@
+"""Shard placement: dataset → replica set, with a routing policy.
+
+PR 3 served every dataset from a single shard executing inside one asyncio
+process; this module is the layer that grew out of it.  It owns three
+concerns:
+
+* **Replication** — each dataset maps to a :class:`ReplicaSet` of
+  ``--replicas N`` independent :class:`Replica` objects (optionally
+  overridden per dataset, ``--replicas 2 hotset=4``).  A replica is a
+  queue + micro-batch loop in front of one
+  :mod:`~repro.serving.executor` executor, so replication composes with
+  any execution strategy — N inline threads, N views of a shared process
+  pool, or N dedicated worker processes each holding its own snapshot.
+* **Routing** — a policy picks the replica for each admitted request:
+  :class:`RoundRobinPolicy` (strict rotation) or the default
+  :class:`LeastLoadedPolicy` (smallest queue depth + in-flight batch,
+  index as the tie-break, so an idle replica always wins over a busy one).
+* **The placement map** — :class:`Placement` replaces the engine's flat
+  shard dict: it validates the replica/executor configuration up front,
+  loads shards lazily off the event loop, and folds per-replica statistics
+  into the ``stats`` op.
+
+The shard itself (:mod:`repro.serving.shard`) shrinks to pure
+queueing/coalescing/LRU logic in front of the replica set built here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from ..datasets import Dataset, load_dataset
+from ..graph import FrozenGraph, freeze
+from .executor import (
+    EXECUTOR_KINDS,
+    InlineExecutor,
+    Outcome,
+    PoolExecutor,
+    SharedProcessPool,
+    WorkerProcessExecutor,
+    as_protocol_error,
+)
+from .protocol import ProtocolError, QueryRequest
+from .shard import Shard
+
+__all__ = [
+    "DEFAULT_POOL_WORKERS",
+    "ROUTING_POLICIES",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "Replica",
+    "ReplicaSet",
+    "Placement",
+    "parse_replica_spec",
+]
+
+#: pool size when the 'pool' executor is chosen without an explicit
+#: ``workers`` count (kept deliberately small; size it with ``--workers``)
+DEFAULT_POOL_WORKERS = 2
+
+
+# ----------------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------------
+
+
+class RoundRobinPolicy:
+    """Strict rotation over the replica set, independent of load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, replicas: list["Replica"]) -> "Replica":
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class LeastLoadedPolicy:
+    """Pick the replica with the smallest queue depth + in-flight batch.
+
+    Ties break on the replica index so routing is deterministic; an idle
+    replica therefore always beats one that is mid-batch, which is what
+    lets a slow query on one replica stop head-of-line-blocking the rest
+    of the traffic.
+    """
+
+    name = "least-loaded"
+
+    def select(self, replicas: list["Replica"]) -> "Replica":
+        return min(replicas, key=lambda replica: (replica.load, replica.index))
+
+
+#: routing-policy name → zero-argument factory (policies carry state).
+ROUTING_POLICIES: dict[str, Callable[[], Any]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+}
+
+
+# ----------------------------------------------------------------------------
+# replicas: a queue + micro-batch loop per execution context
+# ----------------------------------------------------------------------------
+
+_STOP = object()  # queue sentinel that wakes a draining replica loop
+
+
+class Replica:
+    """One execution lane of a shard: queue, micro-batch loop, executor.
+
+    The loop mirrors PR 3's per-shard batch loop: it blocks on the queue,
+    drains whatever queued up while the previous batch ran (micro-batching,
+    bounded by ``max_batch``), hands the batch to the executor off the
+    event loop, and reports every outcome through the shard-owned
+    ``on_complete`` callback.  On drain it finishes the in-flight batch and
+    stops pulling new ones — requests still queued get structured errors.
+    """
+
+    def __init__(self, index: int, executor, *, key: str, max_batch: int) -> None:
+        self.index = index
+        self.executor = executor
+        self.key = key
+        self.max_batch = max_batch
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._on_complete: Optional[Callable] = None
+        self._draining = False
+        self.inflight = 0  # requests in the batch currently executing
+        # statistics
+        self.batches = 0
+        self.executed = 0
+        self.errors = 0
+        self.max_batch_size = 0
+        self.max_queued = 0
+
+    # -- wiring ------------------------------------------------------------
+    def bind(self, on_complete: Callable) -> None:
+        """Attach the shard's completion callback (cache/inflight/futures)."""
+        self._on_complete = on_complete
+
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        await self.executor.start()
+        self._task = asyncio.create_task(
+            self._loop(), name=f"replica:{self.key}#{self.index}"
+        )
+
+    # -- the data path -----------------------------------------------------
+    def qsize(self) -> int:
+        """Requests queued on this replica, excluding the executing batch."""
+        size = self._queue.qsize()
+        # the drain sentinel is not a request
+        return size - 1 if self._draining and size else size
+
+    @property
+    def load(self) -> int:
+        """Routing load: queued requests plus the in-flight batch."""
+        return self.qsize() + self.inflight
+
+    def enqueue(self, request: QueryRequest, future: asyncio.Future) -> None:
+        self._queue.put_nowait((request, future))
+        depth = self.qsize()
+        if depth > self.max_queued:
+            self.max_queued = depth
+
+    async def _loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _STOP:
+                    self._queue.put_nowait(_STOP)  # re-arm for after this batch
+                    break
+                batch.append(extra)
+            self.batches += 1
+            if len(batch) > self.max_batch_size:
+                self.max_batch_size = len(batch)
+            requests = [request for request, _ in batch]
+            self.inflight = len(batch)
+            try:
+                outcomes = await self.executor.run_batch(requests)
+                self.executed += len(batch)
+            except asyncio.CancelledError:
+                self._fail_batch(batch, "shard is shutting down")
+                raise
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                # e.g. submitting to a broken pool or a dead worker process
+                # raises for the whole batch; fail it structurally and keep
+                # draining the queue rather than silently wedging the replica
+                outcomes = [as_protocol_error(exc) for _ in batch]
+            finally:
+                self.inflight = 0
+            for (request, future), outcome in zip(batch, outcomes):
+                if isinstance(outcome, ProtocolError):
+                    self.errors += 1
+                self._on_complete(request, future, outcome)
+            if self._draining:
+                break
+
+    def _fail_batch(self, batch, message: str) -> None:
+        for request, future in batch:
+            self._on_complete(request, future, ProtocolError("internal_error", message))
+
+    # -- lifecycle ---------------------------------------------------------
+    def signal_drain(self) -> None:
+        """Ask the loop to stop after its current batch (non-blocking).
+
+        Called across every replica *before* any of them is awaited, so a
+        replica set drains in max(batch time), not sum(batch times).
+        """
+        self._draining = True
+        if self._task is not None:
+            self._queue.put_nowait(_STOP)
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the loop; drain lets the in-flight batch finish first."""
+        self._draining = True
+        if self._task is not None:
+            if drain:
+                self._queue.put_nowait(_STOP)
+                await self._task
+            else:
+                self._task.cancel()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
+            self._task = None
+        # whatever is still queued was never started: structured errors
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)
+        self._fail_batch(leftovers, "shard is shutting down; request was queued but not run")
+        await self.executor.close()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "replica": self.index,
+            "executor": self.executor.describe(),
+            "queued": self.qsize(),
+            "max_queued": self.max_queued,
+            "inflight": self.inflight,
+            "batches": self.batches,
+            "executed": self.executed,
+            "errors": self.errors,
+            "max_batch_size": self.max_batch_size,
+        }
+
+
+class ReplicaSet:
+    """The replicas serving one dataset, plus their routing policy."""
+
+    def __init__(self, replicas: list[Replica], policy, *, shared_pool=None) -> None:
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self.replicas = replicas
+        self.policy = policy
+        self._shared_pool = shared_pool
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        frozen: FrozenGraph,
+        *,
+        key: str,
+        count: int,
+        executor: str,
+        workers: Optional[int],
+        routing: str,
+        max_batch: int,
+    ) -> "ReplicaSet":
+        """Construct ``count`` replicas of ``dataset`` on the given strategy."""
+        if count < 1:
+            raise ValueError(f"replicas must be >= 1, got {count}")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {', '.join(EXECUTOR_KINDS)}"
+            )
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; choose from "
+                f"{', '.join(sorted(ROUTING_POLICIES))}"
+            )
+        shared_pool = None
+        if executor == "pool":
+            shared_pool = SharedProcessPool(
+                dataset, frozen, workers if workers else DEFAULT_POOL_WORKERS
+            )
+        replicas = []
+        for index in range(count):
+            if executor == "inline":
+                engine_executor = InlineExecutor(frozen)
+            elif executor == "pool":
+                engine_executor = PoolExecutor(shared_pool)
+            else:
+                engine_executor = WorkerProcessExecutor(dataset)
+            replicas.append(Replica(index, engine_executor, key=key, max_batch=max_batch))
+        return cls(replicas, ROUTING_POLICIES[routing](), shared_pool=shared_pool)
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def executor_kind(self) -> str:
+        return self.replicas[0].executor.kind
+
+    @property
+    def pool_workers(self) -> int:
+        """Size of the shared process pool (0 for pool-less strategies)."""
+        return self._shared_pool.workers if self._shared_pool is not None else 0
+
+    def bind(self, on_complete: Callable) -> None:
+        for replica in self.replicas:
+            replica.bind(on_complete)
+
+    async def start(self) -> None:
+        # concurrent executor startup: N process replicas spawn and freeze
+        # their snapshots in max(one spawn), not sum
+        await asyncio.gather(*(replica.start() for replica in self.replicas))
+
+    def route(self) -> Replica:
+        """Pick the replica the next admitted request is queued on."""
+        return self.policy.select(self.replicas)
+
+    def total_queued(self) -> int:
+        """Requests queued across the set (excluding executing batches)."""
+        return sum(replica.qsize() for replica in self.replicas)
+
+    def total_pending(self) -> int:
+        """Queued plus executing work, feeding the ``retry_after_ms``
+        estimate.  Admission control itself bounds :meth:`total_queued`
+        (executing batches are past the queue and cannot be shed)."""
+        return sum(replica.load for replica in self.replicas)
+
+    async def close(self, drain: bool = True) -> None:
+        if drain:
+            # wake every loop first so in-flight batches drain concurrently
+            for replica in self.replicas:
+                replica.signal_drain()
+        for replica in self.replicas:
+            await replica.close(drain=drain)
+        if self._shared_pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._shared_pool.shutdown)
+
+    def stats(self) -> list[dict[str, Any]]:
+        return [replica.stats() for replica in self.replicas]
+
+
+# ----------------------------------------------------------------------------
+# the placement map: dataset name → shard (lazily built)
+# ----------------------------------------------------------------------------
+
+
+class Placement:
+    """Map datasets to replicated shards; the engine routes through this.
+
+    Shards are created lazily on first request (dataset construction and
+    the freeze both run off the event loop so a cold shard never stalls
+    traffic to warm ones) and guarded by one lock so a racing duplicate
+    load cannot leak a shard — the same discipline PR 3's engine had, now
+    owned by the placement layer together with the replica configuration.
+    """
+
+    def __init__(
+        self,
+        known_datasets: set[str],
+        *,
+        cache_size: int = 1024,
+        max_batch: int = 64,
+        max_queue: int = 0,
+        replicas: int = 1,
+        replica_overrides: Optional[dict[str, int]] = None,
+        executor: str = "inline",
+        workers: Optional[int] = None,
+        routing: str = LeastLoadedPolicy.name,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {', '.join(EXECUTOR_KINDS)}"
+            )
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; choose from "
+                f"{', '.join(sorted(ROUTING_POLICIES))}"
+            )
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0 (0 = unbounded), got {max_queue}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers is not None and executor != "pool":
+            raise ValueError("workers only applies to the 'pool' executor")
+        overrides = dict(replica_overrides or {})
+        for name, count in overrides.items():
+            if name not in known_datasets:
+                raise KeyError(
+                    f"unknown dataset {name!r} in replica overrides; available: "
+                    f"{', '.join(sorted(known_datasets))}"
+                )
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                raise ValueError(f"replicas for {name!r} must be a positive integer")
+        self._known_datasets = known_datasets
+        self._options = {
+            "cache_size": cache_size,
+            "max_batch": max_batch,
+            "max_queue": max_queue,
+        }
+        self.executor = executor
+        self.workers = workers
+        self.routing = routing
+        self.replicas = replicas
+        self.replica_overrides = overrides
+        self._shards: dict[str, Shard] = {}
+        self._load_lock: Optional[asyncio.Lock] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, preload=()) -> None:
+        if self._load_lock is None:
+            self._load_lock = asyncio.Lock()
+        self._closed = False
+        for name in preload:
+            await self.get_shard(name)
+
+    async def close(self, drain: bool = True) -> None:
+        """Close every shard; drain lets in-flight batches finish.
+
+        Takes the load lock first so a lazy shard load racing with shutdown
+        either completes (and is closed here) or observes ``_closed`` and
+        refuses — no shard task or worker process can leak past close().
+        """
+        if self._load_lock is not None:
+            async with self._load_lock:
+                self._closed = True
+        else:
+            self._closed = True
+        # shards drain concurrently: shutdown costs max(batch), not sum
+        await asyncio.gather(
+            *(shard.close(drain=drain) for shard in self._shards.values())
+        )
+        self._shards.clear()
+
+    # -- shard construction ------------------------------------------------
+    def replicas_for(self, name: str) -> int:
+        """The configured replica count for ``name``."""
+        return self.replica_overrides.get(name, self.replicas)
+
+    def build_shard(self, dataset: Dataset, *, key: Optional[str] = None) -> Shard:
+        """Freeze ``dataset`` once and stand a replicated shard in front."""
+        key = key if key is not None else dataset.name
+        frozen = freeze(dataset.graph)
+        frozen.csr.adjacency_lists()  # prebuild outside any request timing
+        replica_set = ReplicaSet.build(
+            dataset,
+            frozen,
+            key=key,
+            count=self.replicas_for(key),
+            executor=self.executor,
+            workers=self.workers,
+            routing=self.routing,
+            max_batch=self._options["max_batch"],
+        )
+        return Shard(
+            dataset,
+            frozen,
+            replica_set,
+            key=key,
+            cache_size=self._options["cache_size"],
+            max_queue=self._options["max_queue"],
+        )
+
+    async def get_shard(self, name: str) -> Shard:
+        shard = self._shards.get(name)
+        if shard is not None:
+            return shard
+        if self._load_lock is None:
+            raise ProtocolError("internal_error", "engine is not started")
+        async with self._load_lock:
+            if self._closed:
+                raise ProtocolError("internal_error", "engine is shutting down")
+            shard = self._shards.get(name)  # a concurrent request may have won
+            if shard is not None:
+                return shard
+            if name not in self._known_datasets:
+                raise ProtocolError("unknown_dataset", f"unknown dataset {name!r}")
+            loop = asyncio.get_running_loop()
+
+            def _build() -> Shard:
+                # dataset construction AND the freeze + CSR prebuild are the
+                # expensive parts — run the whole build off the loop so warm
+                # shards keep serving meanwhile
+                return self.build_shard(load_dataset(name), key=name)
+
+            shard = await loop.run_in_executor(None, _build)
+            await shard.start()
+            self._shards[name] = shard
+        return shard
+
+    # -- routing + introspection ------------------------------------------
+    async def submit(self, request: QueryRequest) -> tuple[Outcome, bool, bool]:
+        """Route a validated request to the owning shard and resolve it."""
+        shard = await self.get_shard(request.dataset)
+        return await shard.submit(request)
+
+    @property
+    def shards(self) -> dict[str, Shard]:
+        """The live shards keyed by dataset name (read-only use)."""
+        return self._shards
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate + per-shard (+ per-replica) statistics, JSON-safe."""
+        per_shard = {name: shard.stats() for name, shard in sorted(self._shards.items())}
+        totals = {
+            key: sum(stats[key] for stats in per_shard.values())
+            for key in (
+                "queries",
+                "cache_hits",
+                "cache_misses",
+                "coalesced",
+                "batches",
+                "executed",
+                "errors",
+                "shed",
+                "retried",
+            )
+        }
+        return {
+            "placement": {
+                "executor": self.executor,
+                "routing": self.routing,
+                "replicas": self.replicas,
+                "replica_overrides": dict(sorted(self.replica_overrides.items())),
+                "max_queue": self._options["max_queue"],
+            },
+            "shards": per_shard,
+            "totals": totals,
+        }
+
+
+def parse_replica_spec(tokens, known_datasets) -> tuple[int, dict[str, int]]:
+    """Parse ``--replicas`` tokens into ``(default_count, overrides)``.
+
+    Each token is either a bare positive integer (the default replica count
+    for every dataset) or ``name=N`` (an override for one dataset).  Raises
+    ``ValueError`` with a flag-shaped message on malformed tokens so the
+    CLI can surface it as a production-shaped error.
+    """
+    default = 1
+    default_seen = False
+    overrides: dict[str, int] = {}
+    for token in tokens:
+        text = str(token)
+        if "=" in text:
+            name, _, raw = text.partition("=")
+            name = name.strip()
+            if not name:
+                raise ValueError(f"--replicas override {text!r} needs a dataset name")
+            if known_datasets is not None and name not in known_datasets:
+                raise ValueError(
+                    f"unknown dataset {name!r} in --replicas; available: "
+                    f"{', '.join(sorted(known_datasets))}"
+                )
+            try:
+                count = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"--replicas override {text!r} must look like name=N"
+                ) from None
+            if count < 1:
+                raise ValueError(f"--replicas for {name!r} must be a positive integer")
+            overrides[name] = count
+        else:
+            try:
+                count = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"--replicas expects an integer or name=N, got {text!r}"
+                ) from None
+            if count < 1:
+                raise ValueError("--replicas must be a positive integer")
+            if default_seen and count != default:
+                raise ValueError("--replicas got two conflicting default counts")
+            default = count
+            default_seen = True
+    return default, overrides

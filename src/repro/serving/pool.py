@@ -1,0 +1,216 @@
+"""Keep-alive client pool with bounded retry of shed requests.
+
+:class:`ServingClientPool` is the client-side half of the admission-control
+story.  It keeps a fixed-size pool of live
+:class:`~repro.serving.client.ServingClient` connections shared across
+threads, so a load generator (or any multi-threaded caller) stops paying
+per-request — or per-replay — connect cost, and it understands the
+server's ``overloaded`` responses: a shed query is retried after the
+advertised ``retry_after_ms``, with the attempt number sent back to the
+server (``"attempt": N``) so shed/retry behaviour is observable in the
+``stats`` op on both ends.
+
+The retry budget is **bounded** (``max_retries``); when it is exhausted
+the last ``overloaded`` response is returned to the caller rather than
+looping forever against a saturated server.  Connection failures are
+handled underneath by each client's reconnect-once logic; a connection
+that still fails is discarded and replaced rather than returned to the
+pool.
+
+Typical use::
+
+    with ServingClientPool("127.0.0.1", 7531, size=8) as pool:
+        response = pool.query("karate", "kt", [0, 33])   # any thread
+        print(response["ok"], pool.counters())
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Optional
+
+from .client import ServingClient
+
+__all__ = ["ServingClientPool"]
+
+
+class ServingClientPool:
+    """Thread-safe pool of keep-alive serving connections.
+
+    ``size`` bounds the number of concurrent connections; a thread that
+    finds the pool empty blocks until one is released.  ``max_retries``
+    bounds how many times a single :meth:`query` is retried after being
+    shed with ``overloaded``; the sleep between retries honours the
+    server's ``retry_after_ms`` hint, capped at ``backoff_cap_ms``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 4,
+        timeout: float = 60.0,
+        max_retries: int = 10,
+        backoff_cap_ms: float = 250.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_cap_ms = backoff_cap_ms
+        self._idle: queue.LifoQueue = queue.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        # counters (dashboards / load-generator reporting)
+        self.requests = 0
+        self.retries = 0
+        self.overloaded_responses = 0
+        self.exhausted = 0
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _acquire(self) -> ServingClient:
+        # a loop, not a single blocking get: when a broken connection is
+        # discarded (closed, _created decremented) nothing is put back on
+        # the idle queue, so a waiter must wake up and re-check whether it
+        # may now *create* a replacement instead of sleeping forever
+        while True:
+            if self._closed:
+                raise RuntimeError("client pool is closed")
+            try:
+                return self._idle.get_nowait()
+            except queue.Empty:
+                pass
+            with self._lock:
+                if self._created < self.size:
+                    self._created += 1
+                    try:
+                        return ServingClient(self.host, self.port, timeout=self.timeout)
+                    except BaseException:
+                        self._created -= 1
+                        raise
+            try:
+                return self._idle.get(timeout=0.05)
+            except queue.Empty:
+                continue  # re-check capacity (and the closed flag)
+
+    def _release(self, client: ServingClient, *, broken: bool = False) -> None:
+        if broken or self._closed:
+            client.close()
+            with self._lock:
+                self._created -= 1
+        else:
+            self._idle.put(client)
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip through a pooled connection (no shed retry)."""
+        client = self._acquire()
+        try:
+            response = client.request(payload)
+        except BaseException:
+            self._release(client, broken=True)
+            raise
+        self._release(client)
+        with self._lock:
+            self.requests += 1
+        return response
+
+    def query(
+        self,
+        dataset: str,
+        algorithm: str,
+        nodes,
+        *,
+        max_retries: Optional[int] = None,
+        **params,
+    ) -> dict[str, Any]:
+        """Run one community search, retrying shed requests.
+
+        Returns the first non-``overloaded`` response, or the last
+        ``overloaded`` response once the retry budget is spent (the caller
+        can distinguish the two through ``response["ok"]`` /
+        ``response["error"]["code"]``).
+        """
+        budget = self.max_retries if max_retries is None else max_retries
+        payload: dict[str, Any] = {
+            "op": "query",
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "nodes": list(nodes),
+        }
+        if params:
+            payload["params"] = params
+        attempt = 0
+        while True:
+            if attempt:
+                payload["attempt"] = attempt
+            response = self.request(payload)
+            error = response.get("error")
+            if response.get("ok") or not error or error.get("code") != "overloaded":
+                return response
+            with self._lock:
+                self.overloaded_responses += 1
+            if attempt >= budget:
+                with self._lock:
+                    self.exhausted += 1
+                return response
+            with self._lock:
+                self.retries += 1
+            attempt += 1
+            delay_ms = min(float(error.get("retry_after_ms", 10)), self.backoff_cap_ms)
+            time.sleep(max(delay_ms, 1.0) / 1000.0)
+
+    # ------------------------------------------------------------------
+    # convenience operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Liveness check through a pooled connection."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        """Fetch the server's statistics snapshot."""
+        return self.request({"op": "stats"})
+
+    def counters(self) -> dict[str, int]:
+        """Client-side counters: requests, retries, sheds seen, exhausted."""
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "overloaded_responses": self.overloaded_responses,
+            "exhausted": self.exhausted,
+            "connections": self._created,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every pooled connection; idempotent."""
+        self._closed = True
+        while True:
+            try:
+                client = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            client.close()
+            with self._lock:
+                self._created -= 1
+
+    def __enter__(self) -> "ServingClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

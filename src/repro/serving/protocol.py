@@ -18,8 +18,16 @@ Error codes are a closed set (:data:`ERROR_CODES`) so clients can dispatch
 on them: ``bad_request`` (malformed JSON / missing or ill-typed fields),
 ``unknown_dataset`` / ``unknown_algorithm`` (name not registered),
 ``bad_query`` (well-formed request the graph rejects, e.g. a query node
-that is not in the dataset) and ``internal_error`` (anything else; the
-server stays up).
+that is not in the dataset), ``overloaded`` (admission control shed the
+request because the owning shard's bounded queue is full; the error object
+carries ``retry_after_ms``, the server's estimate of when capacity frees
+up) and ``internal_error`` (anything else; the server stays up).
+
+A client retrying a shed request may send ``"attempt": N`` (a positive
+integer) alongside the query fields; the server counts retried admissions
+per shard so overload behaviour is observable in the ``stats`` op.
+``attempt`` is not part of the request identity — a retry coalesces and
+caches exactly like the original.
 
 This module is deliberately transport-free: it validates payloads into
 :class:`QueryRequest` values and formats :class:`~repro.core.result.
@@ -54,6 +62,7 @@ ERROR_CODES = (
     "unknown_dataset",
     "unknown_algorithm",
     "bad_query",
+    "overloaded",
     "internal_error",
 )
 
@@ -66,20 +75,23 @@ class ProtocolError(Exception):
 
     Raised by validation and execution; the serving layers convert it into
     an ``{"ok": false, "error": {...}}`` response instead of letting it
-    escape as a traceback.
+    escape as a traceback.  ``retry_after_ms`` is only meaningful for the
+    ``overloaded`` code: the server's estimate (in milliseconds) of when the
+    shed request is worth retrying.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, retry_after_ms: Optional[int] = None) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after_ms = retry_after_ms
 
     def __reduce__(self):
         # default Exception pickling would replay __init__ with args=(message,)
         # only; the worker-pool path ships these across process boundaries
-        return (ProtocolError, (self.code, self.message))
+        return (ProtocolError, (self.code, self.message, self.retry_after_ms))
 
 
 @dataclass(frozen=True)
@@ -88,13 +100,17 @@ class QueryRequest:
 
     ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so the
     whole request is hashable — :attr:`cache_key` keys the per-shard LRU
-    result cache and the in-flight deduplication map.
+    result cache and the in-flight deduplication map.  ``attempt`` records
+    how many times the client already had this request shed (0 for a first
+    try); it is deliberately **excluded** from :attr:`cache_key` so a retry
+    deduplicates against the original.
     """
 
     dataset: str
     algorithm: str
     nodes: tuple
     params: tuple[tuple[str, Any], ...] = ()
+    attempt: int = 0
 
     @property
     def cache_key(self) -> tuple:
@@ -168,7 +184,13 @@ def parse_request(
             )
     params = tuple(sorted(raw_params.items()))
 
-    return QueryRequest(dataset=dataset, algorithm=algorithm, nodes=nodes, params=params)
+    attempt = payload.get("attempt", 0)
+    if isinstance(attempt, bool) or not isinstance(attempt, int) or attempt < 0:
+        raise ProtocolError("bad_request", "'attempt' must be a non-negative integer")
+
+    return QueryRequest(
+        dataset=dataset, algorithm=algorithm, nodes=nodes, params=params, attempt=attempt
+    )
 
 
 def result_payload(
@@ -227,10 +249,10 @@ def result_payload(
 
 def error_payload(error: ProtocolError, request_id: Any = None) -> dict[str, Any]:
     """Format a :class:`ProtocolError` as a structured error response."""
-    payload: dict[str, Any] = {
-        "ok": False,
-        "error": {"code": error.code, "message": error.message},
-    }
+    detail: dict[str, Any] = {"code": error.code, "message": error.message}
+    if error.retry_after_ms is not None:
+        detail["retry_after_ms"] = error.retry_after_ms
+    payload: dict[str, Any] = {"ok": False, "error": detail}
     if request_id is not None:
         payload["id"] = request_id
     return payload

@@ -3,9 +3,17 @@
 :class:`QueryServer` wraps a :class:`~repro.serving.engine.ServingEngine`
 behind ``asyncio.start_server``.  Each connection is handled sequentially
 (one request line → one response line, in order); concurrency comes from
-connections, which is exactly the shape the per-shard micro-batching
+connections, which is exactly the shape the per-replica micro-batching
 exploits: while one batch executes off the loop, request lines from other
 connections keep queueing and are drained into the next batch.
+
+Two admission-control behaviours live at this layer: after writing an
+``overloaded`` response the handler stops reading that connection for the
+advertised retry window (TCP read backpressure — the flooding client's
+socket buffer fills instead of the event loop spinning), and
+:meth:`QueryServer.close` shuts down in drain order (listener → engine →
+connections) so in-flight batches finish and queued requests receive
+their structured errors before any socket is torn down.
 
 Three ways to run it:
 
@@ -35,6 +43,11 @@ __all__ = ["QueryServer", "ServerThread", "run_server"]
 #: for multi-thousand-node query lists; beyond this is a structured error).
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
+#: Upper bound on the per-connection read pause after an ``overloaded``
+#: response (TCP read backpressure; the shard's ``retry_after_ms`` hint is
+#: honoured up to this cap so one flooding client cannot be parked forever).
+MAX_BACKPRESSURE_SECONDS = 0.25
+
 
 class QueryServer:
     """Serve an engine over line-delimited JSON on a TCP socket."""
@@ -60,20 +73,27 @@ class QueryServer:
         await self._shutdown.wait()
 
     async def close(self) -> None:
-        """Close the listener, every open connection and the engine; idempotent.
+        """Graceful drain: listener first, then the engine, then connections.
 
+        The ordering is what makes shutdown graceful: (1) stop accepting new
+        connections, (2) drain the engine — in-flight batches finish and
+        their clients receive real results, queued-but-unstarted requests
+        receive structured errors, both written by handlers that are still
+        alive at this point, (3) close the remaining (idle) connections.
         Idle connections must be closed here: since Python 3.12
         ``Server.wait_closed`` also waits for the connection handlers, which
         would otherwise sit in ``readline`` forever and hang shutdown.
+        Idempotent.
         """
         self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+        await self.engine.close()
         for writer in list(self._connections):
             writer.close()
         if self._server is not None:
-            self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.engine.close()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -120,6 +140,17 @@ class QueryServer:
                 response = await self.engine.handle(payload)
                 writer.write(encode(response))
                 await writer.drain()
+                error = response.get("error")
+                if error and error.get("code") == "overloaded":
+                    # TCP read backpressure: stop reading this connection for
+                    # the advertised retry window, so a flooding client's
+                    # kernel send buffer fills and its writes block instead
+                    # of the event loop churning through doomed requests
+                    pause = min(
+                        error.get("retry_after_ms", 10) / 1000.0,
+                        MAX_BACKPRESSURE_SECONDS,
+                    )
+                    await asyncio.sleep(pause)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-response; nothing to clean up
         finally:

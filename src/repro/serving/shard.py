@@ -1,33 +1,35 @@
-"""One serving shard: a dataset frozen once, queries micro-batched against it.
+"""One serving shard: admission, coalescing and caching for a dataset.
 
-A :class:`Shard` owns everything query execution needs for a single
-dataset:
+Since PR 4 the shard no longer executes anything itself — execution lives
+in the :mod:`~repro.serving.executor` layer, replication and micro-batch
+loops in :mod:`~repro.serving.placement`.  What remains here is the pure
+request-lifecycle logic every replica strategy shares:
 
-* the **frozen snapshot** — the dataset graph is frozen exactly once
-  (dict→CSR conversion and adjacency caches are paid a single time) and
-  every query of the shard's lifetime runs against the shared immutable
-  graph, so the per-snapshot memo cache (k-core structures, the full truss
-  decomposition, per-``k`` truss components, kecc partitions, ...)
-  amortises across *requests* the same way ``evaluate_batch`` amortises it
-  across a sweep;
+* the **frozen snapshot** — the dataset graph is frozen exactly once and
+  shared by every inline/pool replica, so the per-snapshot memo cache
+  (k-core structures, the full truss decomposition, per-``k`` truss
+  components, kecc partitions, ...) amortises across *requests* the same
+  way ``evaluate_batch`` amortises it across a sweep (worker-process
+  replicas freeze their own private snapshot instead);
 * an **LRU result cache** keyed by the full request identity — repeated
-  queries are answered without touching the graph at all;
+  queries are answered without touching any replica;
 * an **in-flight map** that coalesces duplicate requests: a request that
   arrives while an identical one is queued or executing awaits the same
-  future instead of being executed twice;
-* a **micro-batching loop** — requests that queue up while a batch is
-  executing are drained into the next batch, so bursts share decomposition
-  memoisation exactly like the offline batched engine;
-* optional **process workers** reusing the ``evaluate_batch`` fan-out: the
-  frozen dataset is pickled once per worker via the pool initializer and
-  batch items fan out over the pool (each worker keeps its own memo cache);
-* **per-shard statistics**: hits, misses, coalesced requests, batch and
-  queue-depth extremes, and end-to-end latency percentiles.
+  future instead of being executed twice (retries coalesce with their
+  original, because ``attempt`` is excluded from the cache key);
+* **admission control** — a bounded queue across the replica set
+  (``max_queue``; 0 disables the bound).  A request that finds the queue
+  full is *shed* with the closed protocol code ``overloaded`` and a
+  ``retry_after_ms`` estimate derived from the shard's recent latency, so
+  a well-behaved client backs off instead of piling on;
+* **per-shard statistics**: hits, misses, coalesced requests, shed and
+  retried counts, queue-depth high-water marks, end-to-end latency
+  percentiles, and the per-replica breakdown.
 
-Execution is deliberately run off the event loop (a thread for the
-in-process mode, the pool otherwise) so the loop stays free to accept and
-queue requests while a batch runs — that is what makes micro-batches
-actually fill up under concurrent load.
+Closing a shard **drains**: the in-flight batch on each replica finishes
+(its clients get real results), queued-but-unstarted requests fail with
+structured errors, and executors (threads, pools, worker processes) shut
+down cleanly.
 """
 
 from __future__ import annotations
@@ -36,12 +38,11 @@ import asyncio
 import math
 import time
 from collections import OrderedDict, deque
-from dataclasses import replace
-from typing import Any, Optional, Union
+from typing import Any, Optional
 
 from ..datasets import Dataset
-from ..experiments.registry import get_algorithm
-from ..graph import FrozenGraph, GraphError, freeze
+from ..graph import FrozenGraph
+from .executor import Outcome
 from .protocol import ProtocolError, QueryRequest
 
 __all__ = ["Shard", "latency_percentile"]
@@ -56,123 +57,68 @@ def latency_percentile(values, fraction: float) -> float:
     return ordered[min(len(ordered), rank) - 1]
 
 
-# ----------------------------------------------------------------------------
-# process-worker plumbing (mirrors experiments.runner's batched fan-out: the
-# frozen dataset is pickled once per worker by the initializer, not per task)
-# ----------------------------------------------------------------------------
-
-_WORKER_DATASET: Optional[Dataset] = None
-
-
-def _shard_worker_init(dataset: Dataset) -> None:
-    globals()["_WORKER_DATASET"] = dataset
-
-
-def _shard_worker_run(algorithm: str, params: tuple, nodes: tuple):
-    runner = _resolve_algorithm(algorithm, dict(params))
-    return runner(_WORKER_DATASET.graph, list(nodes))
-
-
-def _resolve_algorithm(algorithm: str, params: dict):
-    """Look the algorithm up, mapping *lookup* failure to its structured code.
-
-    A ``KeyError`` raised later, inside the algorithm itself, must not be
-    reported as ``unknown_algorithm`` — it falls through to
-    ``internal_error`` via :func:`_as_protocol_error`.
-    """
-    try:
-        return get_algorithm(algorithm, **params)
-    except KeyError as exc:
-        raise ProtocolError(
-            "unknown_algorithm", str(exc.args[0]) if exc.args else str(exc)
-        ) from None
-
-
-Outcome = Union["ProtocolError", Any]  # CommunityResult or a structured error
-
-
 class Shard:
-    """Serve one dataset from a frozen snapshot with micro-batched execution."""
+    """Queueing, coalescing and LRU caching in front of a replica set."""
 
     def __init__(
         self,
         dataset: Dataset,
+        frozen: FrozenGraph,
+        replica_set,
         *,
         key: Optional[str] = None,
         cache_size: int = 1024,
-        max_batch: int = 64,
-        workers: Optional[int] = None,
+        max_queue: int = 0,
         latency_window: int = 4096,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if workers is not None and workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0 (0 = unbounded), got {max_queue}")
         self.dataset = dataset
         self.key = key if key is not None else dataset.name
-        self.frozen: FrozenGraph = freeze(dataset.graph)
-        self.frozen.csr.adjacency_lists()  # prebuild outside any request timing
+        self.frozen = frozen
+        self.replica_set = replica_set
         self.cache_size = cache_size
-        self.max_batch = max_batch
-        self.workers = workers
+        self.max_queue = max_queue
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._inflight: dict[tuple, asyncio.Future] = {}
-        self._queue: asyncio.Queue = asyncio.Queue()
-        self._task: Optional[asyncio.Task] = None
-        self._pool = None
+        self._started = False
+        self._closed = False
         # statistics
         self.queries = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
-        self.batches = 0
-        self.executed = 0
         self.errors = 0
+        self.shed = 0
+        self.retried = 0
         self.max_queue_depth = 0
-        self.max_batch_size = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # execution-only latencies (no cache hits / coalesced waits): the
+        # retry_after_ms estimate must reflect what draining the queue
+        # actually costs, which ~0ms cache hits would wash out
+        self._execution_latencies: deque[float] = deque(maxlen=latency_window // 4)
+        replica_set.bind(self._complete)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Create the worker pool (if any) and start the batch loop."""
-        if self._task is not None:
+        """Start every replica's executor and batch loop."""
+        if self._started:
             return
-        if self.workers is not None:
-            import concurrent.futures
+        await self.replica_set.start()
+        self._started = True
+        self._closed = False
 
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_shard_worker_init,
-                initargs=(replace(self.dataset, graph=self.frozen),),
-            )
-        self._task = asyncio.create_task(self._batch_loop(), name=f"shard:{self.key}")
-
-    async def close(self) -> None:
-        """Stop the batch loop, fail queued requests, shut the pool down."""
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
-            self._task = None
-        while True:
-            try:
-                request, future = self._queue.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            self._inflight.pop(request.cache_key, None)
-            if not future.done():
-                future.set_exception(
-                    ProtocolError("internal_error", "shard is shutting down")
-                )
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    async def close(self, drain: bool = True) -> None:
+        """Stop the replica set; with ``drain`` the in-flight batches finish
+        (their clients get real results) while queued-but-unstarted requests
+        fail with structured errors."""
+        self._closed = True
+        await self.replica_set.close(drain=drain)
+        self._started = False
 
     # ------------------------------------------------------------------
     # the request path
@@ -181,10 +127,12 @@ class Shard:
         """Resolve one request; returns ``(result, cached, coalesced)``.
 
         Raises :class:`ProtocolError` for structured failures (bad query
-        node, unsupported parameter, shutdown).
+        node, unsupported parameter, an overloaded queue, shutdown).
         """
         arrival = time.perf_counter()
         self.queries += 1
+        if request.attempt:
+            self.retried += 1
         key = request.cache_key
         hit = self._cache.get(key)
         if hit is not None:
@@ -201,92 +149,64 @@ class Shard:
             self._latencies.append(time.perf_counter() - arrival)
             return result, False, True
 
-        if self._task is None:
-            # no batch loop to drain the queue: enqueueing would hang forever
+        if self._closed or not self._started:
+            # no replica loops to drain the queues: enqueueing would hang
             raise ProtocolError("internal_error", "shard is closed")
+
+        # admission control: bound the queued-but-unstarted work across the
+        # replica set; beyond the bound the request is shed, not queued
+        queued = self.replica_set.total_queued()
+        if self.max_queue and queued >= self.max_queue:
+            self.shed += 1
+            raise ProtocolError(
+                "overloaded",
+                f"shard {self.key!r} queue is full "
+                f"({queued} queued, bound {self.max_queue}); retry later",
+                retry_after_ms=self._retry_after_ms(),
+            )
+
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        self._queue.put_nowait((request, future))
-        depth = self._queue.qsize()
+        self.replica_set.route().enqueue(request, future)
+        depth = queued + 1
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
         result = await asyncio.shield(future)
-        self._latencies.append(time.perf_counter() - arrival)
+        elapsed = time.perf_counter() - arrival
+        self._latencies.append(elapsed)
+        self._execution_latencies.append(elapsed)
         return result, False, False
 
-    async def _batch_loop(self) -> None:
-        while True:
-            batch = [await self._queue.get()]
-            while len(batch) < self.max_batch:
-                try:
-                    batch.append(self._queue.get_nowait())
-                except asyncio.QueueEmpty:
-                    break
-            self.batches += 1
-            if len(batch) > self.max_batch_size:
-                self.max_batch_size = len(batch)
-            requests = [request for request, _ in batch]
-            try:
-                outcomes = await self._run_batch(requests)
-            except asyncio.CancelledError:
-                for request, future in batch:
-                    self._inflight.pop(request.cache_key, None)
-                    if not future.done():
-                        future.set_exception(
-                            ProtocolError("internal_error", "shard is shutting down")
-                        )
-                raise
-            except Exception as exc:  # noqa: BLE001 - the loop must survive
-                # e.g. submitting to a broken process pool raises synchronously;
-                # fail this batch structurally and keep draining the queue
-                # rather than silently wedging the shard
-                outcomes = [_as_protocol_error(exc) for _ in requests]
-            for (request, future), outcome in zip(batch, outcomes):
-                key = request.cache_key
-                if isinstance(outcome, ProtocolError):
-                    self.errors += 1
-                    self._inflight.pop(key, None)
-                    if not future.done():
-                        future.set_exception(outcome)
-                else:
-                    # store before unlinking from _inflight so a same-key
-                    # request arriving in between sees the cache, not a miss
-                    self._store(key, outcome)
-                    self._inflight.pop(key, None)
-                    if not future.done():
-                        future.set_result(outcome)
+    def _retry_after_ms(self) -> int:
+        """Estimate when a shed client should retry, from recent latency.
 
-    async def _run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
-        loop = asyncio.get_running_loop()
-        if self._pool is None:
-            # one thread hop for the whole batch: the event loop keeps
-            # accepting (and queueing) requests while the batch executes
-            return await loop.run_in_executor(None, self._execute_batch, requests)
-        self.executed += len(requests)
-        futures = [
-            loop.run_in_executor(
-                self._pool, _shard_worker_run, request.algorithm, request.params, request.nodes
-            )
-            for request in requests
-        ]
-        outcomes: list[Outcome] = []
-        for future in futures:
-            try:
-                outcomes.append(await future)
-            except Exception as exc:  # noqa: BLE001 - mapped to structured codes
-                outcomes.append(_as_protocol_error(exc))
-        return outcomes
+        Half the backlog's expected drain time (p50 *execution* latency ×
+        queued work ÷ replicas): long enough that an immediate re-poll is
+        pointless, short enough that capacity is not left idle.  Clamped to
+        [5 ms, 1000 ms]; with no execution history yet, a flat 25 ms.
+        """
+        latencies = list(self._execution_latencies)
+        if not latencies:
+            return 25
+        p50_ms = latency_percentile(latencies, 0.50) * 1000.0
+        backlog = max(1, self.replica_set.total_pending()) / max(1, len(self.replica_set))
+        return int(min(1000.0, max(5.0, p50_ms * backlog / 2.0)))
 
-    def _execute_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
-        outcomes: list[Outcome] = []
-        for request in requests:
-            self.executed += 1
-            try:
-                runner = _resolve_algorithm(request.algorithm, request.param_dict())
-                outcomes.append(runner(self.frozen, list(request.nodes)))
-            except Exception as exc:  # noqa: BLE001 - mapped to structured codes
-                outcomes.append(_as_protocol_error(exc))
-        return outcomes
+    def _complete(self, request: QueryRequest, future: asyncio.Future, outcome: Outcome) -> None:
+        """Replica callback: resolve one request's future and bookkeeping."""
+        key = request.cache_key
+        if isinstance(outcome, ProtocolError):
+            self.errors += 1
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(outcome)
+        else:
+            # store before unlinking from _inflight so a same-key request
+            # arriving in between sees the cache, not a miss
+            self._store(key, outcome)
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(outcome)
 
     def _store(self, key: tuple, result: Any) -> None:
         if self.cache_size == 0:
@@ -302,22 +222,32 @@ class Shard:
     def stats(self) -> dict[str, Any]:
         """Return a JSON-serialisable snapshot of the shard counters."""
         latencies = list(self._latencies)
+        replicas = self.replica_set.stats()
         return {
             "dataset": self.key,
             "nodes": self.frozen.number_of_nodes(),
             "edges": self.frozen.number_of_edges(),
-            "workers": self.workers or 0,
+            "executor": self.replica_set.executor_kind,
+            "routing": self.replica_set.policy.name,
+            "replica_count": len(self.replica_set),
+            "workers": self.replica_set.pool_workers,
             "queries": self.queries,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "coalesced": self.coalesced,
-            "batches": self.batches,
-            "executed": self.executed,
+            "batches": sum(replica["batches"] for replica in replicas),
+            "executed": sum(replica["executed"] for replica in replicas),
             "errors": self.errors,
-            "queue_depth": self._queue.qsize(),
+            "shed": self.shed,
+            "retried": self.retried,
+            "max_queue": self.max_queue,
+            "queue_depth": self.replica_set.total_queued(),
             "max_queue_depth": self.max_queue_depth,
-            "max_batch_size": self.max_batch_size,
+            "max_batch_size": max(
+                (replica["max_batch_size"] for replica in replicas), default=0
+            ),
             "cache_entries": len(self._cache),
+            "replicas": replicas,
             "latency_ms": {
                 "count": len(latencies),
                 "p50": round(latency_percentile(latencies, 0.50) * 1000.0, 3),
@@ -325,15 +255,3 @@ class Shard:
                 "max": round(max(latencies, default=0.0) * 1000.0, 3),
             },
         }
-
-
-def _as_protocol_error(exc: Exception) -> ProtocolError:
-    """Map an execution failure to a structured, client-visible error."""
-    if isinstance(exc, ProtocolError):
-        return exc
-    if isinstance(exc, GraphError):
-        return ProtocolError("bad_query", str(exc))
-    if isinstance(exc, TypeError):
-        # an unsupported parameter name surfaces as a TypeError at call time
-        return ProtocolError("bad_request", f"{type(exc).__name__}: {exc}")
-    return ProtocolError("internal_error", f"{type(exc).__name__}: {exc}")

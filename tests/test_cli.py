@@ -113,6 +113,24 @@ class TestStructuredErrors:
         assert main(["serve", "--workers", "0"]) == 2
         assert "--workers must be a positive integer" in capsys.readouterr().err
 
+    def test_serve_rejects_bad_replica_specs(self, capsys):
+        assert main(["serve", "--replicas", "0"]) == 2
+        assert "--replicas must be a positive integer" in capsys.readouterr().err
+        assert main(["serve", "--replicas", "two"]) == 2
+        assert "--replicas expects an integer" in capsys.readouterr().err
+        assert main(["serve", "--replicas", "atlantis=2"]) == 2
+        assert "unknown dataset 'atlantis'" in capsys.readouterr().err
+        assert main(["serve", "--replicas", "karate=nope"]) == 2
+        assert "must look like name=N" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_max_queue(self, capsys):
+        assert main(["serve", "--max-queue", "-1"]) == 2
+        assert "--max-queue must be >= 0" in capsys.readouterr().err
+
+    def test_serve_rejects_workers_without_pool_executor(self, capsys):
+        assert main(["serve", "--executor", "process", "--workers", "2"]) == 2
+        assert "--workers only applies to --executor pool" in capsys.readouterr().err
+
     def test_serve_port_in_use_is_structured(self, capsys):
         import socket
 
@@ -138,6 +156,10 @@ class TestServeParser:
         assert args.workers is None
         assert args.cache_size == 1024
         assert args.max_batch == 64
+        assert args.executor is None  # resolved to inline (or pool w/ --workers)
+        assert args.replicas == ["1"]
+        assert args.max_queue == 0
+        assert args.routing == "least-loaded"
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
@@ -149,3 +171,13 @@ class TestServeParser:
         assert args.workers == 2
         assert args.cache_size == 16
         assert args.max_batch == 8
+
+    def test_serve_placement_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--executor", "process", "--replicas", "2", "dolphin=4",
+             "--max-queue", "32", "--routing", "round-robin"]
+        )
+        assert args.executor == "process"
+        assert args.replicas == ["2", "dolphin=4"]
+        assert args.max_queue == 32
+        assert args.routing == "round-robin"

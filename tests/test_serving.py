@@ -326,18 +326,27 @@ class TestWorkerPool:
     def test_batch_loop_survives_executor_failure(self):
         """An exception escaping the whole batch (e.g. a broken process pool
         raising at submit time) fails that batch structurally instead of
-        killing the consumer task and wedging the shard."""
+        killing the replica's consumer task and wedging the shard."""
 
         async def scenario():
             async with ServingEngine(datasets=["karate"]) as engine:
-                shard = engine.shards["karate"]
-                real_run_batch = shard._run_batch
+                replica = engine.shards["karate"].replica_set.replicas[0]
+                real_executor = replica.executor
 
-                async def broken(requests):
-                    shard._run_batch = real_run_batch  # break exactly once
-                    raise RuntimeError("pool is gone")
+                class Broken:
+                    kind = "broken"
 
-                shard._run_batch = broken
+                    async def start(self):
+                        pass
+
+                    async def run_batch(self, requests):
+                        replica.executor = real_executor  # break exactly once
+                        raise RuntimeError("pool is gone")
+
+                    async def close(self):
+                        pass
+
+                replica.executor = Broken()
                 code = None
                 try:
                     await engine.query("karate", "kt", [0])

@@ -1,0 +1,225 @@
+"""Tests for the client layer: auto-reconnect and the keep-alive pool.
+
+``ServingClient`` must repair a dropped/half-closed connection once before
+surfacing an error (a server restart otherwise strands every client
+mid-session); ``ServingClientPool`` shares keep-alive connections across
+threads and retries ``overloaded`` responses with the server's
+``retry_after_ms`` hint, sending the attempt number back so the server can
+count retried admissions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro.serving import ServerThread, ServingClient, ServingClientPool
+from repro.serving.server import MAX_LINE_BYTES
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(datasets=["karate"]) as handle:
+        yield handle
+
+
+# ----------------------------------------------------------------------------
+# ServingClient auto-reconnect
+# ----------------------------------------------------------------------------
+
+
+class TestClientReconnect:
+    def test_reconnects_after_server_abandons_the_connection(self, server):
+        """An oversized line makes the server answer and then drop the
+        connection; the next request must transparently reconnect instead
+        of stranding the session."""
+        with ServingClient(server.host, server.port) as client:
+            huge = b'{"op": "query", "pad": "' + b"x" * (MAX_LINE_BYTES + 1024) + b'"}'
+            assert client.send_raw(huge)["error"]["code"] == "bad_request"
+            # the server closed this connection; a plain query still works
+            response = client.query("karate", "kc", [0])
+            assert response["ok"]
+            assert client.reconnects == 1
+
+    def test_reconnects_after_local_socket_drop(self, server):
+        with ServingClient(server.host, server.port) as client:
+            assert client.ping()["ok"]
+            # simulate a dropped connection under the client's feet
+            client._sock.shutdown(socket.SHUT_RDWR)
+            client._sock.close()
+            assert client.ping()["ok"]
+            assert client.reconnects == 1
+
+    def test_reconnect_failure_surfaces(self):
+        with ServerThread(datasets=["karate"]) as handle:
+            client = ServingClient(handle.host, handle.port)
+            assert client.ping()["ok"]
+        # the server is gone for good: reconnect must fail, not loop
+        with pytest.raises(OSError):
+            client.ping()
+        client.close()
+
+
+# ----------------------------------------------------------------------------
+# ServingClientPool against a real server
+# ----------------------------------------------------------------------------
+
+
+class TestPoolAgainstServer:
+    def test_threads_share_keepalive_connections(self, server, karate):
+        from repro.experiments.registry import run_algorithm
+
+        reference = run_algorithm("kt", karate.graph, [0, 33])
+        failures: list[str] = []
+
+        with ServingClientPool(server.host, server.port, size=3) as pool:
+            def worker(index: int) -> None:
+                try:
+                    for _ in range(5):
+                        response = pool.query("karate", "kt", [0, 33])
+                        if response["nodes"] != sorted(reference.nodes, key=repr):
+                            failures.append(f"{index}: wrong nodes")
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    failures.append(f"{index}: {type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            counters = pool.counters()
+
+        assert not failures, failures
+        assert counters["requests"] == 30
+        assert counters["connections"] <= 3  # keep-alive, bounded by size
+        assert counters["retries"] == 0 and counters["exhausted"] == 0
+
+    def test_pool_ping_and_stats(self, server):
+        with ServingClientPool(server.host, server.port, size=1) as pool:
+            assert pool.ping()["ok"]
+            stats = pool.stats()
+            assert stats["ok"] and "shards" in stats
+
+    def test_closed_pool_refuses_requests(self, server):
+        pool = ServingClientPool(server.host, server.port, size=1)
+        assert pool.ping()["ok"]
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.ping()
+
+    def test_discarded_connection_wakes_blocked_waiters(self, server):
+        """Discarding a broken connection frees a capacity slot without
+        putting anything on the idle queue; a thread blocked waiting for a
+        connection must notice and create a replacement, not hang."""
+        import time
+
+        pool = ServingClientPool(server.host, server.port, size=1, timeout=5)
+        held = pool._acquire()  # the pool's only connection
+        acquired = {}
+
+        def waiter() -> None:
+            acquired["client"] = pool._acquire()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)  # the waiter is parked inside _acquire
+        pool._release(held, broken=True)
+        thread.join(5)
+        assert not thread.is_alive()
+        assert acquired["client"].ping()["ok"]  # a fresh live connection
+        pool._release(acquired["client"])
+        pool.close()
+
+
+# ----------------------------------------------------------------------------
+# retry-on-overloaded against a scripted server
+# ----------------------------------------------------------------------------
+
+
+class _ScriptedHandler(socketserver.StreamRequestHandler):
+    """Replies `overloaded` until `shed_budget` is spent, then succeeds."""
+
+    def handle(self):
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            payload = json.loads(line)
+            self.server.received.append(payload)
+            if self.server.shed_budget > 0:
+                self.server.shed_budget -= 1
+                response = {
+                    "ok": False,
+                    "error": {
+                        "code": "overloaded",
+                        "message": "scripted shed",
+                        "retry_after_ms": 1,
+                    },
+                }
+            else:
+                response = {"ok": True, "op": "query", "nodes": [0], "size": 1}
+            self.wfile.write(json.dumps(response).encode() + b"\n")
+
+
+class _ScriptedServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, shed_budget: int):
+        super().__init__(("127.0.0.1", 0), _ScriptedHandler)
+        self.shed_budget = shed_budget
+        self.received: list[dict] = []
+
+
+@pytest.fixture()
+def scripted():
+    def factory(shed_budget: int):
+        server = _ScriptedServer(shed_budget)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        factory.servers.append((server, thread))
+        return server
+
+    factory.servers = []
+    yield factory
+    for server, thread in factory.servers:
+        server.shutdown()
+        server.server_close()
+        thread.join(10)
+
+
+class TestPoolRetry:
+    def test_shed_requests_retry_with_attempt_numbers(self, scripted):
+        server = scripted(shed_budget=2)
+        host, port = server.server_address
+        with ServingClientPool(host, port, size=1, max_retries=5) as pool:
+            response = pool.query("karate", "kt", [0])
+        assert response["ok"]
+        # the pool replayed the request with increasing attempt numbers
+        attempts = [payload.get("attempt") for payload in server.received]
+        assert attempts == [None, 1, 2]
+        assert pool.retries == 2
+        assert pool.overloaded_responses == 2
+        assert pool.exhausted == 0
+
+    def test_retry_budget_is_bounded(self, scripted):
+        server = scripted(shed_budget=10**9)  # never stops shedding
+        host, port = server.server_address
+        with ServingClientPool(host, port, size=1, max_retries=3) as pool:
+            response = pool.query("karate", "kt", [0])
+        assert not response["ok"]
+        assert response["error"]["code"] == "overloaded"
+        assert len(server.received) == 4  # 1 original + 3 retries
+        assert pool.exhausted == 1
+
+    def test_per_call_retry_override(self, scripted):
+        server = scripted(shed_budget=10**9)
+        host, port = server.server_address
+        with ServingClientPool(host, port, size=1, max_retries=8) as pool:
+            response = pool.query("karate", "kt", [0], max_retries=0)
+        assert not response["ok"]
+        assert len(server.received) == 1  # no retries at all

@@ -185,6 +185,28 @@ class TestShutdown:
                 idler.close()
 
 
+class TestReplicatedServer:
+    def test_replicated_server_serves_and_reports_replicas(self, karate):
+        """The placement kwargs flow through ServerThread → ServingEngine,
+        and the per-replica breakdown is visible over the wire."""
+        with ServerThread(
+            datasets=["karate"], replicas=2, max_queue=64, routing="round-robin"
+        ) as handle:
+            with ServingClient(handle.host, handle.port) as connection:
+                for node in (0, 1, 2, 33):
+                    response = connection.query("karate", "kt", [node])
+                    reference = run_algorithm("kt", karate.graph, [node])
+                    assert response["ok"]
+                    assert response["nodes"] == sorted(reference.nodes, key=repr)
+                stats = connection.stats()
+        assert stats["placement"]["replicas"] == 2
+        shard = stats["shards"]["karate"]
+        assert shard["replica_count"] == 2 and shard["max_queue"] == 64
+        assert len(shard["replicas"]) == 2
+        # round-robin spread the four distinct queries over both replicas
+        assert [replica["executed"] for replica in shard["replicas"]] == [2, 2]
+
+
 class TestOversizedRequests:
     def test_overlong_line_returns_structured_error(self, server):
         from repro.serving.server import MAX_LINE_BYTES
