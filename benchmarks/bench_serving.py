@@ -23,6 +23,18 @@ Three comparisons:
   The recorded numbers are the server-side shed/retried counters and the
   client-side retry counters — the admission-control story end to end.
 
+A fourth comparison exists for the multi-host tier (``repro.cluster``):
+
+* **cluster** (``--cluster N``) — a real coordinator subprocess plus N
+  ``repro serve --join`` node subprocesses.  The parity phase drives the
+  full workload through a :class:`repro.cluster.ClusterClient` (routing
+  table fetched once, queries sent directly to owning nodes) while one
+  node is **killed mid-load**: every request must still complete, bit-
+  identical to the dict reference, through client-side failover and a
+  routing-table refetch, and the table version must advance.  The timing
+  phase measures closed-loop throughput against 1 node and against N
+  nodes — the scaling a single GIL cannot give.
+
 Usage::
 
     python benchmarks/bench_serving.py                    # timings + parity
@@ -34,13 +46,20 @@ Usage::
     python benchmarks/bench_serving.py --parity-only \\
         --replicas 2 --executor process --max-queue 1     # replicated worker
                                                           # processes + shedding
+    python benchmarks/bench_serving.py --parity-only --cluster 2
+                                                          # coordinator + 2 nodes,
+                                                          # kill-a-node failover
+    python benchmarks/bench_serving.py --cluster 3 --json out.json
+                                                          # + throughput scaling
+                                                          # 1 node vs 3 nodes
     python benchmarks/bench_serving.py --mode open --rate 200
     python benchmarks/bench_serving.py --json out.json    # trajectory record
                                                           # (appended, not
                                                           # overwritten)
 
 In the shared ``--json`` schema the ``dict_seconds`` column is the
-per-query reference path and ``csr_seconds`` is the served path.
+per-query reference path and ``csr_seconds`` is the served path (for the
+cluster row: 1 node vs N nodes).
 """
 
 from __future__ import annotations
@@ -57,6 +76,7 @@ from pathlib import Path
 from _bench_util import add_common_arguments, append_json, print_table, time_median as _time
 
 import repro
+from repro.cluster import ClusterClient
 from repro.datasets import load_dataset
 from repro.experiments import generate_query_sets
 from repro.experiments.registry import run_algorithm
@@ -86,8 +106,58 @@ OVERLOAD_RETRIES = 40
 # ----------------------------------------------------------------------------
 
 
-class ServerProcess:
-    """``repro serve`` in a subprocess; parses the announce line for the port."""
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class WireProcess:
+    """A repro subprocess announcing its port on stdout; wire-shutdownable."""
+
+    announce_prefix = ""  # e.g. "serving on"
+
+    def __init__(self, command: list[str]) -> None:
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=_subprocess_env(),
+        )
+        line = self.proc.stdout.readline()
+        if self.announce_prefix not in line:
+            self.proc.kill()
+            raise RuntimeError(f"{type(self).__name__} failed to start: {line!r}")
+        self.port = int(line.rsplit(":", 1)[1])
+
+    @property
+    def address(self) -> str:
+        return f"{HOST}:{self.port}"
+
+    def kill(self) -> None:
+        """Hard-kill the process (the cluster failover phase's crash)."""
+        self.proc.kill()
+        self.proc.wait(5)
+
+    def shutdown(self, timeout: float = 30.0) -> int:
+        """Request shutdown over the wire; return the process exit code."""
+        try:
+            with ServingClient(HOST, self.port) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait(5)
+
+
+class ServerProcess(WireProcess):
+    """``repro serve`` in a subprocess."""
+
+    announce_prefix = "serving on"
 
     def __init__(
         self,
@@ -99,10 +169,8 @@ class ServerProcess:
         max_queue: int = 0,
         routing: str | None = None,
         workers: int | None = None,
+        join: str | None = None,
     ) -> None:
-        env = dict(os.environ)
-        src_dir = str(Path(repro.__file__).resolve().parents[1])
-        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
         command = [
             sys.executable,
             "-m",
@@ -125,30 +193,41 @@ class ServerProcess:
             command += ["--routing", routing]
         if workers:
             command += ["--workers", str(workers)]
-        self.proc = subprocess.Popen(
-            command,
-            stdout=subprocess.PIPE,
-            text=True,
-            env=env,
-        )
-        line = self.proc.stdout.readline()
-        if "serving on" not in line:
-            self.proc.kill()
-            raise RuntimeError(f"server failed to start: {line!r}")
-        self.port = int(line.rsplit(":", 1)[1])
+        if join:
+            command += ["--join", join]
+        super().__init__(command)
 
-    def shutdown(self, timeout: float = 30.0) -> int:
-        """Request shutdown over the wire; return the process exit code."""
-        try:
-            with ServingClient(HOST, self.port) as client:
-                client.shutdown()
-        except OSError:
-            pass
-        try:
-            return self.proc.wait(timeout)
-        except subprocess.TimeoutExpired:
-            self.proc.kill()
-            return self.proc.wait(5)
+
+class CoordinatorProcess(WireProcess):
+    """``repro coordinator`` in a subprocess (the cluster control plane)."""
+
+    announce_prefix = "coordinating on"
+
+    def __init__(
+        self,
+        datasets,
+        *,
+        replication: int = 2,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float | None = None,
+    ) -> None:
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "coordinator",
+            "--port",
+            "0",
+            "--datasets",
+            *datasets,
+            "--replication",
+            str(replication),
+            "--heartbeat-interval",
+            str(heartbeat_interval),
+        ]
+        if heartbeat_timeout is not None:
+            command += ["--heartbeat-timeout", str(heartbeat_timeout)]
+        super().__init__(command)
 
 
 def server_config_from_args(args) -> dict:
@@ -179,23 +258,38 @@ def build_workload(scale: float, datasets=SMALL_DATASETS, algorithms=SMALL_ALGOR
     return requests
 
 
-def build_flood(count: int):
-    """Distinct, uncacheable pair queries for the overload phase.
+def build_flood(count: int, datasets=("dolphin",)):
+    """Distinct, uncacheable pair queries (overload + cluster phases).
 
     Every request is unique (distinct node pairs), so neither the LRU
     result cache nor in-flight coalescing can absorb the flood — each one
-    is real work the bounded queue has to admit or shed.
+    is real work the bounded queue has to admit or shed.  ``datasets`` is
+    an interleave pattern and may repeat names to weight them (e.g. three
+    ``dolphin`` entries per ``karate`` keeps the flood compute-bound while
+    still putting load on every node of a cluster that spreads the
+    datasets over its hosts); each name draws from its own stream of
+    distinct pairs regardless of how often it appears.
     """
-    dataset = load_dataset("dolphin")
-    nodes = sorted(dataset.graph.nodes(), key=repr)
+    streams: dict[str, tuple[list, list]] = {}
+    for name in datasets:
+        if name in streams:
+            continue
+        nodes = sorted(load_dataset(name).graph.nodes(), key=repr)
+        pairs = [(i, j) for i in range(len(nodes)) for j in range(i + 1, len(nodes))]
+        streams[name] = (pairs, nodes)
+    cursors = {name: 0 for name in streams}
     requests = []
-    index = 0
-    for i in range(len(nodes)):
-        for j in range(i + 1, len(nodes)):
-            if index >= count:
-                return requests
-            requests.append(("dolphin", "huang2015", [nodes[i], nodes[j]]))
-            index += 1
+    position = 0
+    while len(requests) < count:
+        name = datasets[position % len(datasets)]
+        pairs, nodes = streams[name]
+        cursor = cursors[name]
+        if cursor >= len(pairs):
+            raise ValueError(f"dataset {name!r} has too few node pairs for {count} requests")
+        cursors[name] = cursor + 1
+        i, j = pairs[cursor]
+        requests.append((name, "huang2015", [nodes[i], nodes[j]]))
+        position += 1
     return requests
 
 
@@ -370,6 +464,344 @@ def percentile_ms(latencies, fraction: float) -> float:
 
 
 # ----------------------------------------------------------------------------
+# the multi-host cluster phases (--cluster N)
+# ----------------------------------------------------------------------------
+
+#: heartbeat cadence for the bench clusters: fast enough that a killed
+#: node fails over within a couple of seconds, tolerant enough that a
+#: *healthy* node saturating a small CI box does not get falsely declared
+#: dead between heartbeats (client-side failover does not wait for this —
+#: a connection error quarantines the dead node immediately)
+CLUSTER_HEARTBEAT_INTERVAL = 0.25
+CLUSTER_HEARTBEAT_TIMEOUT = 2.0
+CLUSTER_REPLICATION = 2
+
+
+def start_cluster(node_count: int, datasets=SMALL_DATASETS, replication=CLUSTER_REPLICATION):
+    """Stand up a coordinator + ``node_count`` joined node subprocesses.
+
+    Blocks until the routing table covers every dataset with the expected
+    replica count (capped by the node count), so the caller never races
+    the registration heartbeats.
+    """
+    coordinator = CoordinatorProcess(
+        datasets,
+        replication=replication,
+        heartbeat_interval=CLUSTER_HEARTBEAT_INTERVAL,
+        heartbeat_timeout=CLUSTER_HEARTBEAT_TIMEOUT,
+    )
+    nodes = []
+    try:
+        nodes = [
+            ServerProcess((datasets[0],), join=coordinator.address)
+            for _ in range(node_count)
+        ]
+        want = min(replication, node_count)
+        deadline = time.perf_counter() + 30.0
+        with ServingClient(HOST, coordinator.port) as control:
+            while True:
+                table = control.request({"op": "route_table"})["table"]
+                if all(len(table.get(name, ())) >= want for name in datasets):
+                    break
+                if time.perf_counter() > deadline:
+                    raise RuntimeError(f"cluster did not converge; table: {table}")
+                time.sleep(0.05)
+    except BaseException:
+        for node in nodes:
+            node.kill()
+        coordinator.shutdown()
+        raise
+    return coordinator, nodes
+
+
+def stop_cluster(coordinator: CoordinatorProcess, nodes) -> bool:
+    """Shut the surviving processes down cleanly; True if all exited 0."""
+    clean = True
+    for node in nodes:
+        if node.proc.poll() is None:
+            clean &= node.shutdown() == 0
+    clean &= coordinator.shutdown() == 0
+    return clean
+
+
+def run_cluster_load(
+    client: ClusterClient, requests, clients: int, on_response=None, striped: bool = False
+):
+    """Replay the workload through the cluster client from ``clients`` threads.
+
+    Two shapes share this harness: the default replays the *whole* list per
+    thread with rotated starts (the parity/failover phase — duplicates
+    exercise caching and coalescing), while ``striped`` partitions it into
+    **disjoint** per-thread stripes (positions ``i, i+C, i+2C, ...``) so
+    with distinct requests the aggregate rate is genuine *execution*
+    throughput.  Returns ``(wall_seconds, [(request, response), ...])``;
+    raises if any thread died (individual non-ok responses are the
+    caller's to judge).  ``on_response`` (if given) is called after every
+    completed request — the failover phase uses it to trigger the node
+    kill mid-load.
+    """
+    outcomes: list[tuple[tuple, dict]] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        if striped:
+            own = [requests[position] for position in range(index, len(requests), clients)]
+        else:
+            offset = (index * len(requests)) // clients
+            own = requests[offset:] + requests[:offset]
+        try:
+            for request in own:
+                dataset, algorithm, nodes = request
+                response = client.query(dataset, algorithm, nodes)
+                with lock:
+                    outcomes.append((request, response))
+                if on_response is not None:
+                    on_response(len(outcomes))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"cluster load generation failed: {errors[:3]}")
+    return wall, outcomes
+
+
+def check_cluster_parity(outcomes, reference_of, check) -> None:
+    """Every served response must be ok and bit-identical to the reference."""
+    for (dataset, algorithm, nodes), response in outcomes:
+        label = f"cluster {dataset}/{algorithm}{nodes}"
+        if not response.get("ok"):
+            check(f"{label}: {response.get('error')}", False)
+            continue
+        reference = reference_of[(dataset, algorithm, tuple(nodes))]
+        failed = bool(reference.extra.get("failed")) or not reference.nodes
+        check(f"{label} failed-flag", response["failed"] == failed)
+        check(f"{label} nodes", response["nodes"] == sorted(reference.nodes, key=repr))
+        if failed:
+            check(f"{label} score", response["score"] is None)
+        else:
+            check(f"{label} score", response["score"] == reference.score)
+
+
+def run_cluster_failover_phase(node_count: int, scale: float, check) -> dict:
+    """Coordinator + N nodes; one node is **killed mid-load**.
+
+    Asserts through ``check``: every request (including those in flight at
+    kill time) completes bit-identically to the dict reference via the
+    surviving replicas, the client refetched the routing table, the
+    table version advanced past the pre-kill version, and the survivors
+    shut down cleanly.
+    """
+    requests = build_workload(min(scale, 1.0), algorithms=PARITY_ALGORITHMS)
+    reference_of = {
+        (dataset, algorithm, tuple(nodes)): result
+        for (dataset, algorithm, nodes), result in zip(
+            requests, reference_results(requests)
+        )
+    }
+    coordinator, nodes = start_cluster(node_count)
+    killed = {"done": False}
+    try:
+        with ClusterClient(
+            HOST, coordinator.port, pool_size=4, failover_timeout=30.0
+        ) as client:
+            version_before = client.table_version
+            fetches_before = client.table_fetches
+            # the victim must actually hold assignments (with more nodes
+            # than replica slots some node may own nothing — killing that
+            # one would exercise neither failover nor a version bump)
+            assigned = {
+                address
+                for name in SMALL_DATASETS
+                for address in client.owners(name)
+            }
+            victim = next(node for node in reversed(nodes) if node.address in assigned)
+
+            def kill_mid_load(completed: int) -> None:
+                # kill one node once a third of the workload has been served:
+                # plenty of requests are still in flight or unsent, so the
+                # failover path (connection error -> quarantine -> refetch ->
+                # surviving replica) is exercised under real load
+                if not killed["done"] and completed >= len(requests):
+                    killed["done"] = True
+                    victim.kill()
+
+            wall, outcomes = run_cluster_load(
+                client, requests, clients=3, on_response=kill_mid_load
+            )
+            check("cluster-node-killed", killed["done"])
+            check("cluster-all-served", len(outcomes) == 3 * len(requests))
+            check_cluster_parity(outcomes, reference_of, check)
+            check("cluster-failover-observed", client.failovers >= 1)
+            check("cluster-table-refetched", client.table_fetches > fetches_before)
+            # the coordinator's sweep declares the killed node dead and
+            # publishes a repaired table.  Poll for convergence: the version
+            # advances and exactly one node is gone (a *healthy* node can be
+            # transiently declared dead under full-machine load and rejoins
+            # on its next heartbeat, so a one-shot liveness check is racy)
+            deadline = time.perf_counter() + 15.0
+            live = -1
+            while time.perf_counter() < deadline:
+                client.refresh_table()
+                live = client.coordinator_stats()["live_nodes"]
+                if client.table_version > version_before and live == node_count - 1:
+                    break
+                time.sleep(0.1)
+            check("cluster-version-advanced", client.table_version > version_before)
+            check("cluster-killed-node-evicted", live == node_count - 1)
+            table = client.coordinator_stats()["assignments"]
+            counters = client.counters()
+    finally:
+        # stop_cluster skips already-dead processes, so the killed node is
+        # not "shut down" twice and a pre-kill crash still cleans up fully
+        clean = stop_cluster(coordinator, nodes)
+    check("cluster-clean-shutdown", clean)
+    return {
+        "node_count": node_count,
+        "requests": len(requests) * 3,
+        "wall_seconds": round(wall, 3),
+        "failovers": counters["failovers"],
+        "table_fetches": counters["table_fetches"],
+        "final_version": counters["table_version"],
+        "assignments": table,
+        "clean_shutdown": clean,
+    }
+
+
+def run_cluster_throughput(node_count: int, batches, clients: int, dataset: str) -> float:
+    """Median wall time of the distinct-query batches on a fresh cluster.
+
+    The scenario is a **hot dataset replicated on every node** (PR 4's
+    replicate-hot-shards story, now across hosts): all ``node_count``
+    processes own ``dataset`` and the cache-affine client spreads the
+    distinct queries over them.  Each replay consumes its own batch of
+    never-seen queries (replaying one batch would measure the LRU cache,
+    not the cluster), so the median is over genuinely cold, compute-bound
+    closed-loop runs.
+    """
+    coordinator, nodes = start_cluster(
+        node_count, datasets=(dataset,), replication=node_count
+    )
+    try:
+        with ClusterClient(HOST, coordinator.port, pool_size=clients) as client:
+            # untimed warmup: touch every owner directly so the lazy shard
+            # loads (dataset build + freeze, paid once per node) stay out
+            # of the measurement — the single-host bench likewise loads
+            # datasets at server startup, outside timing
+            for address in client.owners(dataset):
+                response = client._pool(address).query(dataset, "kc", [0])
+                assert response["ok"], response
+            walls = []
+            for batch in batches:
+                wall, outcomes = run_cluster_load(client, batch, clients, striped=True)
+                bad = [response for _, response in outcomes if not response.get("ok")]
+                if bad or len(outcomes) != len(batch):
+                    raise RuntimeError(f"cluster throughput run failed: {bad[:3]}")
+                walls.append(wall)
+    finally:
+        clean = stop_cluster(coordinator, nodes)
+    if not clean:
+        raise RuntimeError("cluster throughput run did not shut down cleanly")
+    return statistics.median(walls)
+
+
+def run_cluster(
+    node_count: int,
+    scale: float,
+    parity_only: bool,
+    clients: int,
+    json_path: str | None,
+) -> int:
+    """The ``--cluster N`` mode: failover parity smoke (+ scaling timings)."""
+    if node_count < 2:
+        raise SystemExit("--cluster needs at least 2 nodes (one gets killed)")
+    failures: list[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        if not ok:
+            failures.append(name)
+
+    failover = run_cluster_failover_phase(node_count, scale, check)
+    if failures:
+        print(f"CLUSTER FAILURES ({len(failures)}):")
+        for failure in failures[:20]:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"cluster parity ok: {failover['requests']} requests against "
+        f"{node_count} nodes with one killed mid-load; all completed "
+        f"bit-identical via failover ({failover['failovers']} failovers, "
+        f"{failover['table_fetches']} table fetches, final routing version "
+        f"{failover['final_version']}); clean shutdown"
+    )
+    if parity_only:
+        return 0
+
+    # throughput scaling: closed-loop floods of *distinct* (uncacheable)
+    # decomposition-heavy huang2015 queries against a hot dataset that is
+    # replicated on 1 node and then on all N nodes — execution throughput,
+    # the axis that scales with node processes.  Six disjoint batches so
+    # every replay on both clusters is genuinely cold.
+    batch_size = max(60, int(60 * scale))
+    flood = build_flood(count=batch_size * 6)
+    batches = [flood[i * batch_size : (i + 1) * batch_size] for i in range(6)]
+    total = batch_size  # per measured replay
+    single_wall = run_cluster_throughput(1, batches[:3], clients, "dolphin")
+    multi_wall = run_cluster_throughput(node_count, batches[3:], clients, "dolphin")
+    rows = [
+        (
+            f"cluster cold flood x{clients} ({total} reqs)",
+            single_wall,
+            multi_wall,
+        )
+    ]
+    print_table(rows)
+    single_throughput = total / single_wall
+    multi_throughput = total / multi_wall
+    cores = os.cpu_count() or 1
+    print()
+    print(
+        f"cluster execution throughput (x{clients} clients, distinct "
+        f"uncacheable queries on a hot dataset replicated on every node): "
+        f"1 node {single_throughput:,.0f} req/s, "
+        f"{node_count} nodes {multi_throughput:,.0f} req/s "
+        f"({multi_throughput / single_throughput:.2f}x on {cores} core(s); "
+        f"each node is an independent process, so capacity grows with "
+        f"hosts x cores)"
+    )
+    if json_path:
+        append_json(
+            json_path,
+            bench="serving",
+            scale=scale,
+            rows=rows,
+            parity=True,
+            clients=clients,
+            mode="cluster-closed",
+            cluster={
+                "node_count": node_count,
+                "replication": "one replica per node (hot dataset)",
+                "cores": cores,
+                "distinct_requests_per_replay": total,
+                "throughput_req_per_s": {
+                    "one_node": round(single_throughput, 1),
+                    "n_nodes": round(multi_throughput, 1),
+                    "scaling": round(multi_throughput / single_throughput, 2),
+                },
+                "failover": failover,
+            },
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------------
 # parity smoke (the CI mode)
 # ----------------------------------------------------------------------------
 
@@ -493,8 +925,11 @@ def run(
     mode: str = "closed",
     rate: float = 200.0,
     server_config: dict | None = None,
+    cluster: int | None = None,
 ) -> int:
     server_config = server_config or {}
+    if cluster is not None:
+        return run_cluster(cluster, scale, parity_only, clients, json_path)
     if parity_only:
         return run_parity(scale, server_config)
 
@@ -684,6 +1119,16 @@ def main(argv=None) -> int:
         help="forwarded to `repro serve --max-queue`; with --parity-only a "
         "nonzero bound also runs the shedding + retry smoke",
     )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multi-host mode: spawn a coordinator + N `repro serve --join` "
+        "node subprocesses, kill one mid-load and assert failover parity; "
+        "without --parity-only also measures closed-loop throughput "
+        "scaling (1 node vs N nodes)",
+    )
     args = parser.parse_args(argv)
     return run(
         scale=args.scale,
@@ -693,6 +1138,7 @@ def main(argv=None) -> int:
         mode=args.mode,
         rate=args.rate,
         server_config=server_config_from_args(args),
+        cluster=args.cluster,
     )
 
 

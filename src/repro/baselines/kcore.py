@@ -38,11 +38,9 @@ def kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, i
     Memoised on frozen graphs (the decomposition is query independent).
     """
     if isinstance(graph, FrozenGraph):
-        cache = graph.shared_cache()
-        key = ("kcore-structure", k)
-        if key not in cache:
-            cache[key] = _compute_kcore_structure(graph, k)
-        return cache[key]
+        return graph.shared_cache().memo(
+            ("kcore-structure", k), lambda: _compute_kcore_structure(graph, k)
+        )
     return _compute_kcore_structure(graph, k)
 
 
@@ -55,11 +53,7 @@ def _compute_kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dic
 def _graph_core_numbers(graph: Graph) -> dict[Node, int]:
     """Return (and memoise, when frozen) the core number of every node."""
     if isinstance(graph, FrozenGraph):
-        cache = graph.shared_cache()
-        key = ("core-numbers",)
-        if key not in cache:
-            cache[key] = core_numbers(graph)
-        return cache[key]
+        return graph.shared_cache().memo(("core-numbers",), lambda: core_numbers(graph))
     return core_numbers(graph)
 
 

@@ -44,13 +44,12 @@ def _kecc_partition(graph: Graph, candidate: set[Node], k: int) -> list[set[Node
     by every query of a batch (this is the cubic part of the baseline).
     """
     if isinstance(graph, FrozenGraph):
-        cache = graph.shared_cache()
-        key = ("kecc-partition", k, frozenset(candidate))
-        if key not in cache:
-            # within= routes the frozen snapshot to the CSR min-cut kernels
-            # (recursion on index subviews) instead of a mutable subgraph copy
-            cache[key] = k_edge_connected_components(graph, k, within=candidate)
-        return cache[key]
+        # within= routes the frozen snapshot to the CSR min-cut kernels
+        # (recursion on index subviews) instead of a mutable subgraph copy
+        return graph.shared_cache().memo(
+            ("kecc-partition", k, frozenset(candidate)),
+            lambda: k_edge_connected_components(graph, k, within=candidate),
+        )
     return k_edge_connected_components(graph, k, within=candidate)
 
 

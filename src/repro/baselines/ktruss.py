@@ -39,11 +39,9 @@ def ktruss_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, 
     Memoised on frozen graphs (the decomposition is query independent).
     """
     if isinstance(graph, FrozenGraph):
-        cache = graph.shared_cache()
-        key = ("ktruss-structure", k)
-        if key not in cache:
-            cache[key] = _compute_ktruss_structure(graph, k)
-        return cache[key]
+        return graph.shared_cache().memo(
+            ("ktruss-structure", k), lambda: _compute_ktruss_structure(graph, k)
+        )
     return _compute_ktruss_structure(graph, k)
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five sub-commands expose the library without writing any code:
+Six sub-commands expose the library without writing any code:
 
 * ``datasets`` — list the built-in datasets with their Table-1 statistics;
 * ``algorithms`` — list the registered community-search algorithms;
@@ -10,7 +10,12 @@ Five sub-commands expose the library without writing any code:
   print the aggregated NMI / ARI / runtime table (a one-dataset slice of the
   paper's accuracy figures);
 * ``serve`` — run the sharded async query-serving daemon (line-delimited
-  JSON over TCP; see ``repro.serving``).
+  JSON over TCP; see ``repro.serving``).  With ``--join COORD`` the daemon
+  becomes a **cluster node**: it registers with the coordinator, heartbeats,
+  and only serves the datasets the routing table assigns to it;
+* ``coordinator`` — run the cluster control plane (membership, per-host
+  shard placement, failover, the versioned routing table; see
+  ``repro.cluster``).
 
 Errors are production-shaped: unknown dataset/algorithm names, bad query
 nodes and invalid parameters print a one-line ``error: ...`` message to
@@ -140,6 +145,66 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch", type=int, default=64, help="micro-batch size limit per shard"
     )
+    serve.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help="join the cluster coordinated at this address: register, "
+        "heartbeat, and serve only the datasets the routing table assigns "
+        "to this node (others answer with the 'not_owner' error code)",
+    )
+    serve.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST[:PORT]",
+        help="the address clients should use to reach this node (defaults "
+        "to --host plus the bound port; set it when the node sits behind "
+        "NAT or binds 0.0.0.0)",
+    )
+
+    coordinator = subparsers.add_parser(
+        "coordinator",
+        help="run the cluster coordinator (membership, shard placement "
+        "across nodes, failover, versioned routing table)",
+    )
+    coordinator.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    coordinator.add_argument(
+        "--port", type=int, default=7530, help="TCP port (0 picks an ephemeral port)"
+    )
+    coordinator.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["karate"],
+        help="datasets the cluster serves; each gets a replica set placed "
+        "across the live nodes",
+    )
+    coordinator.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas per dataset, each on a distinct node (a degraded "
+        "cluster runs with fewer until nodes join)",
+    )
+    coordinator.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between node heartbeats (advertised to the nodes)",
+    )
+    coordinator.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="seconds of silence before a node is declared dead and its "
+        "replicas fail over (default: 3x the interval)",
+    )
+    coordinator.add_argument(
+        "--routing",
+        choices=["least-loaded", "round-robin"],
+        default="least-loaded",
+        help="host-placement policy: spread datasets to the least-assigned "
+        "node, or rotate (default least-loaded)",
+    )
     return parser
 
 
@@ -239,6 +304,8 @@ def _command_serve(args) -> int:
         # a flag-shaped message here; the engine/placement guard the same
         # combination for API users (and own the executor defaulting)
         raise ValueError("--workers only applies to --executor pool")
+    if args.advertise is not None and args.join is None:
+        raise ValueError("--advertise only applies with --join")
     replicas, replica_overrides = parse_replica_spec(args.replicas, set(list_datasets()))
     engine = ServingEngine(
         datasets=args.datasets,
@@ -251,7 +318,55 @@ def _command_serve(args) -> int:
         replica_overrides=replica_overrides,
         routing=args.routing,
     )
-    return run_server(engine, args.host, args.port)
+    if args.join is None:
+        return run_server(engine, args.host, args.port)
+
+    # cluster node: validate the addresses up front (flag-shaped errors),
+    # then start the membership agent once the query port is bound — the
+    # agent registers/heartbeats in the background and gates the engine to
+    # the datasets the coordinator assigns (not_owner for everything until
+    # registration completes)
+    from .cluster import NodeAgent, parse_address
+
+    coordinator_host, coordinator_port = parse_address(args.join)
+    if args.advertise is not None and ":" in args.advertise:
+        parse_address(args.advertise)
+    agent_box: dict[str, NodeAgent] = {}
+
+    def _announce(message: str) -> None:
+        print(message, flush=True)
+        bound_port = int(message.rsplit(":", 1)[1])
+        if args.advertise is None:
+            advertise = f"{args.host}:{bound_port}"
+        elif ":" in args.advertise:
+            advertise = args.advertise
+        else:
+            advertise = f"{args.advertise}:{bound_port}"
+        agent = NodeAgent(
+            coordinator_host, coordinator_port, advertise, engine=engine
+        )
+        agent.start()
+        agent_box["agent"] = agent
+
+    try:
+        return run_server(engine, args.host, args.port, announce=_announce)
+    finally:
+        agent = agent_box.get("agent")
+        if agent is not None:
+            agent.stop()
+
+
+def _command_coordinator(args) -> int:
+    from .cluster import Coordinator, run_coordinator
+
+    coordinator = Coordinator(
+        args.datasets,
+        replication=args.replication,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        routing=args.routing,
+    )
+    return run_coordinator(coordinator, args.host, args.port)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -269,6 +384,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_evaluate(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "coordinator":
+            return _command_coordinator(args)
     except BrokenPipeError:
         # piping into `head` and friends closes stdout early; exit quietly
         return 0

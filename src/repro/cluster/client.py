@@ -1,0 +1,339 @@
+"""The cluster-aware client: routing tables, direct dispatch, failover.
+
+:class:`ClusterClient` is what a multi-host deployment's callers use in
+place of a single :class:`~repro.serving.pool.ServingClientPool`.  It
+fetches the coordinator's versioned routing table **once**, keeps one
+keep-alive pool per node it has talked to, and sends every query straight
+to a node that owns the dataset — the coordinator is never on the data
+path.  Three situations send it back to the coordinator:
+
+* a ``not_owner`` response — the table went stale (the coordinator moved
+  the dataset); refetch and resend;
+* a connection failure — the node died; the address is quarantined
+  locally (the coordinator may not have noticed yet), the table is
+  refetched, and the query fails over to another listed replica;
+* a dataset with no (reachable) replicas — poll the table until the
+  coordinator's failover publishes a new version, bounded by
+  ``failover_timeout``.
+
+Routing is **cache-affine**: each distinct request hashes to a stable
+replica in the dataset's owner list, so a repeated query always lands on
+the node whose LRU cache (and in-flight coalescing window) already knows
+it, while distinct requests still spread across the replica set.  When
+the preferred replica is quarantined the hash simply re-lands among the
+survivors.  Shed (``overloaded``) responses are retried underneath by
+each node's :class:`ServingClientPool` with jittered backoff, exactly as
+in the single-host story.
+
+Typical use::
+
+    with ClusterClient("127.0.0.1", 7530) as cluster:
+        response = cluster.query("karate", "kt", [0, 33])
+        print(response["nodes"], cluster.counters())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Any, Optional
+
+from ..serving.client import ServingClient
+from ..serving.pool import ServingClientPool
+from .node import parse_address
+
+__all__ = ["ClusterClient", "ClusterError"]
+
+
+class ClusterError(RuntimeError):
+    """Raised when a query cannot be routed within the failover budget."""
+
+
+class ClusterClient:
+    """Route queries through the coordinator's table to the owning nodes.
+
+    ``pool_size`` / ``max_retries`` / ``jitter_seed`` configure each
+    per-node :class:`ServingClientPool`; ``failover_timeout`` bounds how
+    long one :meth:`query` may spend refetching tables and hopping
+    replicas before giving up.
+    """
+
+    def __init__(
+        self,
+        coordinator_host: str,
+        coordinator_port: int,
+        *,
+        pool_size: int = 4,
+        timeout: float = 60.0,
+        max_retries: int = 10,
+        jitter_seed: Optional[int] = None,
+        failover_timeout: float = 30.0,
+        refresh_interval: float = 0.05,
+    ) -> None:
+        self.coordinator_host = coordinator_host
+        self.coordinator_port = coordinator_port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.jitter_seed = jitter_seed
+        self.failover_timeout = failover_timeout
+        self.refresh_interval = refresh_interval
+        self.table_version = -1
+        self._table: dict[str, list[str]] = {}
+        self._pools: dict[str, ServingClientPool] = {}
+        self._quarantined: set[str] = set()
+        self._lock = threading.Lock()
+        # one keep-alive connection for all coordinator traffic (rebuilt on
+        # failure); its own lock because ServingClient is single-threaded
+        self._coordinator: Optional[ServingClient] = None
+        self._coordinator_lock = threading.Lock()
+        self._closed = False
+        # counters
+        self.table_fetches = 0
+        self.failovers = 0
+        self.not_owner_refreshes = 0
+        self.refresh_table()
+
+    # ------------------------------------------------------------------
+    # coordinator I/O (one keep-alive connection, rebuilt on failure)
+    # ------------------------------------------------------------------
+    def _coordinator_request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self._coordinator_lock:
+            if self._coordinator is None:
+                self._coordinator = ServingClient(
+                    self.coordinator_host, self.coordinator_port, timeout=self.timeout
+                )
+            try:
+                return self._coordinator.request(payload)
+            except (ConnectionError, OSError):
+                # the connection (and its reconnect-once repair) failed:
+                # drop it so the next call dials fresh, and surface the
+                # error to the caller's retry logic
+                self._coordinator.close()
+                self._coordinator = None
+                raise
+
+    # ------------------------------------------------------------------
+    # the routing table
+    # ------------------------------------------------------------------
+    def refresh_table(self) -> int:
+        """Fetch the coordinator's table; returns the (new) version.
+
+        A version change clears the local quarantine — the new table
+        already reflects whatever deaths the quarantine was papering over
+        — and drops pools for addresses no longer referenced anywhere.
+        """
+        response = self._coordinator_request({"op": "route_table"})
+        if not response.get("ok"):
+            raise ClusterError(f"coordinator refused route_table: {response.get('error')}")
+        stale_pools: list[ServingClientPool] = []
+        with self._lock:
+            self.table_fetches += 1
+            version = response["version"]
+            if version != self.table_version:
+                self.table_version = version
+                self._table = {
+                    name: list(addresses) for name, addresses in response["table"].items()
+                }
+                self._quarantined.clear()
+                referenced = {
+                    address for addresses in self._table.values() for address in addresses
+                }
+                for address in list(self._pools):
+                    if address not in referenced:
+                        stale_pools.append(self._pools.pop(address))
+        for pool in stale_pools:
+            pool.close()
+        return self.table_version
+
+    def owners(self, dataset: str) -> list[str]:
+        """The dataset's replica addresses, minus quarantined ones."""
+        with self._lock:
+            return [
+                address
+                for address in self._table.get(dataset, ())
+                if address not in self._quarantined
+            ]
+
+    def _quarantine(self, address: str) -> None:
+        """Stop routing to ``address`` until the table version changes."""
+        with self._lock:
+            self._quarantined.add(address)
+            pool = self._pools.pop(address, None)
+        if pool is not None:
+            pool.close()
+
+    def _unquarantine(self, dataset: str) -> None:
+        """Allow re-probing the dataset's quarantined replicas.
+
+        Used when quarantining has emptied a dataset's owner list but the
+        table version has not moved: the failures may have been transient
+        (the nodes still heartbeat fine), and without a version change the
+        quarantine would otherwise be permanent — one bad network moment
+        must not black-hole a healthy replica set forever.
+        """
+        with self._lock:
+            self._quarantined.difference_update(self._table.get(dataset, ()))
+
+    def _pool(self, address: str) -> ServingClientPool:
+        with self._lock:
+            if self._closed:
+                raise ClusterError("cluster client is closed")
+            pool = self._pools.get(address)
+            if pool is None:
+                host, port = parse_address(address)
+                pool = ServingClientPool(
+                    host,
+                    port,
+                    size=self.pool_size,
+                    timeout=self.timeout,
+                    max_retries=self.max_retries,
+                    jitter_seed=self.jitter_seed,
+                )
+                self._pools[address] = pool
+        return pool
+
+    def _route(self, dataset: str, algorithm: str, nodes) -> Optional[str]:
+        """Cache-affine replica choice: hash the request identity onto the
+        live owner list.  A repeat of the same query reaches the same
+        replica (whose result cache and coalescing window already hold
+        it); distinct queries spread over the set; a quarantined replica
+        drops out of the candidate list and the hash re-lands on a
+        survivor."""
+        candidates = self.owners(dataset)
+        if not candidates:
+            return None
+        digest = zlib.crc32(f"{dataset}|{algorithm}|{list(nodes)!r}".encode())
+        return candidates[digest % len(candidates)]
+
+    # ------------------------------------------------------------------
+    # the data path
+    # ------------------------------------------------------------------
+    def query(self, dataset: str, algorithm: str, nodes, **params) -> dict[str, Any]:
+        """Run one community search against the owning node.
+
+        Returns the node's response payload (including structured errors
+        like ``bad_query`` — only *routing* failures are retried here).
+        Raises :class:`ClusterError` when no owner can be reached within
+        ``failover_timeout``.
+        """
+        deadline = time.monotonic() + self.failover_timeout
+        last_failure = "no replicas listed"
+        stale = False
+        refreshed_for_absence = False
+        while True:
+            with self._lock:
+                configured = dataset in self._table
+            if not configured:
+                # the coordinator's table always lists every dataset it is
+                # configured to serve (even with an empty replica list), so
+                # an absent key cannot appear later — fail fast after one
+                # confirming refresh instead of polling out the timeout
+                if refreshed_for_absence:
+                    raise ClusterError(
+                        f"dataset {dataset!r} is not served by this cluster "
+                        f"(routing table v{self.table_version})"
+                    )
+                refreshed_for_absence = True
+                self.refresh_table()
+                continue
+            address = self._route(dataset, algorithm, nodes)
+            if address is None:
+                last_failure = f"no live replicas for {dataset!r} in table v{self.table_version}"
+            else:
+                pool = self._pool(address)
+                try:
+                    response = pool.query(dataset, algorithm, nodes, **params)
+                except (ConnectionError, OSError) as exc:
+                    # the node died (or its port did): quarantine and fail
+                    # over; the refetch below picks up the coordinator's
+                    # repair as soon as it is published
+                    with self._lock:
+                        self.failovers += 1
+                    self._quarantine(address)
+                    last_failure = f"{address}: {type(exc).__name__}: {exc}"
+                    stale = False
+                else:
+                    error = response.get("error")
+                    if error and error.get("code") == "not_owner":
+                        # stale table: the coordinator moved the dataset
+                        with self._lock:
+                            self.not_owner_refreshes += 1
+                        last_failure = f"{address}: not_owner"
+                        stale = True
+                    else:
+                        return response
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"could not route {dataset!r} query within "
+                    f"{self.failover_timeout:.1f}s; last failure: {last_failure}"
+                )
+            previous_version = self.table_version
+            try:
+                self.refresh_table()
+            except (ConnectionError, OSError) as exc:
+                last_failure = f"coordinator: {type(exc).__name__}: {exc}"
+            if self.table_version == previous_version:
+                # the coordinator has not noticed the failure yet.  After a
+                # connection failure the quarantine lets us retry the other
+                # replicas immediately; after not_owner (or with no owners
+                # at all) the cluster needs a moment — the new owner learns
+                # its assignment on its next heartbeat — so poll gently.
+                if not self.owners(dataset):
+                    time.sleep(self.refresh_interval)
+                    # transient failures may have quarantined every replica
+                    # of a table the coordinator still stands behind: allow
+                    # re-probing rather than black-holing the dataset
+                    self._unquarantine(dataset)
+                elif stale:
+                    time.sleep(self.refresh_interval)
+
+    # ------------------------------------------------------------------
+    # convenience + introspection
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Liveness check against the coordinator."""
+        return self._coordinator_request({"op": "ping"})
+
+    def coordinator_stats(self) -> dict[str, Any]:
+        """The coordinator's membership/placement snapshot."""
+        return self._coordinator_request({"op": "stats"})
+
+    def node_stats(self, address: str) -> dict[str, Any]:
+        """One node's serving stats (per-shard counters + ``node`` block)."""
+        return self._pool(address).stats()
+
+    def counters(self) -> dict[str, int]:
+        """Client-side routing counters plus the per-node pool counters."""
+        with self._lock:
+            pools = dict(self._pools)
+        return {
+            "table_version": self.table_version,
+            "table_fetches": self.table_fetches,
+            "failovers": self.failovers,
+            "not_owner_refreshes": self.not_owner_refreshes,
+            "pools": {address: pool.counters() for address, pool in sorted(pools.items())},
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every per-node pool and the coordinator connection."""
+        with self._lock:
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.close()
+        with self._coordinator_lock:
+            if self._coordinator is not None:
+                self._coordinator.close()
+                self._coordinator = None
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,6 +17,7 @@ from .coreness import core_numbers, degeneracy_ordering, k_core_subgraph, max_co
 from .csr import (
     CSRGraph,
     FrozenGraph,
+    SharedCache,
     csr_articulation_points,
     csr_connected_component,
     csr_connected_components,
@@ -82,6 +83,7 @@ __all__ = [
     # csr fast path
     "CSRGraph",
     "FrozenGraph",
+    "SharedCache",
     "freeze",
     "csr_multi_source_bfs",
     "csr_connected_component",

@@ -25,6 +25,7 @@ tie-breaks).
 
 from __future__ import annotations
 
+import threading
 from array import array
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
@@ -34,6 +35,7 @@ from .graph import Graph, GraphError, Node
 __all__ = [
     "CSRGraph",
     "FrozenGraph",
+    "SharedCache",
     "freeze",
     "csr_multi_source_bfs",
     "csr_connected_component",
@@ -193,6 +195,105 @@ class CSRGraph:
         return f"CSRGraph(|V|={self.number_of_nodes()}, |E|={self.num_edges})"
 
 
+class SharedCache:
+    """The per-snapshot memo dict, with **single-flight** computation.
+
+    Plain dict access (``cache[key]``, ``key in cache``, iteration) behaves
+    like the dict this used to be, so existing check-then-store callers and
+    introspection keep working.  :meth:`memo` is the concurrency-aware entry
+    point: when several threads (e.g. inline replicas of one serving shard
+    absorbing a cold burst) ask for the same query-independent decomposition
+    at once, exactly one computes it and the rest wait for that value — the
+    cold cost of a decomposition is 1× regardless of replica count, instead
+    of "1× per replica that raced past the same ``key not in cache`` check".
+
+    A compute that raises wakes the waiters, and the first of them retries
+    as the new owner (the failure is not cached).  Pickling ships only the
+    computed values — locks and in-flight state are rebuilt empty, which is
+    what lets a frozen snapshot still travel to process-pool workers.
+    """
+
+    __slots__ = ("_data", "_lock", "_inflight")
+
+    def __init__(self, data: Optional[dict] = None) -> None:
+        self._data: dict = dict(data) if data else {}
+        self._lock = threading.Lock()
+        self._inflight: dict = {}  # key -> threading.Event of the computing thread
+
+    # -- the dict surface the existing memo sites and tests use -----------
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def __iter__(self):
+        return iter(tuple(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self):
+        return tuple(self._data)
+
+    # -- single flight -----------------------------------------------------
+    def memo(self, key, compute):
+        """Return ``cache[key]``, computing it at most once across threads.
+
+        ``compute`` is a zero-argument callable.  The first caller of a
+        missing ``key`` becomes the owner and runs ``compute()`` outside the
+        lock; concurrent callers of the same ``key`` block until the value
+        lands and then return it without recomputing.
+        """
+        while True:
+            with self._lock:
+                if key in self._data:
+                    return self._data[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                event.wait()
+                continue  # value landed — or the owner failed and we retry
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                self._data[key] = value
+                self._inflight.pop(key, None)
+            event.set()
+            return value
+
+    # -- pickling (process-pool workers receive the values, fresh locks) ---
+    def __getstate__(self) -> dict:
+        return dict(self._data)
+
+    def __setstate__(self, data: dict) -> None:
+        self.__init__(data)
+
+    def __repr__(self) -> str:
+        return f"SharedCache({len(self._data)} entries)"
+
+
+#: Guards the lazy creation of a snapshot's SharedCache (not its contents).
+_SHARED_CACHE_INIT_LOCK = threading.Lock()
+
+
 class FrozenGraph(Graph):
     """An immutable :class:`Graph` carrying a cached :class:`CSRGraph`.
 
@@ -211,7 +312,7 @@ class FrozenGraph(Graph):
     ) -> None:
         super().__init__(edges=edges, nodes=nodes)
         self._csr: Optional[CSRGraph] = None
-        self._cache: Optional[dict] = None
+        self._cache: Optional[SharedCache] = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "FrozenGraph":
@@ -231,16 +332,22 @@ class FrozenGraph(Graph):
             self._csr = CSRGraph.from_graph(self)
         return self._csr
 
-    def shared_cache(self) -> dict:
-        """Return a mutable memo dict tied to this immutable snapshot.
+    def shared_cache(self) -> SharedCache:
+        """Return the mutable memo cache tied to this immutable snapshot.
 
         Because a frozen graph can never change, query-independent derived
         structure (core decompositions, k-edge-connected partitions, ...) can
         be computed once and reused by every query of a batch.  Keys are
-        namespaced tuples like ``("kcore-structure", k)``.
+        namespaced tuples like ``("kcore-structure", k)``; use
+        :meth:`SharedCache.memo` so concurrent callers of one key (inline
+        replicas absorbing a cold burst) single-flight the computation.
         """
         if self._cache is None:
-            self._cache = {}
+            # double-checked init: concurrent first callers must agree on ONE
+            # cache object or its per-key in-flight guards would not be shared
+            with _SHARED_CACHE_INIT_LOCK:
+                if self._cache is None:
+                    self._cache = SharedCache()
         return self._cache
 
     def freeze(self) -> "FrozenGraph":

@@ -157,11 +157,9 @@ def node_truss_numbers(graph: Graph) -> dict[Node, int]:
     truss level).  Memoised on frozen snapshots.
     """
     if isinstance(graph, FrozenGraph):
-        cache = graph.shared_cache()
-        key = ("node-truss-numbers",)
-        if key not in cache:
-            cache[key] = _compute_node_truss_numbers(graph)
-        return cache[key]
+        return graph.shared_cache().memo(
+            ("node-truss-numbers",), lambda: _compute_node_truss_numbers(graph)
+        )
     return _compute_node_truss_numbers(graph)
 
 
@@ -183,38 +181,30 @@ def _compute_node_truss_numbers(graph: Graph) -> dict[Node, int]:
 
 def _frozen_edge_index(graph: FrozenGraph):
     """Return (and memoise) the snapshot's CSR edge numbering."""
-    cache = graph.shared_cache()
-    key = ("csr-edge-index",)
-    if key not in cache:
-        cache[key] = csr_edge_index(graph.csr)
-    return cache[key]
+    return graph.shared_cache().memo(("csr-edge-index",), lambda: csr_edge_index(graph.csr))
 
 
 def _frozen_edge_truss(graph: FrozenGraph) -> list[int]:
     """Return (and memoise) the full per-edge-id truss decomposition."""
-    cache = graph.shared_cache()
-    key = ("csr-edge-truss",)
-    if key not in cache:
-        cache[key] = csr_truss_numbers(graph.csr, _frozen_edge_index(graph))
-    return cache[key]
+    return graph.shared_cache().memo(
+        ("csr-edge-truss",), lambda: csr_truss_numbers(graph.csr, _frozen_edge_index(graph))
+    )
 
 
 def _frozen_edge_support(graph: FrozenGraph) -> dict[Edge, int]:
-    cache = graph.shared_cache()
-    key = ("edge-support",)
-    if key not in cache:
+    def _compute():
         index = _frozen_edge_index(graph)
         support = csr_edge_support(graph.csr, index)
-        cache[key] = _edge_value_dict(graph, index, support)
-    return cache[key]
+        return _edge_value_dict(graph, index, support)
+
+    return graph.shared_cache().memo(("edge-support",), _compute)
 
 
 def _frozen_truss_numbers(graph: FrozenGraph) -> dict[Edge, int]:
-    cache = graph.shared_cache()
-    key = ("truss-numbers",)
-    if key not in cache:
-        cache[key] = _edge_value_dict(graph, _frozen_edge_index(graph), _frozen_edge_truss(graph))
-    return cache[key]
+    return graph.shared_cache().memo(
+        ("truss-numbers",),
+        lambda: _edge_value_dict(graph, _frozen_edge_index(graph), _frozen_edge_truss(graph)),
+    )
 
 
 def _edge_value_dict(graph: FrozenGraph, index, values: list[int]) -> dict[Edge, int]:

@@ -29,7 +29,7 @@ Typical in-process use::
 from __future__ import annotations
 
 import time
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..datasets import list_datasets
 from ..experiments.registry import list_algorithms
@@ -87,6 +87,14 @@ class ServingEngine:
             routing=routing,
         )
         self._started = False
+        # cluster mode (repro.cluster): when set, queries for datasets outside
+        # the owned set are refused with the structured `not_owner` code; the
+        # node agent updates this from coordinator heartbeats (a plain
+        # attribute swap, safe to perform from the agent's thread)
+        self._owned_datasets: Optional[frozenset[str]] = None
+        #: optional callable merged into stats() as the "node" block (the
+        #: cluster node agent installs its membership/heartbeat counters here)
+        self.node_stats_provider: Optional[Callable[[], dict[str, Any]]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -116,7 +124,26 @@ class ServingEngine:
     # request routing
     # ------------------------------------------------------------------
     async def submit(self, request: QueryRequest) -> tuple[Any, bool, bool]:
-        """Resolve a validated request; returns ``(result, cached, coalesced)``."""
+        """Resolve a validated request; returns ``(result, cached, coalesced)``.
+
+        In cluster mode a query for a dataset this node does not own fails
+        with ``not_owner`` *before* any shard is (lazily) loaded — owning a
+        dataset is what justifies paying for its snapshot.  A dataset that
+        is not registered at all is not an ownership problem: it falls
+        through to placement's ``unknown_dataset`` error, which a client
+        cannot fix by refetching any routing table.
+        """
+        owned = self._owned_datasets
+        if (
+            owned is not None
+            and request.dataset not in owned
+            and request.dataset in self._known_datasets
+        ):
+            raise ProtocolError(
+                "not_owner",
+                f"this node does not own dataset {request.dataset!r}; "
+                f"refetch the routing table from the coordinator",
+            )
         return await self._placement.submit(request)
 
     async def query(
@@ -177,6 +204,24 @@ class ServingEngine:
             )
 
     # ------------------------------------------------------------------
+    # cluster membership
+    # ------------------------------------------------------------------
+    def set_owned_datasets(self, names: Optional[Any]) -> None:
+        """Restrict serving to ``names`` (cluster mode); ``None`` lifts it.
+
+        Called by the cluster node agent whenever the coordinator's routing
+        table changes this node's assignment.  An *empty* set is meaningful:
+        a node that has joined but holds no assignment yet answers every
+        query with ``not_owner`` instead of loading shards it does not own.
+        """
+        self._owned_datasets = None if names is None else frozenset(names)
+
+    @property
+    def owned_datasets(self) -> Optional[frozenset[str]]:
+        """The datasets this node currently owns (None = not in a cluster)."""
+        return self._owned_datasets
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
@@ -190,8 +235,18 @@ class ServingEngine:
         return self._placement.shards
 
     def stats(self) -> dict[str, Any]:
-        """Aggregate + per-shard (+ per-replica) statistics, JSON-safe."""
-        return self._placement.stats()
+        """Aggregate + per-shard (+ per-replica) statistics, JSON-safe.
+
+        In cluster mode a ``node`` block is merged in: this node's identity,
+        owned datasets and membership counters, provided by the node agent.
+        """
+        stats = self._placement.stats()
+        provider = self.node_stats_provider
+        if provider is not None:
+            stats["node"] = provider()
+        elif self._owned_datasets is not None:
+            stats["node"] = {"owned": sorted(self._owned_datasets)}
+        return stats
 
 
 def _with_id(request_id: Any) -> dict[str, Any]:

@@ -12,10 +12,15 @@ server (``"attempt": N``) so shed/retry behaviour is observable in the
 
 The retry budget is **bounded** (``max_retries``); when it is exhausted
 the last ``overloaded`` response is returned to the caller rather than
-looping forever against a saturated server.  Connection failures are
-handled underneath by each client's reconnect-once logic; a connection
-that still fails is discarded and replaced rather than returned to the
-pool.
+looping forever against a saturated server.  Retry sleeps are **jittered**:
+many clients shed by the same overload event receive the same
+``retry_after_ms`` hint, and sleeping exactly that long would march them
+back in lockstep to re-shed together — each pool therefore stretches the
+hint by a random factor in ``[1, 1 + jitter)`` drawn from its own seedable
+PRNG (pass ``jitter_seed`` for a reproducible backoff schedule in tests).
+Connection failures are handled underneath by each client's
+reconnect-once logic; a connection that still fails is discarded and
+replaced rather than returned to the pool.
 
 Typical use::
 
@@ -27,6 +32,7 @@ Typical use::
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from typing import Any, Optional
@@ -43,7 +49,11 @@ class ServingClientPool:
     finds the pool empty blocks until one is released.  ``max_retries``
     bounds how many times a single :meth:`query` is retried after being
     shed with ``overloaded``; the sleep between retries honours the
-    server's ``retry_after_ms`` hint, capped at ``backoff_cap_ms``.
+    server's ``retry_after_ms`` hint, capped at ``backoff_cap_ms`` and then
+    stretched by a uniform factor in ``[1, 1 + jitter)`` so synchronized
+    retry storms from many clients desynchronize instead of re-shedding in
+    lockstep.  The jitter PRNG is per-pool and seedable (``jitter_seed``)
+    for deterministic backoff schedules in tests.
     """
 
     def __init__(
@@ -55,17 +65,23 @@ class ServingClientPool:
         timeout: float = 60.0,
         max_retries: int = 10,
         backoff_cap_ms: float = 250.0,
+        jitter: float = 0.5,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         self.host = host
         self.port = port
         self.size = size
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_cap_ms = backoff_cap_ms
+        self.jitter = jitter
+        self._jitter_rng = random.Random(jitter_seed)
         self._idle: queue.LifoQueue = queue.LifoQueue()
         self._created = 0
         self._lock = threading.Lock()
@@ -170,8 +186,21 @@ class ServingClientPool:
             with self._lock:
                 self.retries += 1
             attempt += 1
-            delay_ms = min(float(error.get("retry_after_ms", 10)), self.backoff_cap_ms)
-            time.sleep(max(delay_ms, 1.0) / 1000.0)
+            time.sleep(self._retry_delay_ms(error.get("retry_after_ms", 10)) / 1000.0)
+
+    def _retry_delay_ms(self, hint_ms: Any) -> float:
+        """The jittered sleep before a retry, in milliseconds.
+
+        The server's ``retry_after_ms`` hint is capped at ``backoff_cap_ms``
+        and stretched by a per-pool random factor in ``[1, 1 + jitter)``:
+        never *shorter* than advertised (an early retry is a guaranteed
+        re-shed), but spread out so clients shed together do not all come
+        back in the same instant.  Floor 1 ms.
+        """
+        delay_ms = min(float(hint_ms), self.backoff_cap_ms)
+        with self._lock:
+            factor = 1.0 + self.jitter * self._jitter_rng.random()
+        return max(delay_ms * factor, 1.0)
 
     # ------------------------------------------------------------------
     # convenience operations

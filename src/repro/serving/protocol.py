@@ -21,7 +21,10 @@ on them: ``bad_request`` (malformed JSON / missing or ill-typed fields),
 that is not in the dataset), ``overloaded`` (admission control shed the
 request because the owning shard's bounded queue is full; the error object
 carries ``retry_after_ms``, the server's estimate of when capacity frees
-up) and ``internal_error`` (anything else; the server stays up).
+up), ``not_owner`` (cluster mode: this node is not in the dataset's replica
+set under the coordinator's current routing table — the client should
+refetch the table and resend to an owning node, see ``repro.cluster``) and
+``internal_error`` (anything else; the server stays up).
 
 A client retrying a shed request may send ``"attempt": N`` (a positive
 integer) alongside the query fields; the server counts retried admissions
@@ -63,6 +66,7 @@ ERROR_CODES = (
     "unknown_algorithm",
     "bad_query",
     "overloaded",
+    "not_owner",
     "internal_error",
 )
 

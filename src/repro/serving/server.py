@@ -210,7 +210,10 @@ class ServerThread:
     def __init__(self, *, host: str = "127.0.0.1", startup_timeout: float = 30.0, **engine_kwargs) -> None:
         self.host = host
         self.port: Optional[int] = None
-        self._engine_kwargs = engine_kwargs
+        #: the engine this thread serves — built eagerly so a caller (e.g. a
+        #: cluster NodeAgent in the tests) can attach to it before/while the
+        #: server runs
+        self.engine = ServingEngine(**engine_kwargs)
         self._startup_timeout = startup_timeout
         self._ready = threading.Event()
         self._error: Optional[BaseException] = None
@@ -222,7 +225,7 @@ class ServerThread:
             self._ready.set()
 
         try:
-            run_server(ServingEngine(**self._engine_kwargs), self.host, 0, announce=_note_port)
+            run_server(self.engine, self.host, 0, announce=_note_port)
         except BaseException as exc:  # noqa: BLE001 - re-raised on join
             self._error = exc
             self._ready.set()

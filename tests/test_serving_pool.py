@@ -223,3 +223,48 @@ class TestPoolRetry:
             response = pool.query("karate", "kt", [0], max_retries=0)
         assert not response["ok"]
         assert len(server.received) == 1  # no retries at all
+
+
+# ----------------------------------------------------------------------------
+# retry jitter (desynchronizing shed-retry storms)
+# ----------------------------------------------------------------------------
+
+
+class TestRetryJitter:
+    def _pool(self, **kwargs) -> ServingClientPool:
+        # the constructor does not connect, so a dead port is fine here
+        return ServingClientPool("127.0.0.1", 1, **kwargs)
+
+    def test_delay_stretches_hint_within_jitter_band(self):
+        pool = self._pool(jitter=0.5, jitter_seed=7)
+        for _ in range(200):
+            delay = pool._retry_delay_ms(100)
+            assert 100.0 <= delay < 150.0  # never earlier than advertised
+
+    def test_seeded_pools_are_deterministic(self):
+        first = [self._pool(jitter_seed=42)._retry_delay_ms(40) for _ in range(1)]
+        a = self._pool(jitter_seed=42)
+        b = self._pool(jitter_seed=42)
+        assert [a._retry_delay_ms(40) for _ in range(16)] == [
+            b._retry_delay_ms(40) for _ in range(16)
+        ]
+        assert first[0] == a.__class__("127.0.0.1", 1, jitter_seed=42)._retry_delay_ms(40)
+
+    def test_different_seeds_desynchronize(self):
+        a = self._pool(jitter_seed=1)
+        b = self._pool(jitter_seed=2)
+        assert [a._retry_delay_ms(100) for _ in range(8)] != [
+            b._retry_delay_ms(100) for _ in range(8)
+        ]
+
+    def test_cap_applies_before_jitter_and_floor_after(self):
+        pool = self._pool(jitter=0.5, jitter_seed=3, backoff_cap_ms=50.0)
+        for _ in range(50):
+            assert pool._retry_delay_ms(10_000) < 75.0  # cap 50 x max 1.5
+        zero = self._pool(jitter=0.0, jitter_seed=0)
+        assert zero._retry_delay_ms(0) == 1.0  # floor
+        assert zero._retry_delay_ms(40) == 40.0  # jitter 0 = exact hint
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            self._pool(jitter=-0.1)

@@ -1,0 +1,158 @@
+"""Tests for single-flight memoisation on shared snapshots.
+
+The ``shared_cache()`` check-then-compute pattern used to be idempotent
+but unlocked: inline replicas of one shard absorbing a cold burst could
+compute the same query-independent decomposition once *each*.  The
+:class:`~repro.graph.csr.SharedCache` per-key in-flight guard makes the
+cold cost 1x regardless of replica count — asserted here at the cache
+level (threads racing ``memo``) and end-to-end (a two-inline-replica
+serving engine under a concurrent cold burst).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import threading
+import time
+
+from repro.baselines.kcore import kcore_structure
+from repro.graph import Graph, SharedCache, freeze
+from repro.serving import ServingEngine
+
+
+class TestSharedCacheUnit:
+    def test_dict_surface_still_works(self):
+        cache = SharedCache()
+        cache[("a", 1)] = "value"
+        assert ("a", 1) in cache
+        assert cache[("a", 1)] == "value"
+        assert cache.get(("missing",)) is None
+        assert len(cache) == 1
+        assert {key[0] for key in cache} == {"a"}
+
+    def test_memo_returns_cached_value_without_recompute(self):
+        cache = SharedCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "computed"
+
+        assert cache.memo("key", compute) == "computed"
+        assert cache.memo("key", compute) == "computed"
+        assert len(calls) == 1
+
+    def test_memo_respects_pre_stored_values(self):
+        cache = SharedCache()
+        cache["key"] = "stored"
+        assert cache.memo("key", lambda: "computed") == "stored"
+
+    def test_memo_single_flight_across_threads(self):
+        cache = SharedCache()
+        calls = []
+        go = threading.Event()
+        results = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                calls.append(threading.get_ident())
+            time.sleep(0.1)  # hold the in-flight window open
+            return object()
+
+        def worker():
+            go.wait(5)
+            value = cache.memo("key", compute)
+            with lock:
+                results.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        go.set()
+        for thread in threads:
+            thread.join(10)
+        assert len(calls) == 1  # exactly one computation across 8 racers
+        assert len(results) == 8
+        assert all(value is results[0] for value in results)  # same object
+
+    def test_memo_failure_is_not_cached_and_waiter_takes_over(self):
+        cache = SharedCache()
+        owner_started = threading.Event()
+        release_owner = threading.Event()
+        outcomes = []
+
+        def failing():
+            owner_started.set()
+            release_owner.wait(5)
+            raise RuntimeError("boom")
+
+        def owner():
+            try:
+                cache.memo("key", failing)
+            except RuntimeError:
+                outcomes.append("raised")
+
+        def waiter():
+            owner_started.wait(5)
+            outcomes.append(cache.memo("key", lambda: "recovered"))
+
+        threads = [threading.Thread(target=owner), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        owner_started.wait(5)
+        time.sleep(0.05)  # let the waiter block on the in-flight event
+        release_owner.set()
+        for thread in threads:
+            thread.join(10)
+        assert sorted(outcomes, key=str) == ["raised", "recovered"]
+        assert cache["key"] == "recovered"
+
+    def test_pickle_ships_values_and_rebuilds_guards(self):
+        frozen = freeze(Graph([(0, 1), (1, 2), (0, 2), (2, 3)]))
+        kcore_structure(frozen, 2)  # populate through the real memo path
+        clone = pickle.loads(pickle.dumps(frozen))
+        assert ("kcore-structure", 2) in clone.shared_cache()
+        # the rebuilt cache has working locks/in-flight state
+        assert clone.shared_cache().memo(("probe",), lambda: 42) == 42
+
+
+class TestColdBurstAcrossInlineReplicas:
+    def test_cold_cost_is_once_with_two_inline_replicas(self, monkeypatch):
+        """Two distinct cold queries landing on two inline replicas of one
+        shard need the same k-core decomposition; it is computed once."""
+        import repro.baselines.kcore as kcore_module
+
+        calls = []
+        lock = threading.Lock()
+        real = kcore_module._compute_kcore_structure
+
+        def counting(graph, k):
+            with lock:
+                calls.append(k)
+            time.sleep(0.2)  # keep the decomposition in flight so the
+            # second replica's batch overlaps it deterministically
+            return real(graph, k)
+
+        monkeypatch.setattr(kcore_module, "_compute_kcore_structure", counting)
+
+        async def scenario():
+            async with ServingEngine(datasets=["karate"], replicas=2) as engine:
+                responses = await asyncio.gather(
+                    engine.query("karate", "kc", [0]),
+                    engine.query("karate", "kc", [33]),
+                )
+                per_replica = [
+                    replica["executed"]
+                    for replica in engine.shards["karate"].replica_set.stats()
+                ]
+                return responses, per_replica
+
+        (first, second), per_replica = asyncio.run(scenario())
+        assert first[0].nodes and second[0].nodes
+        # the burst really was spread over both replicas (least-loaded
+        # routing sends the second query to the idle replica)...
+        assert per_replica == [1, 1]
+        # ...yet the shared decomposition was computed exactly once
+        assert calls == [3]
