@@ -24,10 +24,14 @@ def time_median(function, repeat: int = 3):
     return statistics.median(seconds), result
 
 
-def print_table(rows: list[tuple[str, float, float]], name_width: int = 28) -> None:
-    """Print the dict-vs-CSR timing table."""
+def print_table(
+    rows: list[tuple[str, float, float]],
+    name_width: int = 28,
+    columns: tuple[str, str] = ("dict (s)", "csr (s)"),
+) -> None:
+    """Print a baseline-vs-fast-path timing table (dict-vs-CSR by default)."""
     print()
-    print(f"{'kernel':<{name_width}}{'dict (s)':>12}{'csr (s)':>12}{'speedup':>10}")
+    print(f"{'kernel':<{name_width}}{columns[0]:>12}{columns[1]:>12}{'speedup':>10}")
     for name, dict_seconds, csr_seconds in rows:
         ratio = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
         print(f"{name:<{name_width}}{dict_seconds:>12.5f}{csr_seconds:>12.5f}{ratio:>9.2f}x")

@@ -5,6 +5,14 @@ peeling) and both peeling algorithms (NCA, FPA) on both backends, checks
 the results are identical, and prints the timing table — the perf
 trajectory future PRs append to (see CHANGES.md).
 
+When the optional numpy tier is installed (``pip install -e ".[vec]"``)
+a second table compares the pure-python CSR kernels against their
+vectorised twins (:mod:`repro.graph.vec_kernels`) on the same graph and
+checks they are bit-identical — multi-source BFS including discovery
+order, edge support, and truss numbers, each also under an alive mask.
+Without numpy the section prints a note and is skipped; parity of the
+dict-vs-CSR half is unaffected.
+
 Usage::
 
     python benchmarks/bench_csr_backend.py               # timings + parity
@@ -15,7 +23,8 @@ Usage::
                                                             # trajectory record
 
 The ``--parity-only`` mode is what the CI workflow runs: it fails the job on
-any dict-vs-CSR divergence but never on timing (shared runners are noisy).
+any dict-vs-CSR (and CSR-vs-vec) divergence but never on timing (shared
+runners are noisy).
 """
 
 from __future__ import annotations
@@ -31,11 +40,49 @@ from repro.graph import (
     core_numbers,
     csr_articulation_points,
     csr_core_numbers,
+    csr_edge_index,
+    csr_edge_support,
     csr_multi_source_bfs,
+    csr_truss_numbers,
     freeze,
     multi_source_bfs,
     planted_partition,
 )
+from repro.graph.vec_kernels import numpy_available, set_vec_enabled
+
+
+def run_vec_section(csr, query_index, check) -> list[tuple[str, float, float]]:
+    """Pure-python CSR kernels vs the numpy tier, bit-identical by assertion.
+
+    Both tiers run through the *same* public entry points with the
+    dispatch switch forced (``set_vec_enabled``), so this exercises
+    exactly the code path serving traffic takes.  The alive-mask variants
+    matter because the peeling algorithms call the kernels on shrinking
+    subgraphs, not just the full graph.
+    """
+    rows: list[tuple[str, float, float]] = []
+    n = csr.number_of_nodes()
+    index = csr_edge_index(csr)
+    # a non-trivial alive mask: drop every 7th node
+    alive = bytearray(1 if i % 7 else 0 for i in range(n))
+    cases = [
+        ("vec_multi_source_bfs", lambda: csr_multi_source_bfs(csr, [query_index])),
+        ("vec_edge_support", lambda: csr_edge_support(csr, index)),
+        ("vec_truss_numbers", lambda: csr_truss_numbers(csr, index)),
+        ("vec_edge_support[alive]", lambda: csr_edge_support(csr, index, alive)),
+        ("vec_truss_numbers[alive]", lambda: csr_truss_numbers(csr, index, alive)),
+    ]
+    try:
+        for name, kernel in cases:
+            set_vec_enabled(False)
+            py_seconds, py_result = _time(kernel)
+            set_vec_enabled(True)
+            vec_seconds, vec_result = _time(kernel)
+            check(name, py_result == vec_result)
+            rows.append((name, py_seconds, vec_seconds))
+    finally:
+        set_vec_enabled(None)  # back to env/availability-driven dispatch
+    return rows
 
 
 def run(scale: float = 1.0, parity_only: bool = False, json_path: str | None = None) -> int:
@@ -96,19 +143,40 @@ def run(scale: float = 1.0, parity_only: bool = False, json_path: str | None = N
     )
     rows.append(("nca", dict_seconds, csr_seconds))
 
+    vec_rows: list[tuple[str, float, float]] = []
+    if numpy_available():
+        vec_rows = run_vec_section(csr, query_index, check)
+    else:
+        print("vec tier: numpy not installed; skipping the vectorised kernel comparison")
+
     if not parity_only:
         print_table(rows, name_width=22)
+        if vec_rows:
+            print_table(vec_rows, name_width=24, columns=("python (s)", "vec (s)"))
 
     if json_path:
         write_json(
             json_path, "bench_csr_backend", scale, rows,
             parity=not failures, workload=repr(graph),
+            vec={
+                "numpy_available": numpy_available(),
+                "rows": [
+                    {
+                        "kernel": name,
+                        "python_seconds": round(py_seconds, 6),
+                        "vec_seconds": round(vec_seconds, 6),
+                        "speedup": round(py_seconds / vec_seconds, 2) if vec_seconds else None,
+                    }
+                    for name, py_seconds, vec_seconds in vec_rows
+                ],
+            },
         )
 
     if failures:
-        print(f"PARITY FAILURE: dict and CSR backends disagree on: {', '.join(failures)}")
+        print(f"PARITY FAILURE: backends disagree on: {', '.join(failures)}")
         return 1
-    print("parity: dict and CSR backends agree on every kernel and algorithm")
+    tiers = "dict, CSR and vec tiers" if vec_rows else "dict and CSR backends"
+    print(f"parity: {tiers} agree on every kernel and algorithm")
     return 0
 
 

@@ -24,6 +24,8 @@ from ..graph import (
     Node,
     connected_components,
     core_numbers,
+    csr_connected_components,
+    csr_core_numbers,
     k_core_subgraph,
 )
 
@@ -35,11 +37,16 @@ def kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dict[Node, i
 
     ``components`` lists the connected components of the k-core as node
     sets; ``member_of`` maps every surviving node to its component index.
-    Memoised on frozen graphs (the decomposition is query independent).
+    Memoised on frozen graphs (the decomposition is query independent),
+    where it runs entirely on the CSR kernels: the k-core's node set is
+    exactly ``{v : core(v) >= k}`` and components are discovered in the
+    same first-seen node order as the dict path, so results stay
+    bit-identical without ever touching the dict adjacency (which an
+    attached shared snapshot materialises only on demand).
     """
     if isinstance(graph, FrozenGraph):
         return graph.shared_cache().memo(
-            ("kcore-structure", k), lambda: _compute_kcore_structure(graph, k)
+            ("kcore-structure", k), lambda: _frozen_kcore_structure(graph, k)
         )
     return _compute_kcore_structure(graph, k)
 
@@ -50,10 +57,38 @@ def _compute_kcore_structure(graph: Graph, k: int) -> tuple[list[set[Node]], dic
     return components, member_of
 
 
+def _frozen_kcore_structure(
+    graph: FrozenGraph, k: int
+) -> tuple[list[set[Node]], dict[Node, int]]:
+    """CSR twin of :func:`_compute_kcore_structure` (same output, no dicts)."""
+    if k < 0:  # mirror k_core_subgraph's validation on the dict path
+        raise GraphError(f"k must be non-negative, got {k}")
+    csr = graph.csr
+    core = _frozen_core_list(graph)
+    alive = bytearray(1 if c >= k else 0 for c in core)
+    node_list = csr.node_list
+    components = [
+        {node_list[i] for i in component}
+        for component in csr_connected_components(csr, alive=alive)
+    ]
+    member_of = {node: index for index, component in enumerate(components) for node in component}
+    return components, member_of
+
+
+def _frozen_core_list(graph: FrozenGraph) -> list[int]:
+    """The positional core numbers of a frozen snapshot, memoised once."""
+    return graph.shared_cache().memo(
+        ("csr-core-numbers",), lambda: csr_core_numbers(graph.csr)
+    )
+
+
 def _graph_core_numbers(graph: Graph) -> dict[Node, int]:
     """Return (and memoise, when frozen) the core number of every node."""
     if isinstance(graph, FrozenGraph):
-        return graph.shared_cache().memo(("core-numbers",), lambda: core_numbers(graph))
+        return graph.shared_cache().memo(
+            ("core-numbers",),
+            lambda: dict(zip(graph.csr.node_list, _frozen_core_list(graph))),
+        )
     return core_numbers(graph)
 
 

@@ -120,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         "overrides, e.g. --replicas 2 dblp=4",
     )
     serve.add_argument(
+        "--snapshot",
+        choices=["shared", "private"],
+        default="shared",
+        help="how process/pool workers get the frozen snapshot: 'shared' "
+        "(default) exports it once into named shared memory and workers "
+        "attach zero-copy, falling back to 'private' where shared memory "
+        "is unavailable; 'private' ships each worker its own copy",
+    )
+    serve.add_argument(
         "--max-queue",
         type=int,
         default=0,
@@ -317,6 +326,7 @@ def _command_serve(args) -> int:
         replicas=replicas,
         replica_overrides=replica_overrides,
         routing=args.routing,
+        snapshot=args.snapshot,
     )
     if args.join is None:
         return run_server(engine, args.host, args.port)

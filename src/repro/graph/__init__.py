@@ -45,6 +45,15 @@ from .generators import (
     stochastic_block_model,
 )
 from .graph import Edge, Graph, GraphError, Node
+from .shm import (
+    AttachedFrozenGraph,
+    SharedSnapshot,
+    SnapshotDescriptor,
+    attach_frozen,
+    live_segment_names,
+    share_frozen,
+    shared_memory_available,
+)
 from .io import (
     from_networkx,
     parse_edge_list,
@@ -98,6 +107,14 @@ __all__ = [
     "csr_k_truss_edges",
     "csr_stoer_wagner",
     "csr_k_edge_connected_components",
+    # zero-copy shared snapshots
+    "AttachedFrozenGraph",
+    "SharedSnapshot",
+    "SnapshotDescriptor",
+    "share_frozen",
+    "attach_frozen",
+    "shared_memory_available",
+    "live_segment_names",
     # components
     "connected_components",
     "connected_component_containing",

@@ -63,6 +63,7 @@ class CSRGraph:
         "num_edges",
         "total_weight",
         "_adj_lists",
+        "_np_cache",
     )
 
     def __init__(
@@ -85,6 +86,7 @@ class CSRGraph:
         self.num_edges = num_edges
         self.total_weight = total_weight
         self._adj_lists: Optional[list[list[int]]] = None
+        self._np_cache = None  # numpy views of indptr/indices (vec_kernels)
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -176,12 +178,15 @@ class CSRGraph:
         """Pickle only the canonical arrays; caches are rebuilt on demand.
 
         Keeps the payload minimal when the batched runner ships a frozen
-        graph to ``concurrent.futures`` process workers.
+        graph to ``concurrent.futures`` process workers.  A CSR whose
+        buffers are shared-memory views (see :mod:`repro.graph.shm`)
+        pickles as plain private arrays — the zero-copy re-attach path is
+        :meth:`AttachedFrozenGraph.__reduce__`, not this one.
         """
         return (
-            self.indptr,
-            self.indices,
-            self.weights,
+            self.indptr if isinstance(self.indptr, array) else array("l", self.indptr),
+            self.indices if isinstance(self.indices, array) else array("l", self.indices),
+            self.weights if isinstance(self.weights, array) else array("d", self.weights),
             self.node_list,
             self.num_edges,
             self.total_weight,
@@ -354,6 +359,31 @@ class FrozenGraph(Graph):
         """Already frozen; return self."""
         return self
 
+    # -- zero-copy sharing (see repro.graph.shm) -----------------------
+    def share(self):
+        """Export the CSR arrays into a named shared-memory segment.
+
+        Returns the owner-side :class:`~repro.graph.shm.SharedSnapshot`;
+        its ``descriptor`` is the small picklable value worker processes
+        hand to :meth:`attach`.  The owner must eventually ``unlink()``
+        the returned handle (or use it as a context manager).
+        """
+        from .shm import share_frozen
+
+        return share_frozen(self)
+
+    @staticmethod
+    def attach(descriptor):
+        """Map a shared snapshot by descriptor (zero-copy, read-only).
+
+        The returned :class:`~repro.graph.shm.AttachedFrozenGraph` is a
+        drop-in frozen graph whose arrays alias the owner's segment.
+        Raises :class:`GraphError` when the segment no longer exists.
+        """
+        from .shm import attach_frozen
+
+        return attach_frozen(descriptor)
+
     def thaw(self) -> Graph:
         """Return a mutable :class:`Graph` copy."""
         clone = Graph()
@@ -403,7 +433,15 @@ def csr_multi_source_bfs(
     Returns ``(dist, order)`` where ``dist[i]`` is the minimum hop distance
     from any source (``-1`` if unreachable / dead) and ``order`` lists the
     reached indices in discovery order (sources first, in the given order).
+
+    When the optional numpy tier is installed and enabled (see
+    :mod:`repro.graph.vec_kernels`) the frontier expansion is vectorised;
+    the returned lists — including the discovery order — are identical.
     """
+    from . import vec_kernels
+
+    if vec_kernels.vec_enabled():
+        return vec_kernels.vec_multi_source_bfs(csr, sources, alive)
     if not sources:
         raise GraphError("csr_multi_source_bfs needs at least one source")
     n = csr.number_of_nodes()

@@ -51,7 +51,7 @@ class CSREdgeIndex:
     any sorting.
     """
 
-    __slots__ = ("num_edges", "eu", "ev", "edge_id", "edge_of", "incident")
+    __slots__ = ("num_edges", "eu", "ev", "edge_id", "edge_of", "incident", "_vec_cache")
 
     def __init__(self, csr: CSRGraph) -> None:
         indptr = csr.indptr
@@ -90,6 +90,7 @@ class CSREdgeIndex:
         self.edge_id = edge_id
         self.edge_of = edge_of
         self.incident = incident
+        self._vec_cache = None  # numpy edge tables (vec_kernels)
 
 
 def csr_edge_index(csr: CSRGraph) -> CSREdgeIndex:
@@ -123,9 +124,17 @@ def csr_edge_support(
     edge's endpoints (rank = (degree, index), the standard orientation that
     makes the sweep near-linear on sparse graphs); each triangle found this
     way is credited to all three of its edges.
+
+    Support values are order-free triangle counts, so when the optional
+    numpy tier is enabled the count comes from the vectorised kernel —
+    the returned list is identical either way.
     """
     if index is None:
         index = csr_edge_index(csr)
+    from . import vec_kernels
+
+    if vec_kernels.vec_enabled():
+        return vec_kernels.vec_edge_support(csr, index, alive)
     n = csr.number_of_nodes()
     m = index.num_edges
     adj = csr.adjacency_lists()
@@ -203,9 +212,17 @@ def csr_truss_numbers(
     surviving adjacency is scanned in CSR (= insertion) order and, for each
     common neighbour ``w``, the ``(u, w)`` edge is decremented before
     ``(v, w)``.
+
+    Truss numbers are order-independent, so when the optional numpy tier
+    is enabled the values come from the level-synchronous vectorised peel
+    — the returned list is identical either way.
     """
     if index is None:
         index = csr_edge_index(csr)
+    from . import vec_kernels
+
+    if vec_kernels.vec_enabled():
+        return vec_kernels.vec_truss_numbers(csr, index, alive)
     m = index.num_edges
     truss = [-1] * m
     if m == 0:

@@ -1,0 +1,546 @@
+"""Zero-copy shared-memory export of frozen CSR snapshots.
+
+A :class:`~repro.graph.csr.FrozenGraph` already stores its hot state as
+flat ``array`` primitives (``indptr`` / ``indices`` / ``weights``), so the
+step from "each worker process pickles and rebuilds its own copy" to "one
+host-side segment every worker maps read-only" is a layout move, not an
+algorithm change.  This module owns that move:
+
+* :func:`share_frozen` copies a snapshot's CSR arrays into **one** named
+  ``multiprocessing.shared_memory`` segment and returns a
+  :class:`SharedSnapshot` — the owner-side handle with the explicit
+  ``close()`` / ``unlink()`` lifecycle and a registry
+  (:func:`live_segment_names`) tests use to assert nothing leaked;
+* :class:`SnapshotDescriptor` is the small picklable value the owner hands
+  to workers (segment name + per-region typecodes/offsets/counts);
+* :func:`attach_frozen` maps the segment in a worker and wraps it in an
+  :class:`AttachedFrozenGraph` — a :class:`FrozenGraph` whose CSR arrays
+  are **read-only memoryviews into the shared buffer** (zero copies) and
+  whose dict-of-dicts adjacency is only materialised if some cold dict
+  path explicitly asks for it.
+
+Parity discipline: the attached CSR holds byte-for-byte the same arrays
+as the owner's, so every kernel result (orders, tie-breaks, floats) is
+identical whether a replica froze privately or attached.
+
+Lifecycle rules:
+
+* the **owner** (the serving host that called :func:`share_frozen`) is the
+  only party allowed to ``unlink()``; it stays registered with the
+  ``resource_tracker`` so a crashed owner still gets its segments reaped
+  at tracker shutdown;
+* **attachers** never unlink.  On Pythons without the ``track=False``
+  attach parameter (< 3.13) the segment is explicitly unregistered from
+  the attacher's resource tracker right after mapping, otherwise the
+  tracker would tear the owner's segment down when the worker family
+  exits (the classic bpo-38119 footgun);
+* both ``close()`` and ``unlink()`` are idempotent, and unlinking a
+  segment that is already gone is not an error — double teardown in
+  crash-recovery paths must stay safe.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import threading
+from array import array
+from collections.abc import Iterator, Mapping
+from typing import Optional
+
+from .csr import CSRGraph, FrozenGraph
+from .graph import Edge, GraphError, Node
+
+__all__ = [
+    "SnapshotDescriptor",
+    "SharedSnapshot",
+    "AttachedFrozenGraph",
+    "share_frozen",
+    "attach_frozen",
+    "shared_memory_available",
+    "live_segment_names",
+    "SEGMENT_PREFIX",
+]
+
+#: every segment this module creates is named ``<prefix><pid>_<counter>`` —
+#: a recognisable prefix is what lets the benchmarks (and CI) scan for
+#: orphans after a server shuts down.
+SEGMENT_PREFIX = "repro_snap_"
+
+_ALIGN = 8  # keep every region 8-byte aligned regardless of platform itemsizes
+
+_counter_lock = threading.Lock()
+_counter = 0
+
+#: owner-side registry: segment name → SharedSnapshot, for leak assertions.
+_live: dict[str, "SharedSnapshot"] = {}
+_live_lock = threading.Lock()
+
+
+def shared_memory_available() -> bool:
+    """Return ``True`` when named shared-memory segments work here."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of segments created by this process and not yet unlinked."""
+    with _live_lock:
+        return tuple(sorted(_live))
+
+
+def _next_segment_name() -> str:
+    global _counter
+    with _counter_lock:
+        _counter += 1
+        return f"{SEGMENT_PREFIX}{os.getpid()}_{_counter}"
+
+
+class SnapshotDescriptor:
+    """The picklable recipe for re-attaching one shared snapshot.
+
+    ``regions`` maps each CSR field to ``(typecode, offset, count)`` inside
+    the single segment; the pickled tail at ``payload_offset`` carries the
+    node list and scalar totals (node objects are arbitrary hashables, so
+    they travel as a pickle, not as a flat region).
+    """
+
+    __slots__ = ("segment", "regions", "payload_offset", "payload_length")
+
+    def __init__(
+        self,
+        segment: str,
+        regions: dict[str, tuple[str, int, int]],
+        payload_offset: int,
+        payload_length: int,
+    ) -> None:
+        self.segment = segment
+        self.regions = dict(regions)
+        self.payload_offset = payload_offset
+        self.payload_length = payload_length
+
+    def __getstate__(self):
+        return (self.segment, self.regions, self.payload_offset, self.payload_length)
+
+    def __setstate__(self, state) -> None:
+        self.segment, self.regions, self.payload_offset, self.payload_length = state
+
+    def __repr__(self) -> str:
+        return f"SnapshotDescriptor(segment={self.segment!r}, regions={sorted(self.regions)})"
+
+
+class SharedSnapshot:
+    """Owner-side handle of one exported snapshot.
+
+    The owner keeps this for the lifetime of the serving shard and calls
+    :meth:`unlink` (or uses the context manager) when the last attacher is
+    gone.  ``close()`` only drops this process's mapping; ``unlink()``
+    removes the name from the system so the memory is reclaimed once every
+    mapping closes.
+    """
+
+    def __init__(self, shm, descriptor: SnapshotDescriptor) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.segment
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # a view of the buffer is still alive somewhere
+            self._closed = False
+            raise
+
+    def unlink(self) -> None:
+        """Remove the segment name from the system (idempotent).
+
+        Safe to call twice, and safe when the segment is already gone —
+        teardown paths that race a crash handler must not explode.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with _live_lock:
+            _live.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:
+        state = "unlinked" if self._unlinked else ("closed" if self._closed else "live")
+        return f"SharedSnapshot({self.name!r}, {state})"
+
+
+def _region_bytes(values: array) -> bytes:
+    return values.tobytes()
+
+
+def _pad(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def share_frozen(frozen: FrozenGraph) -> SharedSnapshot:
+    """Export ``frozen``'s CSR arrays into one named shared segment.
+
+    The frozen graph itself is untouched — the owner keeps serving from
+    its private arrays; the returned handle's :attr:`descriptor` is what
+    workers feed to :func:`attach_frozen`.
+    """
+    from multiprocessing import shared_memory
+
+    csr = frozen.csr
+    fields: dict[str, array] = {
+        "indptr": _as_array("l", csr.indptr),
+        "indices": _as_array("l", csr.indices),
+        "weights": _as_array("d", csr.weights),
+    }
+    payload = pickle.dumps(
+        (csr.node_list, csr.num_edges, csr.total_weight),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+    regions: dict[str, tuple[str, int, int]] = {}
+    offset = 0
+    blobs: list[tuple[int, bytes]] = []
+    for field, values in fields.items():
+        blob = _region_bytes(values)
+        regions[field] = (values.typecode, offset, len(values))
+        blobs.append((offset, blob))
+        offset = _pad(offset + len(blob))
+    payload_offset = offset
+    blobs.append((offset, payload))
+    total = offset + len(payload)
+
+    shm = None
+    while shm is None:
+        name = _next_segment_name()
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+        except FileExistsError:  # stale name from a recycled pid; try the next
+            continue
+    for start, blob in blobs:
+        shm.buf[start : start + len(blob)] = blob
+
+    descriptor = SnapshotDescriptor(shm.name, regions, payload_offset, len(payload))
+    snapshot = SharedSnapshot(shm, descriptor)
+    with _live_lock:
+        _live[shm.name] = snapshot
+    return snapshot
+
+
+def _as_array(typecode: str, values) -> array:
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    return array(typecode, values)
+
+
+#: serialises the register-suppression window in :func:`_open_segment`
+_attach_lock = threading.Lock()
+
+
+def _open_segment(name: str):
+    """Attach to ``name`` without adopting cleanup responsibility."""
+    from multiprocessing import shared_memory
+
+    try:
+        try:
+            return shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track parameter
+            return _open_untracked(shared_memory, name)
+    except FileNotFoundError:
+        raise GraphError(
+            f"shared snapshot segment {name!r} is gone "
+            "(the owner unlinked it or crashed); refreeze or re-share"
+        ) from None
+
+
+def _open_untracked(shared_memory, name: str):
+    """Attach without registering with the resource tracker (pre-3.13).
+
+    ``SharedMemory.__init__`` registers plain attaches too (bpo-38119).
+    Unregistering *after* the fact is wrong when attacher and owner share
+    one tracker process (spawned workers inherit the parent's): the
+    unregister message would erase the owner's crash-safety registration
+    and make the owner's eventual ``unlink`` log a tracker KeyError.  So
+    the registration is suppressed for the duration of the attach instead
+    — attachers never own cleanup, the owner's entry stays intact.
+    """
+    if sys.platform == "win32":  # Windows has no resource tracker for shm
+        return shared_memory.SharedMemory(name=name)
+    from multiprocessing import resource_tracker
+
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_frozen(descriptor: SnapshotDescriptor) -> "AttachedFrozenGraph":
+    """Map a shared snapshot read-only and wrap it as a frozen graph.
+
+    Raises :class:`GraphError` when the segment no longer exists (owner
+    crashed or already unlinked) — callers treat that like any other
+    failed snapshot load and fall back to a private freeze.
+    """
+    shm = _open_segment(descriptor.segment)
+    try:
+        views: dict[str, memoryview] = {}
+        for field, (typecode, offset, count) in descriptor.regions.items():
+            nbytes = count * array(typecode).itemsize
+            views[field] = shm.buf[offset : offset + nbytes].cast(typecode).toreadonly()
+        start = descriptor.payload_offset
+        payload = bytes(shm.buf[start : start + descriptor.payload_length])
+        node_list, num_edges, total_weight = pickle.loads(payload)
+    except BaseException:
+        for view in list(locals().get("views", {}).values()):
+            view.release()
+        shm.close()
+        raise
+    csr = CSRGraph(
+        indptr=views["indptr"],
+        indices=views["indices"],
+        weights=views["weights"],
+        node_list=node_list,
+        num_edges=num_edges,
+        total_weight=total_weight,
+    )
+    return AttachedFrozenGraph(shm, descriptor, csr, views)
+
+
+class AttachedFrozenGraph(FrozenGraph):
+    """A frozen graph whose CSR arrays live in someone else's segment.
+
+    Behaves exactly like a privately frozen :class:`FrozenGraph` — same
+    kernels, same orders, same results — but the three flat arrays are
+    read-only views into the shared buffer, so N attached replicas hold
+    one copy of the edge structure between them.  The dict-of-dicts
+    adjacency the base :class:`~repro.graph.graph.Graph` stores is *not*
+    built at attach time: the common read surface is overridden to route
+    through the CSR, and only a cold dict-only code path (``thaw()``,
+    ``subgraph()`` of a non-frozen consumer, ...) pays for materialising
+    ``_adj`` lazily — in private process memory, never in the segment.
+
+    Pickling an attached graph re-attaches by descriptor on the other
+    side (zero-copy there too); it never serialises the arrays.
+    """
+
+    __slots__ = ("_shm", "_descriptor", "_views", "_adj_dict", "_detached")
+
+    def __init__(self, shm, descriptor, csr: CSRGraph, views: dict) -> None:
+        # deliberately skip Graph.__init__: _adj is a property here
+        self._shm = shm
+        self._descriptor = descriptor
+        self._views = views
+        self._adj_dict: Optional[dict] = None
+        self._detached = False
+        self._csr = csr
+        self._cache = None
+        self._num_edges = csr.num_edges
+        self._total_weight = csr.total_weight
+
+    # -- identity / lifecycle ---------------------------------------------
+    @property
+    def descriptor(self) -> SnapshotDescriptor:
+        """The descriptor this graph attached with (picklable)."""
+        return self._descriptor
+
+    def detach(self) -> None:
+        """Release the shared views and drop this process's mapping.
+
+        After ``detach()`` the graph must not be used; worker processes
+        call it on shutdown so the segment's refcount falls without the
+        owner having to wait on process exit.  Idempotent.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        if self._csr is not None:
+            # the numpy tier caches frombuffer views of indptr/indices on the
+            # CSR; they alias the segment and would keep buffer exports alive
+            # past close(), so drop them before releasing the memoryviews
+            self._csr._np_cache = None
+        for view in self._views.values():
+            view.release()
+        self._views = {}
+        self._csr = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # some caller still holds a neighbour slice; process exit will
+            # drop the mapping — never fail a clean shutdown over it
+            pass
+
+    def __reduce__(self):
+        return (attach_frozen, (self._descriptor,))
+
+    def __del__(self):
+        # release the buffer views *before* SharedMemory.__del__ runs, or
+        # a garbage-collected attached graph spews BufferError noise
+        try:
+            self.detach()
+        except Exception:  # noqa: BLE001 - never raise from a finalizer
+            pass
+
+    # -- the lazily materialised dict fallback ----------------------------
+    @property
+    def _adj(self) -> dict:
+        adj = self._adj_dict
+        if adj is None:
+            csr = self._require_csr()
+            indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+            node_list = csr.node_list
+            adj = {}
+            for i, node in enumerate(node_list):
+                row: dict[Node, float] = {}
+                for pos in range(indptr[i], indptr[i + 1]):
+                    row[node_list[indices[pos]]] = weights[pos]
+                adj[node] = row
+            self._adj_dict = adj
+        return adj
+
+    def _require_csr(self) -> CSRGraph:
+        if self._csr is None:
+            raise GraphError("attached snapshot was detached; re-attach before use")
+        return self._csr
+
+    @property
+    def csr(self) -> CSRGraph:
+        return self._require_csr()
+
+    # -- CSR-routed read surface (no dict materialisation) ----------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._require_csr().index_of
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._require_csr().index_of
+
+    def number_of_nodes(self) -> int:
+        return len(self._require_csr().node_list)
+
+    def __len__(self) -> int:
+        return len(self._require_csr().node_list)
+
+    def is_empty(self) -> bool:
+        return not self._require_csr().node_list
+
+    def nodes(self) -> list[Node]:
+        return list(self._require_csr().node_list)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        return iter(self._require_csr().node_list)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._require_csr().node_list)
+
+    def degree(self, node: Node) -> int:
+        csr = self._require_csr()
+        index = self._index(csr, node)
+        return csr.indptr[index + 1] - csr.indptr[index]
+
+    def weighted_degree(self, node: Node) -> float:
+        csr = self._require_csr()
+        index = self._index(csr, node)
+        weights = csr.weights
+        return sum(weights[pos] for pos in range(csr.indptr[index], csr.indptr[index + 1]))
+
+    def neighbors(self, node: Node) -> list[Node]:
+        csr = self._require_csr()
+        index = self._index(csr, node)
+        node_list = csr.node_list
+        return [node_list[j] for j in csr.neighbors(index)]
+
+    def adjacency(self, node: Node) -> Mapping[Node, float]:
+        adj = self._adj_dict
+        if adj is not None:
+            if node not in adj:
+                raise GraphError(f"node {node!r} is not in the graph")
+            return adj[node]
+        csr = self._require_csr()
+        index = self._index(csr, node)
+        node_list = csr.node_list
+        indices, weights = csr.indices, csr.weights
+        return {
+            node_list[indices[pos]]: weights[pos]
+            for pos in range(csr.indptr[index], csr.indptr[index + 1])
+        }
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        csr = self._require_csr()
+        index_of = csr.index_of
+        if u not in index_of or v not in index_of:
+            return False
+        return index_of[v] in set(csr.neighbors(index_of[u]))
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        csr = self._require_csr()
+        index_of = csr.index_of
+        if u in index_of and v in index_of:
+            j = index_of[v]
+            indices, weights = csr.indices, csr.weights
+            for pos in range(csr.indptr[index_of[u]], csr.indptr[index_of[u] + 1]):
+                if indices[pos] == j:
+                    return weights[pos]
+        raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+
+    def degree_map(self) -> dict[Node, int]:
+        csr = self._require_csr()
+        indptr = csr.indptr
+        return {
+            node: indptr[i + 1] - indptr[i] for i, node in enumerate(csr.node_list)
+        }
+
+    def edges(self) -> list[Edge]:
+        return [(u, v) for u, v, _ in self.iter_edges()]
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node, float]]:
+        # same "each edge once, first orientation wins" order the dict
+        # backend produces: rows in node order, skipping already-seen rows
+        csr = self._require_csr()
+        node_list = csr.node_list
+        indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+        seen = bytearray(len(node_list))
+        for i, node in enumerate(node_list):
+            for pos in range(indptr[i], indptr[i + 1]):
+                j = indices[pos]
+                if not seen[j]:
+                    yield (node, node_list[j], weights[pos])
+            seen[i] = 1
+
+    @staticmethod
+    def _index(csr: CSRGraph, node: Node) -> int:
+        try:
+            return csr.index_of[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} is not in the graph") from None
+
+    def __repr__(self) -> str:
+        if self._detached:
+            return "AttachedFrozenGraph(detached)"
+        return (
+            f"AttachedFrozenGraph(|V|={self.number_of_nodes()}, "
+            f"|E|={self.number_of_edges()}, segment={self._descriptor.segment!r})"
+        )

@@ -1,0 +1,449 @@
+"""Optional numpy-vectorised tier of the CSR kernels.
+
+The pure-python CSR kernels (:mod:`repro.graph.csr`,
+:mod:`repro.graph.csr_truss`) pay a Python-level loop iteration per edge
+touch.  This module provides vectorised twins for the three kernels that
+dominate serving traffic — multi-source BFS, edge-support counting and
+truss peeling — as an *optional* tier:
+
+* numpy is an extra (``pip install -e ".[vec]"``), never a hard
+  dependency: without it every entry point below reports unavailable and
+  the dispatch sites in ``csr.py`` / ``csr_truss.py`` keep running the
+  pure-python kernels;
+* ``REPRO_VEC=0`` in the environment is the kill switch (and
+  ``REPRO_VEC=1`` the explicit opt-in; by default the tier is on exactly
+  when numpy imports), :func:`set_vec_enabled` the programmatic override
+  tests use to compare both tiers;
+* every kernel is **bit-identical** to its CSR reference: the BFS
+  preserves exact discovery order (np.unique's first-occurrence indices,
+  re-sorted, reproduce the sequential frontier order), and support /
+  truss values are order-independent graph invariants, so the
+  level-synchronous peel returns exactly what the sequential bucket
+  queue returns.
+
+The kernels read the CSR's ``indptr`` / ``indices`` buffers through
+``np.frombuffer`` — zero-copy whether the buffers are private ``array``
+objects or read-only shared-memory views (:mod:`repro.graph.shm`), which
+is what makes this tier compose with attached snapshots: N worker
+processes BFS over literally the same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .graph import GraphError
+
+__all__ = [
+    "numpy_available",
+    "vec_enabled",
+    "set_vec_enabled",
+    "vec_multi_source_bfs",
+    "vec_edge_support",
+    "vec_truss_numbers",
+]
+
+_numpy = None
+_numpy_missing = False
+
+#: programmatic override: None = decide from env + availability
+_override: Optional[bool] = None
+
+
+def _np():
+    """Import numpy lazily; remember a failure so we probe only once."""
+    global _numpy, _numpy_missing
+    if _numpy is None and not _numpy_missing:
+        try:
+            import numpy
+        except ImportError:
+            _numpy_missing = True
+        else:
+            _numpy = numpy
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """Return ``True`` when the optional numpy extra is importable."""
+    return _np() is not None
+
+
+def vec_enabled() -> bool:
+    """Should the dispatch sites route to the vectorised tier?
+
+    Priority: :func:`set_vec_enabled` override, then the ``REPRO_VEC``
+    environment switch (``0``/``false``/``off`` disables, anything else
+    enables *if numpy imports*), then plain availability.
+    """
+    if _override is not None:
+        return _override and numpy_available()
+    env = os.environ.get("REPRO_VEC")
+    if env is not None and env.strip().lower() in ("0", "false", "off", "no"):
+        return False
+    return numpy_available()
+
+
+def set_vec_enabled(value: Optional[bool]) -> None:
+    """Force the tier on/off (tests); ``None`` restores auto-detection."""
+    global _override
+    _override = value
+
+
+# ----------------------------------------------------------------------------
+# zero-copy views of the CSR buffers
+# ----------------------------------------------------------------------------
+
+
+def _int_dtype(np, buf):
+    return np.dtype(f"i{buf.itemsize}")
+
+
+def _csr_arrays(csr):
+    """``(indptr, indices)`` as int64-ish numpy views, cached on the CSR."""
+    cached = csr._np_cache
+    if cached is None:
+        np = _np()
+        indptr = np.frombuffer(csr.indptr, dtype=_int_dtype(np, csr.indptr))
+        indices = np.frombuffer(csr.indices, dtype=_int_dtype(np, csr.indices))
+        cached = (indptr, indices)
+        csr._np_cache = cached
+    return cached
+
+
+def _alive_mask(np, alive, n):
+    if alive is None:
+        return None
+    return np.frombuffer(alive, dtype=np.uint8).astype(bool)
+
+
+# ----------------------------------------------------------------------------
+# multi-source BFS
+# ----------------------------------------------------------------------------
+
+
+def vec_multi_source_bfs(csr, sources, alive=None):
+    """Vectorised twin of :func:`repro.graph.csr.csr_multi_source_bfs`.
+
+    Returns the same ``(dist, order)`` lists, including the exact
+    discovery order: within a level, candidates are gathered in frontier
+    × adjacency order and deduplicated to their first occurrence, which
+    is precisely the order the sequential FIFO queue discovers them in.
+    """
+    np = _np()
+    if not sources:
+        raise GraphError("csr_multi_source_bfs needs at least one source")
+    n = csr.number_of_nodes()
+    indptr, indices = _csr_arrays(csr)
+    alive_np = _alive_mask(np, alive, n)
+
+    dist = np.full(n, -1, dtype=np.int64)
+    seeds = []
+    for source in sources:
+        if alive is not None and not alive[source]:
+            raise GraphError(f"source node {csr.node_list[source]!r} is not alive")
+        if dist[source] == -1:
+            dist[source] = 0
+            seeds.append(source)
+    frontier = np.asarray(seeds, dtype=np.int64)
+    order_parts = [frontier]
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            break
+        # gather every frontier row, in frontier-then-adjacency order
+        ends = counts.cumsum()
+        positions = np.repeat(starts - (ends - counts), counts) + np.arange(total)
+        candidates = indices[positions]
+        fresh = dist[candidates] == -1
+        if alive_np is not None:
+            fresh &= alive_np[candidates]
+        candidates = candidates[fresh]
+        if not candidates.size:
+            break
+        # first-occurrence dedupe that preserves candidate order: unique()
+        # returns the first index of each value (values sorted); re-sorting
+        # those indices restores the sequential discovery order
+        _, first = np.unique(candidates, return_index=True)
+        frontier = candidates[np.sort(first)]
+        dist[frontier] = level
+        order_parts.append(frontier)
+    order = np.concatenate(order_parts) if len(order_parts) > 1 else order_parts[0]
+    return dist.tolist(), order.tolist()
+
+
+# ----------------------------------------------------------------------------
+# edge support (triangle counts)
+# ----------------------------------------------------------------------------
+
+
+def _vec_cache(index):
+    """The per-edge-index cache dict for the numpy structures below."""
+    cache = index._vec_cache
+    if cache is None:
+        cache = index._vec_cache = {}
+    return cache
+
+
+def _edge_data(np, csr, index):
+    """Per-(csr, index) numpy edge structures, cached on the edge index.
+
+    ``eu`` / ``ev`` as arrays, plus a sorted undirected-edge-key table
+    (``min * n + max``) for O(log m) vectorised edge-id lookups.
+    """
+    cache = _vec_cache(index)
+    cached = cache.get("edges")
+    if cached is None:
+        n = csr.number_of_nodes()
+        eu = np.frombuffer(index.eu, dtype=_int_dtype(np, index.eu))
+        ev = np.frombuffer(index.ev, dtype=_int_dtype(np, index.ev))
+        keys = np.minimum(eu, ev) * n + np.maximum(eu, ev)
+        key_order = np.argsort(keys, kind="stable")
+        cached = (eu, ev, keys[key_order], key_order.astype(np.int64))
+        cache["edges"] = cached
+    return cached
+
+
+#: pair-generation chunk bound — caps transient memory of the triangle sweep
+_TRIANGLE_CHUNK = 1 << 22
+
+
+def _triangle_data(np, csr, index):
+    """Every triangle of the *full* graph as three edge-id columns.
+
+    Built once per edge index with the same (degree, index)-rank
+    orientation the python kernel uses: each node lists only its
+    higher-ranked neighbours, each triangle is generated exactly once at
+    its lowest-ranked corner, and the third side is resolved through the
+    sorted edge-key table.  Alive masks are applied by the callers as a
+    filter over the cached list (a triangle survives iff all three edges
+    do), so the sweep never reruns per query.
+    """
+    cache = _vec_cache(index)
+    cached = cache.get("triangles")
+    if cached is not None:
+        return cached
+    n = csr.number_of_nodes()
+    indptr, indices = _csr_arrays(csr)
+    _, _, sorted_keys, ids_by_key = _edge_data(np, csr, index)
+    deg = (indptr[1:] - indptr[:-1]).astype(np.int64)
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.lexsort((np.arange(n), deg))] = np.arange(n)
+    edge_id = np.frombuffer(index.edge_id, dtype=_int_dtype(np, index.edge_id))
+    # forward adjacency: keep only the higher-ranked endpoint of every
+    # directed position, grouped by source and sorted by neighbour rank
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    keep = rank[indices] > rank[src]
+    fw_src = src[keep]
+    fw_dst = indices[keep].astype(np.int64)
+    fw_eid = edge_id[keep].astype(np.int64)
+    order = np.lexsort((rank[fw_dst], fw_src))
+    fw_src = fw_src[order]
+    fw_dst = fw_dst[order]
+    fw_eid = fw_eid[order]
+    row_len = np.bincount(fw_src, minlength=n)
+    row_start = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        np.cumsum(row_len[:-1], out=row_start[1:])
+    p = np.arange(fw_src.size, dtype=np.int64)
+    # entry at local offset i of a length-f row pairs with its f-1-i successors
+    k = row_len[fw_src] - 1 - (p - row_start[fw_src])
+    cum = k.cumsum()
+    total = int(cum[-1]) if k.size else 0
+    parts_uv, parts_uw, parts_vw = [], [], []
+    start_entry = 0
+    done = 0
+    while done < total:
+        stop_entry = int(np.searchsorted(cum, done + _TRIANGLE_CHUNK, side="right"))
+        stop_entry = max(stop_entry, start_entry + 1)
+        k_c = k[start_entry:stop_entry]
+        tot_c = int(k_c.sum())
+        if tot_c:
+            ends_c = k_c.cumsum()
+            within = np.arange(tot_c, dtype=np.int64) - np.repeat(ends_c - k_c, k_c)
+            left = np.repeat(p[start_entry:stop_entry], k_c)
+            right = left + 1 + within
+            v = fw_dst[left]
+            w = fw_dst[right]
+            keys = np.minimum(v, w) * n + np.maximum(v, w)
+            vw_ids, found = _lookup_edges(np, sorted_keys, ids_by_key, keys)
+            parts_uv.append(fw_eid[left][found])
+            parts_uw.append(fw_eid[right][found])
+            parts_vw.append(vw_ids[found])
+        start_entry = stop_entry
+        done += tot_c
+    if parts_uv:
+        cached = (
+            np.concatenate(parts_uv),
+            np.concatenate(parts_uw),
+            np.concatenate(parts_vw),
+        )
+    else:
+        empty = np.empty(0, dtype=np.int64)
+        cached = (empty, empty, empty)
+    cache["triangles"] = cached
+    return cached
+
+
+def _incidence_data(np, csr, index):
+    """Edge-id → triangle-id incidence as a CSR, cached on the edge index."""
+    cache = _vec_cache(index)
+    cached = cache.get("incidence")
+    if cached is None:
+        t_uv, t_uw, t_vw = _triangle_data(np, csr, index)
+        m = index.num_edges
+        edge_col = np.concatenate((t_uv, t_uw, t_vw))
+        tri_col = np.tile(np.arange(t_uv.size, dtype=np.int64), 3)
+        inc_tri = tri_col[np.argsort(edge_col, kind="stable")]
+        inc_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(edge_col, minlength=m), out=inc_ptr[1:])
+        cached = (inc_ptr, inc_tri)
+        cache["incidence"] = cached
+    return cached
+
+
+def _lookup_edges(np, sorted_keys, ids_by_key, keys):
+    """Map undirected edge keys to edge ids (-1 when the edge is absent)."""
+    slots = np.searchsorted(sorted_keys, keys)
+    slots_clipped = np.minimum(slots, len(sorted_keys) - 1) if len(sorted_keys) else slots
+    found = (
+        (slots < len(sorted_keys)) & (sorted_keys[slots_clipped] == keys)
+        if len(sorted_keys)
+        else np.zeros(len(keys), dtype=bool)
+    )
+    ids = np.where(found, ids_by_key[slots_clipped], -1)
+    return ids, found
+
+
+def _expand_rows(np, indptr, nodes):
+    """Concatenate the adjacency rows of ``nodes``; returns (owner, position)."""
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = counts.cumsum()
+    positions = np.repeat(starts - (ends - counts), counts) + np.arange(total)
+    owners = np.repeat(np.arange(len(nodes)), counts)
+    return owners, positions
+
+
+def vec_edge_support(csr, index, alive=None):
+    """Vectorised twin of :func:`repro.graph.csr_truss.csr_edge_support`.
+
+    Support values are triangle counts of the alive-induced subgraph — an
+    order-free invariant — so this is a bincount over the cached triangle
+    list (:func:`_triangle_data`): a triangle survives an alive mask iff
+    all three of its edges do.  Edges with a dead endpoint get ``-1``,
+    exactly like the reference.
+    """
+    np = _np()
+    m = index.num_edges
+    if m == 0:
+        return []
+    n = csr.number_of_nodes()
+    t_uv, t_uw, t_vw = _triangle_data(np, csr, index)
+    alive_np = _alive_mask(np, alive, n)
+    if alive_np is None:
+        support = np.bincount(np.concatenate((t_uv, t_uw, t_vw)), minlength=m)
+    else:
+        eu, ev, _, _ = _edge_data(np, csr, index)
+        edge_alive = alive_np[eu] & alive_np[ev]
+        # a triangle's three edges are alive iff its three nodes are
+        tri_ok = edge_alive[t_uv] & edge_alive[t_uw] & edge_alive[t_vw]
+        support = np.bincount(
+            np.concatenate((t_uv[tri_ok], t_uw[tri_ok], t_vw[tri_ok])), minlength=m
+        )
+        support[~edge_alive] = -1
+    return support.tolist()
+
+
+# ----------------------------------------------------------------------------
+# truss peeling
+# ----------------------------------------------------------------------------
+
+
+def vec_truss_numbers(csr, index, alive=None):
+    """Vectorised twin of :func:`repro.graph.csr_truss.csr_truss_numbers`.
+
+    Level-synchronous peel over the cached triangle list: every alive edge
+    at the current support level is removed in one round, its triangles
+    are read off the edge → triangle incidence (no per-round neighbour
+    expansion), and the surviving partner edges lose one support per
+    broken triangle.  Only edges decremented in a round can join the next
+    sub-round's frontier, so the scan cost per sub-round is proportional
+    to the decrement set, not ``m``.  Triangles whose edges are peeled in the
+    same round are settled with the classic tie-break (the lowest peeled
+    edge id owns the triangle; partners peeled alongside never get
+    decremented), which reproduces the sequential bucket queue's values
+    exactly — truss numbers are order-independent, only the *work
+    schedule* differs.
+    """
+    np = _np()
+    m = index.num_edges
+    if m == 0:
+        return []
+    support = np.asarray(vec_edge_support(csr, index, alive), dtype=np.int64)
+    t_uv, t_uw, t_vw = _triangle_data(np, csr, index)
+    inc_ptr, inc_tri = _incidence_data(np, csr, index)
+
+    truss = np.full(m, -1, dtype=np.int64)
+    peeled = support < 0  # dead edges never enter the peel
+    remaining = int(m - peeled.sum())
+    level = 0
+    pending = None  # edges decremented last round — the only new-frontier candidates
+    while remaining:
+        if pending is not None:
+            cand = pending[~peeled[pending] & (support[pending] <= level)]
+            pending = None
+            if not cand.size:
+                continue  # level exhausted; fall through to the jump scan
+            frontier = np.unique(cand)
+        else:
+            # jump straight to the next occupied support level (supports are
+            # floored at the previous level, so this never moves backwards)
+            alive_idx = np.nonzero(~peeled)[0]
+            alive_support = support[alive_idx]
+            level = int(alive_support.min())
+            frontier = alive_idx[alive_support == level]
+        truss[frontier] = level + 2
+        in_frontier = np.zeros(m, dtype=bool)
+        in_frontier[frontier] = True
+        owners, positions = _expand_rows(np, inc_ptr, frontier)
+        if positions.size:
+            tris = inc_tri[positions]
+            e_ids = frontier[owners]
+            a, b, c = t_uv[tris], t_uw[tris], t_vw[tris]
+            partner1 = np.where(a == e_ids, b, a)
+            partner2 = np.where(c == e_ids, b, c)
+            # the triangle only still exists if neither partner was peeled
+            # in an earlier round
+            keep = ~peeled[partner1] & ~peeled[partner2]
+            e_ids = e_ids[keep]
+            partner1 = partner1[keep]
+            partner2 = partner2[keep]
+            if e_ids.size:
+                p1_f = in_frontier[partner1]
+                p2_f = in_frontier[partner2]
+                # same-round settlement: the lowest frontier edge of each
+                # triangle owns it; co-peeled partners are never decremented
+                lowest = (~p1_f | (e_ids < partner1)) & (~p2_f | (e_ids < partner2))
+                dec = np.concatenate(
+                    (partner1[lowest & ~p1_f], partner2[lowest & ~p2_f])
+                )
+                if dec.size:
+                    support -= np.bincount(dec, minlength=m)
+                    # supports never sink below the current level: the
+                    # sequential peel assigns those edges this same truss
+                    # value via its cursor rollback
+                    targets = np.unique(dec)
+                    support[targets] = np.maximum(support[targets], level)
+                    pending = targets
+        peeled |= in_frontier
+        remaining -= int(frontier.size)
+    return truss.tolist()

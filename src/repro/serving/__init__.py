@@ -38,6 +38,7 @@ from .executor import (
 )
 from .placement import (
     ROUTING_POLICIES,
+    SNAPSHOT_MODES,
     LeastLoadedPolicy,
     Placement,
     Replica,
@@ -72,6 +73,7 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "ROUTING_POLICIES",
+    "SNAPSHOT_MODES",
     "EXECUTOR_KINDS",
     "InlineExecutor",
     "PoolExecutor",

@@ -61,6 +61,7 @@ class ServingEngine:
         replicas: int = 1,
         replica_overrides: Optional[dict[str, int]] = None,
         routing: str = "least-loaded",
+        snapshot: str = "shared",
     ) -> None:
         self._known_datasets = set(list_datasets())
         self._known_algorithms = set(list_algorithms())
@@ -85,6 +86,7 @@ class ServingEngine:
             executor=executor,
             workers=workers,
             routing=routing,
+            snapshot=snapshot,
         )
         self._started = False
         # cluster mode (repro.cluster): when set, queries for datasets outside

@@ -21,12 +21,17 @@ contexts:
   the frozen dataset is shipped once per pool worker via the initializer).
   PR 3's ``--workers N`` path, now one strategy among three.
 * :class:`WorkerProcessExecutor` — owns a **dedicated spawn-safe worker
-  process per replica**.  The child loads the (mutable) dataset shipped at
-  spawn time and freezes **its own** snapshot, so each replica has a
-  private memo cache and hot datasets scale past the GIL: two process
-  replicas really do peel two truss decompositions concurrently.  A
-  crashed worker is respawned on the next batch; the batch that observed
-  the crash fails with a structured ``internal_error``.
+  process per replica**.  With a shared-snapshot descriptor the child
+  **attaches** the host's exported CSR arrays zero-copy
+  (:mod:`repro.graph.shm`): N replicas read literally the same bytes and
+  only the tiny descriptor crosses the pipe.  Without one (or where
+  shared memory is unavailable) the child falls back to PR 4 behaviour —
+  it loads the shipped mutable dataset and freezes **its own** snapshot.
+  Either way each replica has a private memo cache and hot datasets
+  scale past the GIL: two process replicas really do peel two truss
+  decompositions concurrently.  A crashed worker is respawned on the
+  next batch; the batch that observed the crash fails with a structured
+  ``internal_error``.
 
 Every executor exposes the same tiny surface — ``start``, ``run_batch``,
 ``close``, ``describe`` — and maps execution failures to the closed
@@ -96,6 +101,18 @@ def execute_one(graph, algorithm: str, params: dict, nodes) -> Outcome:
         return as_protocol_error(exc)
 
 
+def _rss_kb() -> Optional[int]:
+    """This process's resident set size in kB (None where /proc is absent)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
 # ----------------------------------------------------------------------------
 # inline: a thread hop per batch against the shared snapshot
 # ----------------------------------------------------------------------------
@@ -138,7 +155,13 @@ class InlineExecutor:
 _POOL_DATASET: Optional[Dataset] = None
 
 
-def _pool_worker_init(dataset: Dataset) -> None:
+def _pool_worker_init(dataset: Dataset, descriptor=None) -> None:
+    if descriptor is not None:
+        # zero-copy: attach the host's shared snapshot instead of unpickling
+        # a private copy of the graph (the shipped dataset carries no graph)
+        from ..graph.shm import attach_frozen
+
+        dataset = replace(dataset, graph=attach_frozen(descriptor))
     globals()["_POOL_DATASET"] = dataset
 
 
@@ -152,26 +175,44 @@ def _pool_worker_run(algorithm: str, params: tuple, nodes: tuple):
 class SharedProcessPool:
     """One ``ProcessPoolExecutor`` per shard, shared by its pool replicas.
 
-    The frozen dataset is pickled once per pool worker via the initializer
-    (mirroring ``experiments.runner``'s batched fan-out), not per task.
+    With a shared-snapshot ``descriptor`` each pool worker attaches the
+    host's exported CSR arrays zero-copy; otherwise the frozen dataset is
+    pickled once per pool worker via the initializer (mirroring
+    ``experiments.runner``'s batched fan-out), never per task.
     """
 
-    def __init__(self, dataset: Dataset, frozen: FrozenGraph, workers: int) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        frozen: FrozenGraph,
+        workers: int,
+        *,
+        descriptor=None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._dataset = dataset
         self._frozen = frozen
+        self._descriptor = descriptor
         self._pool = None
+
+    @property
+    def snapshot_mode(self) -> str:
+        return "shared" if self._descriptor is not None else "private"
 
     def ensure_started(self):
         if self._pool is None:
             import concurrent.futures
 
+            if self._descriptor is not None:
+                shipped = replace(self._dataset, graph=None)
+            else:
+                shipped = replace(self._dataset, graph=self._frozen)
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_pool_worker_init,
-                initargs=(replace(self._dataset, graph=self._frozen),),
+                initargs=(shipped, self._descriptor),
             )
         return self._pool
 
@@ -214,7 +255,11 @@ class PoolExecutor:
         return None
 
     def describe(self) -> dict[str, Any]:
-        return {"kind": self.kind, "workers": self._shared.workers}
+        return {
+            "kind": self.kind,
+            "workers": self._shared.workers,
+            "snapshot": self._shared.snapshot_mode,
+        }
 
 
 # ----------------------------------------------------------------------------
@@ -222,18 +267,40 @@ class PoolExecutor:
 # ----------------------------------------------------------------------------
 
 
-def _worker_process_main(conn, dataset: Dataset) -> None:
+def _worker_process_main(conn, dataset: Dataset, descriptor=None) -> None:
     """Entry point of a replica's worker process (spawn-safe, module level).
 
-    The child freezes **its own** snapshot from the shipped mutable dataset
-    — its memo cache is private, so replicas never contend on one
-    interpreter — then answers ``("batch", items)`` messages until it
-    receives ``("stop", None)`` or the pipe closes.
+    With a ``descriptor`` the child attaches the host's shared snapshot —
+    zero-copy, nothing is rebuilt, and the dict adjacency is deliberately
+    *not* prebuilt (it would re-materialise privately what the segment
+    already holds; the CSR kernels serve every hot read).  Without one it
+    freezes **its own** snapshot from the shipped mutable dataset.  Either
+    way the memo cache is private, so replicas never contend on one
+    interpreter.  The handshake reports the snapshot mode and the resident
+    memory the snapshot cost this worker, then the loop answers
+    ``("batch", items)`` messages until ``("stop", None)`` or pipe close.
     """
+    attached = None
     try:
-        frozen = freeze(dataset.graph)
-        frozen.csr.adjacency_lists()  # prebuild outside any batch timing
-        conn.send(("ready", None))
+        rss_before = _rss_kb()
+        if descriptor is not None:
+            from ..graph.shm import attach_frozen
+
+            frozen = attached = attach_frozen(descriptor)
+        else:
+            frozen = freeze(dataset.graph)
+            frozen.csr.adjacency_lists()  # prebuild outside any batch timing
+        rss_after = _rss_kb()
+        info = {
+            "snapshot": "shared" if descriptor is not None else "private",
+            "rss_kb": rss_after,
+            "snapshot_rss_kb": (
+                rss_after - rss_before
+                if rss_after is not None and rss_before is not None
+                else None
+            ),
+        }
+        conn.send(("ready", info))
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         try:
             conn.send(("failed", f"{type(exc).__name__}: {exc}"))
@@ -255,6 +322,11 @@ def _worker_process_main(conn, dataset: Dataset) -> None:
             else:
                 outcomes.append(("ok", outcome))
         conn.send(("batch", outcomes))
+    if attached is not None:
+        try:
+            attached.detach()  # release the views before the mapping goes
+        except Exception:  # noqa: BLE001 - teardown must not mask the exit
+            pass
     conn.close()
 
 
@@ -272,13 +344,25 @@ class WorkerProcessExecutor:
 
     kind = "process"
 
-    def __init__(self, dataset: Dataset, *, start_timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        descriptor=None,
+        start_timeout: float = 120.0,
+    ) -> None:
         self._dataset = dataset
+        self._descriptor = descriptor
         self._start_timeout = start_timeout
         self._proc = None
         self._conn = None
         self._lock = threading.Lock()
         self.restarts = -1  # first spawn brings it to 0
+        self.worker_info: dict[str, Any] = {}
+
+    @property
+    def snapshot_mode(self) -> str:
+        return "shared" if self._descriptor is not None else "private"
 
     # -- child management (all called from worker threads, under the lock) --
     def _spawn(self) -> None:
@@ -286,9 +370,15 @@ class WorkerProcessExecutor:
 
         ctx = multiprocessing.get_context("spawn")
         parent_conn, child_conn = ctx.Pipe()
+        if self._descriptor is not None:
+            # the child attaches the shared segment; only the descriptor and
+            # the dataset's metadata cross the pipe, never the graph
+            shipped = replace(self._dataset, graph=None)
+        else:
+            shipped = self._dataset
         proc = ctx.Process(
             target=_worker_process_main,
-            args=(child_conn, self._dataset),
+            args=(child_conn, shipped, self._descriptor),
             name=f"repro-replica:{self._dataset.name}",
             daemon=True,
         )
@@ -320,6 +410,7 @@ class WorkerProcessExecutor:
         self._proc = proc
         self._conn = parent_conn
         self.restarts += 1
+        self.worker_info = detail if isinstance(detail, dict) else {}
 
     def _teardown(self) -> None:
         if self._conn is not None:
@@ -383,4 +474,15 @@ class WorkerProcessExecutor:
         await loop.run_in_executor(None, self._stop)
 
     def describe(self) -> dict[str, Any]:
-        return {"kind": self.kind, "restarts": max(self.restarts, 0)}
+        info = {
+            "kind": self.kind,
+            "restarts": max(self.restarts, 0),
+            "snapshot": self.snapshot_mode,
+        }
+        rss = self.worker_info.get("rss_kb")
+        if rss is not None:
+            info["rss_kb"] = rss
+        snapshot_rss = self.worker_info.get("snapshot_rss_kb")
+        if snapshot_rss is not None:
+            info["snapshot_rss_kb"] = snapshot_rss
+        return info

@@ -30,7 +30,7 @@ import asyncio
 from typing import Any, Callable, Optional
 
 from ..datasets import Dataset, load_dataset
-from ..graph import FrozenGraph, freeze
+from ..graph import FrozenGraph, freeze, shared_memory_available
 from .executor import (
     EXECUTOR_KINDS,
     InlineExecutor,
@@ -45,6 +45,7 @@ from .shard import Shard
 
 __all__ = [
     "DEFAULT_POOL_WORKERS",
+    "SNAPSHOT_MODES",
     "ROUTING_POLICIES",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
@@ -57,6 +58,13 @@ __all__ = [
 #: pool size when the 'pool' executor is chosen without an explicit
 #: ``workers`` count (kept deliberately small; size it with ``--workers``)
 DEFAULT_POOL_WORKERS = 2
+
+#: the closed set of snapshot-distribution modes ``--snapshot`` accepts:
+#: 'shared' exports the host's frozen CSR into a named shared-memory
+#: segment that process/pool workers attach zero-copy (falling back to
+#: 'private' where shared memory is unavailable); 'private' ships every
+#: worker its own copy, PR 4 behaviour
+SNAPSHOT_MODES = ("shared", "private")
 
 
 # ----------------------------------------------------------------------------
@@ -262,14 +270,31 @@ class Replica:
 
 
 class ReplicaSet:
-    """The replicas serving one dataset, plus their routing policy."""
+    """The replicas serving one dataset, plus their routing policy.
 
-    def __init__(self, replicas: list[Replica], policy, *, shared_pool=None) -> None:
+    When built in ``shared`` snapshot mode the set also owns the exported
+    shared-memory segment: the host freezes once, :func:`share_frozen`
+    exports the CSR arrays, every process/pool worker attaches zero-copy,
+    and :meth:`close` unlinks the segment after the last worker is gone —
+    the leak checks in CI assert exactly this lifecycle.
+    """
+
+    def __init__(
+        self,
+        replicas: list[Replica],
+        policy,
+        *,
+        shared_pool=None,
+        snapshot_handle=None,
+        snapshot: str = "private",
+    ) -> None:
         if not replicas:
             raise ValueError("a replica set needs at least one replica")
         self.replicas = replicas
         self.policy = policy
         self._shared_pool = shared_pool
+        self._snapshot_handle = snapshot_handle
+        self.snapshot_mode = snapshot
 
     @classmethod
     def build(
@@ -283,6 +308,7 @@ class ReplicaSet:
         workers: Optional[int],
         routing: str,
         max_batch: int,
+        snapshot: str = "private",
     ) -> "ReplicaSet":
         """Construct ``count`` replicas of ``dataset`` on the given strategy."""
         if count < 1:
@@ -296,10 +322,30 @@ class ReplicaSet:
                 f"unknown routing policy {routing!r}; choose from "
                 f"{', '.join(sorted(ROUTING_POLICIES))}"
             )
+        if snapshot not in SNAPSHOT_MODES:
+            raise ValueError(
+                f"unknown snapshot mode {snapshot!r}; choose from "
+                f"{', '.join(SNAPSHOT_MODES)}"
+            )
+        # export the snapshot once per shard when workers can attach it;
+        # inline replicas already share the host's frozen object in-process
+        snapshot_handle = None
+        effective = "private"
+        if snapshot == "shared" and executor in ("pool", "process"):
+            if shared_memory_available():
+                try:
+                    snapshot_handle = frozen.share()
+                    effective = "shared"
+                except (OSError, ValueError):  # graceful fallback: ship copies
+                    snapshot_handle = None
+        descriptor = snapshot_handle.descriptor if snapshot_handle is not None else None
         shared_pool = None
         if executor == "pool":
             shared_pool = SharedProcessPool(
-                dataset, frozen, workers if workers else DEFAULT_POOL_WORKERS
+                dataset,
+                frozen,
+                workers if workers else DEFAULT_POOL_WORKERS,
+                descriptor=descriptor,
             )
         replicas = []
         for index in range(count):
@@ -308,9 +354,15 @@ class ReplicaSet:
             elif executor == "pool":
                 engine_executor = PoolExecutor(shared_pool)
             else:
-                engine_executor = WorkerProcessExecutor(dataset)
+                engine_executor = WorkerProcessExecutor(dataset, descriptor=descriptor)
             replicas.append(Replica(index, engine_executor, key=key, max_batch=max_batch))
-        return cls(replicas, ROUTING_POLICIES[routing](), shared_pool=shared_pool)
+        return cls(
+            replicas,
+            ROUTING_POLICIES[routing](),
+            shared_pool=shared_pool,
+            snapshot_handle=snapshot_handle,
+            snapshot=effective,
+        )
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -357,6 +409,15 @@ class ReplicaSet:
         if self._shared_pool is not None:
             loop = asyncio.get_running_loop()
             await loop.run_in_executor(None, self._shared_pool.shutdown)
+        if self._snapshot_handle is not None:
+            # every worker is gone now: drop the owner mapping and unlink the
+            # name so the kernel reclaims the segment (both are idempotent)
+            try:
+                self._snapshot_handle.close()
+                self._snapshot_handle.unlink()
+            except OSError:
+                pass
+            self._snapshot_handle = None
 
     def stats(self) -> list[dict[str, Any]]:
         return [replica.stats() for replica in self.replicas]
@@ -389,10 +450,16 @@ class Placement:
         executor: str = "inline",
         workers: Optional[int] = None,
         routing: str = LeastLoadedPolicy.name,
+        snapshot: str = "shared",
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {', '.join(EXECUTOR_KINDS)}"
+            )
+        if snapshot not in SNAPSHOT_MODES:
+            raise ValueError(
+                f"unknown snapshot mode {snapshot!r}; choose from "
+                f"{', '.join(SNAPSHOT_MODES)}"
             )
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -427,6 +494,7 @@ class Placement:
         self.executor = executor
         self.workers = workers
         self.routing = routing
+        self.snapshot = snapshot
         self.replicas = replicas
         self.replica_overrides = overrides
         self._shards: dict[str, Shard] = {}
@@ -478,6 +546,7 @@ class Placement:
             workers=self.workers,
             routing=self.routing,
             max_batch=self._options["max_batch"],
+            snapshot=self.snapshot,
         )
         return Shard(
             dataset,
@@ -547,6 +616,7 @@ class Placement:
             "placement": {
                 "executor": self.executor,
                 "routing": self.routing,
+                "snapshot": self.snapshot,
                 "replicas": self.replicas,
                 "replica_overrides": dict(sorted(self.replica_overrides.items())),
                 "max_queue": self._options["max_queue"],

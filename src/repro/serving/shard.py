@@ -228,6 +228,7 @@ class Shard:
             "nodes": self.frozen.number_of_nodes(),
             "edges": self.frozen.number_of_edges(),
             "executor": self.replica_set.executor_kind,
+            "snapshot": self.replica_set.snapshot_mode,
             "routing": self.replica_set.policy.name,
             "replica_count": len(self.replica_set),
             "workers": self.replica_set.pool_workers,

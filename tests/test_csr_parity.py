@@ -14,6 +14,7 @@ import pytest
 
 from repro.core import fpa, nca
 from repro.core.framework import graph_backend
+from repro.graph import vec_kernels
 from repro.experiments import evaluate_algorithm, evaluate_batch, generate_query_sets
 from repro.graph import (
     Graph,
@@ -493,3 +494,105 @@ class TestClosestTrussParity:
     def test_disconnected_queries_fail_on_both_backends(self):
         graph = Graph([(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)])
         self._assert_closest_truss_identical(graph, [1, 4])
+
+
+class TestVecTierParity:
+    """The optional numpy tier must be bit-identical to the python CSR path.
+
+    Every case runs the *same public entry point* twice with the dispatch
+    switch forced (``set_vec_enabled``), over the full zoo — including
+    disconnected graphs, weighted graphs and alive masks — so the sweep
+    exercises exactly the code path a serving worker takes when numpy is
+    installed.  Skipped wholesale when the ``[vec]`` extra is absent; the
+    pure-python tier is what every other test in this file covers.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        not vec_kernels.numpy_available(), reason="numpy extra not installed"
+    )
+
+    @pytest.fixture(autouse=True)
+    def _restore_dispatch(self):
+        yield
+        vec_kernels.set_vec_enabled(None)
+
+    @staticmethod
+    def _both_tiers(kernel):
+        vec_kernels.set_vec_enabled(False)
+        reference = kernel()
+        vec_kernels.set_vec_enabled(True)
+        vectorised = kernel()
+        return reference, vectorised
+
+    def test_bfs_parity_including_discovery_order(self, zoo_graph):
+        csr = freeze(zoo_graph).csr
+        n = csr.number_of_nodes()
+        sources_cases = [[0], [0, n // 2, n - 1]]
+        for sources in sources_cases:
+            # kill every third node but keep the sources alive (a dead
+            # source is a structured error on both tiers, checked below)
+            alive = bytearray(
+                1 if (i % 3 or i in sources) else 0 for i in range(n)
+            )
+            for mask in (None, alive):
+                reference, vectorised = self._both_tiers(
+                    lambda: csr_multi_source_bfs(csr, sources, mask)
+                )
+                assert vectorised == reference, (sources, mask is not None)
+
+    def test_bfs_dead_source_raises_on_both_tiers(self, zoo_graph):
+        csr = freeze(zoo_graph).csr
+        dead = bytearray(csr.number_of_nodes())  # everyone dead
+        for enabled in (False, True):
+            vec_kernels.set_vec_enabled(enabled)
+            with pytest.raises(GraphError, match="not alive"):
+                csr_multi_source_bfs(csr, [0], dead)
+
+    def test_edge_support_parity(self, zoo_graph):
+        from repro.graph import csr_edge_index, csr_edge_support
+
+        csr = freeze(zoo_graph).csr
+        n = csr.number_of_nodes()
+        alive = bytearray(1 if i % 4 else 0 for i in range(n))
+        for mask in (None, alive):
+            reference, vectorised = self._both_tiers(
+                lambda: csr_edge_support(csr, csr_edge_index(csr), mask)
+            )
+            assert vectorised == reference, mask is not None
+
+    def test_truss_numbers_parity(self, zoo_graph):
+        from repro.graph import csr_edge_index, csr_truss_numbers
+
+        csr = freeze(zoo_graph).csr
+        n = csr.number_of_nodes()
+        alive = bytearray(1 if i % 4 else 0 for i in range(n))
+        for mask in (None, alive):
+            reference, vectorised = self._both_tiers(
+                lambda: csr_truss_numbers(csr, csr_edge_index(csr), mask)
+            )
+            assert vectorised == reference, mask is not None
+
+    def test_truss_decomposition_and_subgraphs_parity(self, zoo_graph):
+        reference, vectorised = self._both_tiers(
+            lambda: (
+                truss_numbers(freeze(zoo_graph)),
+                node_truss_numbers(freeze(zoo_graph)),
+                sorted(k_truss_subgraph(freeze(zoo_graph), 3).edges()),
+            )
+        )
+        assert vectorised == reference
+
+    def test_algorithms_parity(self, zoo_graph):
+        """NCA and FPA on fresh snapshots per tier (no shared memo cache)."""
+        query = [next(iter(zoo_graph.iter_nodes()))]
+
+        def run_algorithms():
+            frozen = freeze(zoo_graph)  # fresh: memoisation cannot leak tiers
+            results = []
+            for algorithm in (nca, fpa):
+                result = algorithm(frozen, query)
+                results.append((result.nodes, result.score, result.trace))
+            return results
+
+        reference, vectorised = self._both_tiers(run_algorithms)
+        assert vectorised == reference

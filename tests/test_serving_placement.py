@@ -219,8 +219,9 @@ class TestExecutorParity:
         assert stats["executor"] == "inline" and stats["replica_count"] == 2
 
     def test_worker_process_replicas_match_reference(self, karate):
-        """Each worker process freezes its own snapshot; results must stay
-        bit-identical to the dict reference path anyway."""
+        """Worker processes run on the host's snapshot (attached zero-copy
+        when shared memory is available, a private freeze otherwise); results
+        must stay bit-identical to the dict reference path either way."""
         stats = self._parity(karate, replicas=2, executor="process")
         assert stats["executor"] == "process" and stats["replica_count"] == 2
         assert stats["executed"] == len(self.ALGORITHMS)
@@ -424,6 +425,7 @@ class TestStatsSchema:
         "nodes",
         "edges",
         "executor",
+        "snapshot",
         "routing",
         "replica_count",
         "workers",
@@ -485,6 +487,7 @@ class TestStatsSchema:
         assert set(payload["placement"]) == {
             "executor",
             "routing",
+            "snapshot",
             "replicas",
             "replica_overrides",
             "max_queue",

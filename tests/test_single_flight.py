@@ -126,7 +126,9 @@ class TestColdBurstAcrossInlineReplicas:
 
         calls = []
         lock = threading.Lock()
-        real = kcore_module._compute_kcore_structure
+        # the frozen serving path computes the structure on the CSR kernels;
+        # that is the function whose cost the memo must pay exactly once
+        real = kcore_module._frozen_kcore_structure
 
         def counting(graph, k):
             with lock:
@@ -135,7 +137,7 @@ class TestColdBurstAcrossInlineReplicas:
             # second replica's batch overlaps it deterministically
             return real(graph, k)
 
-        monkeypatch.setattr(kcore_module, "_compute_kcore_structure", counting)
+        monkeypatch.setattr(kcore_module, "_frozen_kcore_structure", counting)
 
         async def scenario():
             async with ServingEngine(datasets=["karate"], replicas=2) as engine:
