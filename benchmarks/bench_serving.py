@@ -46,6 +46,11 @@ Usage::
     python benchmarks/bench_serving.py --parity-only \\
         --replicas 2 --executor process --max-queue 1     # replicated worker
                                                           # processes + shedding
+    python benchmarks/bench_serving.py --parity-only --index require
+                                                          # build community
+                                                          # indexes, serve kc/kt/
+                                                          # hightruss from them,
+                                                          # assert hits > 0
     python benchmarks/bench_serving.py --parity-only --cluster 2
                                                           # coordinator + 2 nodes,
                                                           # kill-a-node failover
@@ -66,9 +71,11 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import statistics
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -171,6 +178,8 @@ class ServerProcess(WireProcess):
         routing: str | None = None,
         workers: int | None = None,
         snapshot: str | None = None,
+        index: str | None = None,
+        index_dir: str | None = None,
         join: str | None = None,
     ) -> None:
         command = [
@@ -197,6 +206,10 @@ class ServerProcess(WireProcess):
             command += ["--workers", str(workers)]
         if snapshot:
             command += ["--snapshot", snapshot]
+        if index:
+            command += ["--index", index]
+        if index_dir:
+            command += ["--index-dir", index_dir]
         if join:
             command += ["--join", join]
         super().__init__(command)
@@ -241,6 +254,8 @@ def server_config_from_args(args) -> dict:
         "executor": args.executor,
         "max_queue": args.max_queue,
         "snapshot": args.snapshot,
+        "index": args.index,
+        "index_dir": args.index_dir,
     }
 
 
@@ -251,11 +266,98 @@ def live_snapshot_segments() -> set:
     ``/dev/shm``, so leaked snapshot segments are directly observable there;
     on platforms without that directory the check degrades to a no-op
     (the in-process live-registry assertions in the test suite still run).
+    Community-index segments (``repro_snap_idx_*``) share the prefix, so the
+    leak gate covers them too.
     """
     shm_dir = Path("/dev/shm")
     if not shm_dir.is_dir():
         return set()
     return {entry.name for entry in shm_dir.glob("repro_snap_*")}
+
+
+# ----------------------------------------------------------------------------
+# the community-index tier (--index {auto,require,off})
+# ----------------------------------------------------------------------------
+
+
+def build_index_files(datasets, index_dir: str) -> None:
+    """Build + persist the community-search index for each dataset."""
+    from repro.graph import build_index, index_path, save_index
+
+    for name in datasets:
+        save_index(
+            build_index(load_dataset(name).graph, dataset=name),
+            index_path(name, index_dir),
+        )
+
+
+def prepare_index_dir(server_config: dict, datasets) -> tuple[dict, str | None]:
+    """With ``--index`` active, make sure index files exist for ``datasets``.
+
+    Returns ``(config, tmp_dir)``: the (possibly augmented) server config
+    and a temporary directory to delete afterwards when one was created
+    because the caller gave ``--index`` without ``--index-dir``.
+    """
+    mode = server_config.get("index")
+    if not mode or mode == "off":
+        return server_config, None
+    tmp_dir = None
+    if not server_config.get("index_dir"):
+        tmp_dir = tempfile.mkdtemp(prefix="repro-bench-index-")
+        server_config = dict(server_config, index_dir=tmp_dir)
+    build_index_files(datasets, server_config["index_dir"])
+    return server_config, tmp_dir
+
+
+#: the algorithms the index can serve — the cold indexed-vs-executed
+#: comparison streams exactly these
+INDEXED_ALGORITHMS = ("kt", "kc", "hightruss")
+
+
+def run_index_phase(scale: float, server_config: dict) -> tuple[list, dict]:
+    """Cold-query timing: the same workload executed vs served from the index.
+
+    Two fresh servers on the small datasets (result cache irrelevant: every
+    request is sent once), one with ``--index off`` and one with ``--index
+    require`` against freshly built index files.  The indexed run must stay
+    bit-identical (the parity smoke enforces that in CI); *this* phase
+    records what the index buys on cold decomposition-heavy queries.  The
+    wall-clock numbers ride the JSON record and are never asserted.
+    """
+    requests = build_workload(scale, algorithms=INDEXED_ALGORITHMS)
+    tmp_dir = tempfile.mkdtemp(prefix="repro-bench-index-")
+    walls = {}
+    hits = 0
+    try:
+        build_index_files(SMALL_DATASETS, tmp_dir)
+        for mode in ("off", "require"):
+            config = dict(server_config, max_queue=0, index=mode, index_dir=tmp_dir)
+            server = ServerProcess(SMALL_DATASETS, **config)
+            try:
+                with ServingClientPool(HOST, server.port, size=1) as pool:
+                    wall, _ = run_closed_loop(pool, requests, clients=1)
+                walls[mode] = wall
+                with ServingClient(HOST, server.port) as client:
+                    totals = client.stats()["totals"]
+                if mode == "require":
+                    hits = totals["index_hits"]
+            finally:
+                server.shutdown()
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    row = (
+        f"cold kc/kt/hightruss ({len(requests)} reqs, executed vs indexed)",
+        walls["off"],
+        walls["require"],
+    )
+    report = {
+        "distinct_requests": len(requests),
+        "index_hits": hits,
+        "executed_wall_seconds": round(walls["off"], 4),
+        "indexed_wall_seconds": round(walls["require"], 4),
+        "speedup": round(walls["off"] / walls["require"], 2),
+    }
+    return [row], report
 
 
 # ----------------------------------------------------------------------------
@@ -932,6 +1034,12 @@ def run_parity(scale: float, server_config: dict, json_path: str | None = None) 
     requests = build_workload(min(scale, 1.0), algorithms=PARITY_ALGORITHMS)
     references = reference_results(requests)
     segments_before = live_snapshot_segments()
+    # with --index the smoke serves kc/kt/hightruss from freshly built
+    # index files; everything else (and every malformed request) must keep
+    # its executed-path behaviour bit-for-bit
+    index_mode = server_config.get("index")
+    server_config, index_tmp = prepare_index_dir(server_config, SMALL_DATASETS)
+    index_stats = None
     server = ServerProcess(SMALL_DATASETS, **server_config)
     try:
         with ServingClientPool(HOST, server.port, size=4) as pool, ServingClient(
@@ -1011,6 +1119,19 @@ def run_parity(scale: float, server_config: dict, json_path: str | None = None) 
                     check(f"stats-{name}-snapshot-private", shard["snapshot"] == "private")
                 elif expect_shared:
                     check(f"stats-{name}-snapshot-shared", shard["snapshot"] == "shared")
+                check(f"stats-{name}-index-block", "index" in shard)
+                if index_mode == "require":
+                    check(
+                        f"stats-{name}-indexed",
+                        shard["index"]["effective"] == "indexed",
+                    )
+            if index_mode and index_mode != "off":
+                # the whole point of the index smoke: queries actually hit it
+                check("stats-index-hits", stats["totals"]["index_hits"] > 0)
+                index_stats = {
+                    "mode": index_mode,
+                    "hits": stats["totals"]["index_hits"],
+                }
     finally:
         exit_code = server.shutdown()
     check("clean-shutdown", exit_code == 0)
@@ -1031,9 +1152,13 @@ def run_parity(scale: float, server_config: dict, json_path: str | None = None) 
     if server_config.get("executor") == "process":
         memory = run_memory_phase(check)
 
+    if index_tmp is not None:
+        shutil.rmtree(index_tmp, ignore_errors=True)
+
     # every server in this run (parity, overload, memory) is down now: any
-    # surviving repro_snap_* segment is an owner that failed to unlink —
-    # exactly the leak class the shared-snapshot lifecycle must prevent
+    # surviving repro_snap_* segment — snapshot or index — is an owner that
+    # failed to unlink, exactly the leak class the shared lifecycle must
+    # prevent
     leaked = sorted(live_snapshot_segments() - segments_before)
     check(f"leaked-shared-memory-segments: {leaked}", not leaked)
 
@@ -1049,11 +1174,13 @@ def run_parity(scale: float, server_config: dict, json_path: str | None = None) 
                 "replicas": server_config.get("replicas") or ["1"],
                 "executor": server_config.get("executor") or "inline",
                 "snapshot": server_config.get("snapshot") or "shared",
+                "index": index_mode or "auto",
             },
             distinct_requests=len(requests),
             leaked_segments=leaked,
             memory=memory,
             admission=overload,
+            index=index_stats,
         )
 
     if failures:
@@ -1066,6 +1193,11 @@ def run_parity(scale: float, server_config: dict, json_path: str | None = None) 
         f"reference path; errors structured; clean shutdown; no leaked "
         f"shared-memory segments"
     )
+    if index_stats is not None:
+        print(
+            f"index ok: mode {index_stats['mode']}, "
+            f"{index_stats['hits']} queries answered from the community index"
+        )
     if overload is not None:
         print(
             f"overload ok: {overload['requests']} distinct queries against "
@@ -1171,6 +1303,10 @@ def run(
     # the admission-control story: tiny queue, distinct queries, pool retry
     overload = run_overload_phase(server_config)
 
+    # the precomputed-index story: the same cold decomposition-heavy
+    # queries, executed vs served as window scans over the index
+    index_rows, index_report = run_index_phase(scale, server_config)
+
     rows = [
         (f"cold x1 client ({len(requests)} reqs)", per_query_cold_seconds, served_cold_wall),
         (
@@ -1178,7 +1314,7 @@ def run(
             per_query_multi_seconds,
             served_multi_wall,
         ),
-    ]
+    ] + index_rows
     print_table(rows)
     print()
     print(f"{'latency (ms)':<36}{'p50':>10}{'p95':>10}")
@@ -1212,6 +1348,12 @@ def run(
         f"{OVERLOAD_CLIENTS} clients): {overload['requests']} distinct requests, "
         f"{overload['server_shed']} shed, {overload['client_retries']} client retries, "
         f"{overload['succeeded']} succeeded / {overload['failed']} failed"
+    )
+    print(
+        f"index phase: {index_report['distinct_requests']} cold kc/kt/hightruss "
+        f"queries, executed {index_report['executed_wall_seconds']}s vs indexed "
+        f"{index_report['indexed_wall_seconds']}s "
+        f"({index_report['speedup']:.2f}x, {index_report['index_hits']} index hits)"
     )
 
     overload_ok = overload["failed"] == 0 and overload["server_shed"] > 0
@@ -1249,6 +1391,7 @@ def run(
             },
             server_totals=totals,
             admission=overload,
+            index=index_report,
         )
     return 0 if parity and overload_ok else 1
 
@@ -1290,6 +1433,20 @@ def main(argv=None) -> int:
         help="forwarded to `repro serve --snapshot` (server default: shared); "
         "with --parity-only and --executor process the smoke also runs the "
         "zero-copy memory comparison and the segment leak check",
+    )
+    parser.add_argument(
+        "--index",
+        choices=["auto", "require", "off"],
+        default=None,
+        help="forwarded to `repro serve --index`; with --parity-only and "
+        "'require' the smoke builds index files first, serves kc/kt/"
+        "hightruss from them and asserts index hits > 0 in the stats",
+    )
+    parser.add_argument(
+        "--index-dir",
+        default=None,
+        help="forwarded to `repro serve --index-dir`; with --index and no "
+        "dir the bench builds indexes into a temporary one",
     )
     parser.add_argument(
         "--cluster",

@@ -13,6 +13,10 @@ Six sub-commands expose the library without writing any code:
   JSON over TCP; see ``repro.serving``).  With ``--join COORD`` the daemon
   becomes a **cluster node**: it registers with the coordinator, heartbeats,
   and only serves the datasets the routing table assigns to it;
+* ``index`` — build (``index build``) or inspect (``index inspect``) the
+  precomputed community-search index files that let ``serve`` answer
+  ``kc`` / ``kt`` / ``hightruss`` queries as binary-search window scans
+  instead of running decompositions (see ``repro.graph.index``);
 * ``coordinator`` — run the cluster control plane (membership, per-host
   shard placement, failover, the versioned routing table; see
   ``repro.cluster``).
@@ -155,6 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=64, help="micro-batch size limit per shard"
     )
     serve.add_argument(
+        "--index",
+        choices=["auto", "require", "off"],
+        default="auto",
+        help="precomputed community-search index: 'auto' (default) serves "
+        "kc/kt/hightruss from an index file when one exists and falls back "
+        "to executing otherwise, 'require' refuses to serve a dataset "
+        "without a valid index, 'off' always executes",
+    )
+    serve.add_argument(
+        "--index-dir",
+        default=None,
+        help="directory holding <dataset>.idx files (default: $REPRO_INDEX_DIR "
+        "or ./.repro-index)",
+    )
+    serve.add_argument(
         "--join",
         default=None,
         metavar="HOST:PORT",
@@ -169,6 +188,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="the address clients should use to reach this node (defaults "
         "to --host plus the bound port; set it when the node sits behind "
         "NAT or binds 0.0.0.0)",
+    )
+
+    index = subparsers.add_parser(
+        "index",
+        help="build or inspect the precomputed community-search indexes",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="derive the coreness/trussness hierarchy for dataset(s) and "
+        "write versioned .idx files keyed by the dataset content digest",
+    )
+    index_build.add_argument(
+        "datasets", nargs="*", metavar="DATASET", help="built-in dataset name(s)"
+    )
+    index_build.add_argument(
+        "--all", action="store_true", help="build indexes for every built-in dataset"
+    )
+    index_build.add_argument(
+        "--index-dir",
+        default=None,
+        help="directory to write <dataset>.idx files into (default: "
+        "$REPRO_INDEX_DIR or ./.repro-index)",
+    )
+    index_inspect = index_sub.add_parser(
+        "inspect",
+        help="print an index file's format version, digest, sizes and "
+        "per-k community counts, verifying it against the current dataset",
+    )
+    index_inspect.add_argument("dataset", metavar="DATASET", help="built-in dataset name")
+    index_inspect.add_argument(
+        "--index-dir",
+        default=None,
+        help="directory holding <dataset>.idx files (default: $REPRO_INDEX_DIR "
+        "or ./.repro-index)",
     )
 
     coordinator = subparsers.add_parser(
@@ -327,6 +381,8 @@ def _command_serve(args) -> int:
         replica_overrides=replica_overrides,
         routing=args.routing,
         snapshot=args.snapshot,
+        index=args.index,
+        index_dir=args.index_dir,
     )
     if args.join is None:
         return run_server(engine, args.host, args.port)
@@ -366,6 +422,69 @@ def _command_serve(args) -> int:
             agent.stop()
 
 
+def _command_index_build(args) -> int:
+    from .graph import build_index, index_path, save_index
+
+    names = list(args.datasets)
+    if args.all:
+        names = list_datasets()
+    if not names:
+        raise SystemExit("name at least one dataset, or pass --all")
+    for name in names:
+        dataset = load_dataset(name)
+        index = build_index(dataset.graph, dataset=name)
+        path = index_path(name, args.index_dir)
+        save_index(index, path)
+        info = index.describe()
+        print(
+            f"{name}: wrote {path} ({info['total_bytes']} bytes, "
+            f"core kmax {info['core_kmax']}, truss kmax {info['truss_kmax']}, "
+            f"built in {info['build_seconds']:.2f}s)"
+        )
+    return 0
+
+
+def _command_index_inspect(args) -> int:
+    from .graph import freeze, index_path, load_index
+
+    path = index_path(args.dataset, args.index_dir)
+    try:
+        index = load_index(path)
+    except FileNotFoundError:
+        raise GraphError(
+            f"no index file at {path}; build it with "
+            f"'repro index build {args.dataset}'"
+        ) from None
+    # verify against the dataset as it is *now* — a stale index (the graph
+    # changed since the build) is an error here, same as it is at serve time
+    dataset = load_dataset(args.dataset)
+    index.bind(freeze(dataset.graph))
+    info = index.describe()
+    print(f"index file:      {path}")
+    print(f"format version:  {info['format_version']}")
+    print(f"dataset:         {info['dataset']}")
+    print(f"content digest:  {info['digest']}")
+    print(f"nodes / edges:   {info['nodes']} / {info['edges']}")
+    print(f"total bytes:     {info['total_bytes']}")
+    print(f"build seconds:   {info['build_seconds']:.3f}")
+    print(f"core kmax:       {info['core_kmax']}")
+    core = ", ".join(f"k={k}:{c}" for k, c in info["core_communities"].items())
+    print(f"core communities:  {core}")
+    print(f"truss kmax:      {info['truss_kmax']}")
+    truss = ", ".join(f"k={k}:{c}" for k, c in info["truss_communities"].items())
+    print(f"truss communities: {truss}")
+    print("region bytes:")
+    for name, size in sorted(info["region_bytes"].items()):
+        print(f"  {name:<12} {size}")
+    return 0
+
+
+def _command_index(args) -> int:
+    if args.index_command == "build":
+        return _command_index_build(args)
+    return _command_index_inspect(args)
+
+
 def _command_coordinator(args) -> int:
     from .cluster import Coordinator, run_coordinator
 
@@ -394,6 +513,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_evaluate(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "index":
+            return _command_index(args)
         if args.command == "coordinator":
             return _command_coordinator(args)
     except BrokenPipeError:

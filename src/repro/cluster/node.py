@@ -196,6 +196,13 @@ class NodeAgent:
         self.owned = list(owned)
         if self.engine is not None:
             self.engine.set_owned_datasets(owned)
+            # warm the newly assigned shards now (dataset load, freeze,
+            # community-index load) so a failover target answers its first
+            # rerouted query from the index instead of re-deriving
+            # decompositions on the request path
+            preload = getattr(self.engine, "request_preload", None)
+            if preload is not None:
+                preload(list(owned))
         if self._on_owned is not None:
             self._on_owned(list(owned))
 

@@ -54,6 +54,20 @@ from .shm import (
     share_frozen,
     shared_memory_available,
 )
+from .index import (
+    INDEX_ALGORITHMS,
+    INDEX_DIR_ENV,
+    INDEX_FORMAT_VERSION,
+    INDEX_MODES,
+    CommunityIndex,
+    attach_index,
+    build_index,
+    dataset_digest,
+    default_index_dir,
+    index_path,
+    load_index,
+    save_index,
+)
 from .io import (
     from_networkx,
     parse_edge_list,
@@ -115,6 +129,19 @@ __all__ = [
     "attach_frozen",
     "shared_memory_available",
     "live_segment_names",
+    # community hierarchy index
+    "CommunityIndex",
+    "build_index",
+    "save_index",
+    "load_index",
+    "attach_index",
+    "dataset_digest",
+    "default_index_dir",
+    "index_path",
+    "INDEX_FORMAT_VERSION",
+    "INDEX_MODES",
+    "INDEX_ALGORITHMS",
+    "INDEX_DIR_ENV",
     # components
     "connected_components",
     "connected_component_containing",

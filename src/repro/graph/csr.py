@@ -359,6 +359,23 @@ class FrozenGraph(Graph):
         """Already frozen; return self."""
         return self
 
+    def without_cache(self) -> "FrozenGraph":
+        """Return a view of this snapshot with an *empty* memo cache.
+
+        Structure (adjacency dicts, CSR arrays) is shared with ``self``;
+        only the :class:`SharedCache` is dropped.  Used when shipping a
+        snapshot to worker processes for an index-backed shard: the index
+        segment already carries every decomposition the workers need, so
+        pickling warm memo values per worker would duplicate them N times.
+        """
+        clone = FrozenGraph.__new__(FrozenGraph)
+        clone._adj = self._adj
+        clone._num_edges = self._num_edges
+        clone._total_weight = self._total_weight
+        clone._csr = self._csr
+        clone._cache = None
+        return clone
+
     # -- zero-copy sharing (see repro.graph.shm) -----------------------
     def share(self):
         """Export the CSR arrays into a named shared-memory segment.

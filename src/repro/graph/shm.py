@@ -58,6 +58,8 @@ __all__ = [
     "AttachedFrozenGraph",
     "share_frozen",
     "attach_frozen",
+    "share_regions",
+    "attach_regions",
     "shared_memory_available",
     "live_segment_names",
     "SEGMENT_PREFIX",
@@ -93,11 +95,11 @@ def live_segment_names() -> tuple[str, ...]:
         return tuple(sorted(_live))
 
 
-def _next_segment_name() -> str:
+def _next_segment_name(tag: str = "") -> str:
     global _counter
     with _counter_lock:
         _counter += 1
-        return f"{SEGMENT_PREFIX}{os.getpid()}_{_counter}"
+        return f"{SEGMENT_PREFIX}{tag}{os.getpid()}_{_counter}"
 
 
 class SnapshotDescriptor:
@@ -200,25 +202,20 @@ def _pad(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def share_frozen(frozen: FrozenGraph) -> SharedSnapshot:
-    """Export ``frozen``'s CSR arrays into one named shared segment.
+def share_regions(
+    fields: Mapping[str, array], payload: bytes, *, tag: str = ""
+) -> SharedSnapshot:
+    """Pack named flat arrays plus a pickled tail into one shared segment.
 
-    The frozen graph itself is untouched — the owner keeps serving from
-    its private arrays; the returned handle's :attr:`descriptor` is what
-    workers feed to :func:`attach_frozen`.
+    This is the layout primitive under both :func:`share_frozen` (CSR
+    snapshots) and the community index tier: each ``fields`` entry becomes
+    an 8-byte-aligned region recorded in the returned descriptor, and
+    ``payload`` travels verbatim at the tail.  ``tag`` lands in the segment
+    name right after :data:`SEGMENT_PREFIX`, so leak scans that glob the
+    prefix cover every flavour of segment while tests can still tell them
+    apart.
     """
     from multiprocessing import shared_memory
-
-    csr = frozen.csr
-    fields: dict[str, array] = {
-        "indptr": _as_array("l", csr.indptr),
-        "indices": _as_array("l", csr.indices),
-        "weights": _as_array("d", csr.weights),
-    }
-    payload = pickle.dumps(
-        (csr.node_list, csr.num_edges, csr.total_weight),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
 
     regions: dict[str, tuple[str, int, int]] = {}
     offset = 0
@@ -234,7 +231,7 @@ def share_frozen(frozen: FrozenGraph) -> SharedSnapshot:
 
     shm = None
     while shm is None:
-        name = _next_segment_name()
+        name = _next_segment_name(tag)
         try:
             shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
         except FileExistsError:  # stale name from a recycled pid; try the next
@@ -247,6 +244,26 @@ def share_frozen(frozen: FrozenGraph) -> SharedSnapshot:
     with _live_lock:
         _live[shm.name] = snapshot
     return snapshot
+
+
+def share_frozen(frozen: FrozenGraph) -> SharedSnapshot:
+    """Export ``frozen``'s CSR arrays into one named shared segment.
+
+    The frozen graph itself is untouched — the owner keeps serving from
+    its private arrays; the returned handle's :attr:`descriptor` is what
+    workers feed to :func:`attach_frozen`.
+    """
+    csr = frozen.csr
+    fields: dict[str, array] = {
+        "indptr": _as_array("l", csr.indptr),
+        "indices": _as_array("l", csr.indices),
+        "weights": _as_array("d", csr.weights),
+    }
+    payload = pickle.dumps(
+        (csr.node_list, csr.num_edges, csr.total_weight),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return share_regions(fields, payload)
 
 
 def _as_array(typecode: str, values) -> array:
@@ -299,6 +316,31 @@ def _open_untracked(shared_memory, name: str):
             resource_tracker.register = original
 
 
+def attach_regions(descriptor: SnapshotDescriptor):
+    """Map a shared segment read-only and expose its regions as views.
+
+    Returns ``(shm, views, payload)`` where ``views`` maps each region
+    name to a read-only typed memoryview into the segment and ``payload``
+    is a private copy of the pickled tail.  On any failure the mapping is
+    released before the exception propagates; raises :class:`GraphError`
+    when the segment no longer exists.
+    """
+    shm = _open_segment(descriptor.segment)
+    views: dict[str, memoryview] = {}
+    try:
+        for field, (typecode, offset, count) in descriptor.regions.items():
+            nbytes = count * array(typecode).itemsize
+            views[field] = shm.buf[offset : offset + nbytes].cast(typecode).toreadonly()
+        start = descriptor.payload_offset
+        payload = bytes(shm.buf[start : start + descriptor.payload_length])
+    except BaseException:
+        for view in list(views.values()):
+            view.release()
+        shm.close()
+        raise
+    return shm, views, payload
+
+
 def attach_frozen(descriptor: SnapshotDescriptor) -> "AttachedFrozenGraph":
     """Map a shared snapshot read-only and wrap it as a frozen graph.
 
@@ -306,17 +348,11 @@ def attach_frozen(descriptor: SnapshotDescriptor) -> "AttachedFrozenGraph":
     crashed or already unlinked) — callers treat that like any other
     failed snapshot load and fall back to a private freeze.
     """
-    shm = _open_segment(descriptor.segment)
+    shm, views, payload = attach_regions(descriptor)
     try:
-        views: dict[str, memoryview] = {}
-        for field, (typecode, offset, count) in descriptor.regions.items():
-            nbytes = count * array(typecode).itemsize
-            views[field] = shm.buf[offset : offset + nbytes].cast(typecode).toreadonly()
-        start = descriptor.payload_offset
-        payload = bytes(shm.buf[start : start + descriptor.payload_length])
         node_list, num_edges, total_weight = pickle.loads(payload)
     except BaseException:
-        for view in list(locals().get("views", {}).values()):
+        for view in list(views.values()):
             view.release()
         shm.close()
         raise

@@ -11,7 +11,12 @@ multi-user service, structured in four layers:
   the flat shard dict;
 * **shards** (:mod:`~repro.serving.shard`) — queueing, coalescing, the LRU
   result cache, and admission control (bounded queues shed with structured
-  ``overloaded`` + ``retry_after_ms`` errors);
+  ``overloaded`` + ``retry_after_ms`` errors).  When a precomputed
+  community index exists for a dataset (``repro index build``, see
+  :mod:`repro.graph.index`), the replica set shares it once per host and
+  executors answer ``kc`` / ``kt`` / ``hightruss`` queries as window scans
+  over it instead of running decompositions (``index`` ∈ auto / require /
+  off on :class:`ServingEngine` and ``repro serve``);
 * **transport/clients** — the asyncio TCP server (read backpressure,
   graceful drain), the blocking :class:`ServingClient` (reconnect-once) and
   the keep-alive :class:`ServingClientPool` (bounded retry of shed

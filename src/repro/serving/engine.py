@@ -28,6 +28,7 @@ Typical in-process use::
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Any, Callable, Optional
 
@@ -62,6 +63,8 @@ class ServingEngine:
         replica_overrides: Optional[dict[str, int]] = None,
         routing: str = "least-loaded",
         snapshot: str = "shared",
+        index: str = "auto",
+        index_dir: Optional[str] = None,
     ) -> None:
         self._known_datasets = set(list_datasets())
         self._known_algorithms = set(list_algorithms())
@@ -87,8 +90,11 @@ class ServingEngine:
             workers=workers,
             routing=routing,
             snapshot=snapshot,
+            index=index,
+            index_dir=index_dir,
         )
         self._started = False
+        self._loop = None  # captured at start() for thread-safe preloads
         # cluster mode (repro.cluster): when set, queries for datasets outside
         # the owned set are refused with the structured `not_owner` code; the
         # node agent updates this from coordinator heartbeats (a plain
@@ -105,6 +111,7 @@ class ServingEngine:
         """Load the configured shards and start their replica loops."""
         if self._started:
             return
+        self._loop = asyncio.get_running_loop()
         await self._placement.start(self._preload)
         self._started = True
 
@@ -217,6 +224,31 @@ class ServingEngine:
         query with ``not_owner`` instead of loading shards it does not own.
         """
         self._owned_datasets = None if names is None else frozenset(names)
+
+    def request_preload(self, names) -> None:
+        """Warm shards for ``names`` from any thread (fire-and-forget).
+
+        The cluster node agent calls this when the coordinator assigns
+        datasets to this node: building each shard *now* — dataset load,
+        freeze, and the community-index load — means a failover target is
+        already warm when the first rerouted query lands, instead of
+        re-deriving decompositions on the request path.  Unknown names and
+        shard-build failures are ignored here; they surface through the
+        normal query path with structured errors.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+
+        async def _warm(name: str) -> None:
+            try:
+                await self._placement.get_shard(name)
+            except Exception:  # noqa: BLE001 - preloading is best-effort
+                pass
+
+        for name in names:
+            if name in self._known_datasets:
+                asyncio.run_coroutine_threadsafe(_warm(name), loop)
 
     @property
     def owned_datasets(self) -> Optional[frozenset[str]]:

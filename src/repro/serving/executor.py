@@ -57,6 +57,8 @@ __all__ = [
     "InlineExecutor",
     "PoolExecutor",
     "WorkerProcessExecutor",
+    "execute_one",
+    "execute_traced",
 ]
 
 #: The closed set of executor strategies ``--executor`` accepts.
@@ -92,13 +94,32 @@ def as_protocol_error(exc: Exception) -> ProtocolError:
     return ProtocolError("internal_error", f"{type(exc).__name__}: {exc}")
 
 
-def execute_one(graph, algorithm: str, params: dict, nodes) -> Outcome:
+def execute_one(graph, algorithm: str, params: dict, nodes, index=None) -> Outcome:
     """Run one request against ``graph``; failures come back as values."""
+    outcome, _ = execute_traced(graph, algorithm, params, nodes, index)
+    return outcome
+
+
+def execute_traced(
+    graph, algorithm: str, params: dict, nodes, index=None
+) -> tuple[Outcome, bool]:
+    """Like :func:`execute_one`, also reporting whether the index answered.
+
+    When a :class:`~repro.graph.index.CommunityIndex` is given and it can
+    serve ``(algorithm, params)`` bit-identically, the answer comes from
+    its windows — no peeling, no memo cache.  Everything else (including
+    every malformed-parameter error surface) takes the executed path, so
+    clients cannot tell the two apart except by latency.
+    """
+    served_by_index = False
     try:
+        if index is not None and index.serves(algorithm, params):
+            served_by_index = True
+            return index.search(algorithm, list(nodes), **params), served_by_index
         runner = _resolve_algorithm(algorithm, params)
-        return runner(graph, list(nodes))
+        return runner(graph, list(nodes)), served_by_index
     except Exception as exc:  # noqa: BLE001 - mapped to structured codes
-        return as_protocol_error(exc)
+        return as_protocol_error(exc), served_by_index
 
 
 def _rss_kb() -> Optional[int]:
@@ -123,8 +144,10 @@ class InlineExecutor:
 
     kind = "inline"
 
-    def __init__(self, frozen: FrozenGraph) -> None:
+    def __init__(self, frozen: FrozenGraph, *, index=None) -> None:
         self._frozen = frozen
+        self._index = index
+        self.index_hits = 0
 
     async def start(self) -> None:  # nothing to warm up
         return None
@@ -136,16 +159,25 @@ class InlineExecutor:
         return await loop.run_in_executor(None, self._execute_batch, requests)
 
     def _execute_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
-        return [
-            execute_one(self._frozen, request.algorithm, request.param_dict(), request.nodes)
-            for request in requests
-        ]
+        outcomes: list[Outcome] = []
+        for request in requests:
+            outcome, hit = execute_traced(
+                self._frozen, request.algorithm, request.param_dict(), request.nodes,
+                self._index,
+            )
+            if hit:
+                self.index_hits += 1
+            outcomes.append(outcome)
+        return outcomes
 
     async def close(self) -> None:
         return None
 
     def describe(self) -> dict[str, Any]:
-        return {"kind": self.kind}
+        info: dict[str, Any] = {"kind": self.kind}
+        if self._index is not None:
+            info["index_hits"] = self.index_hits
+        return info
 
 
 # ----------------------------------------------------------------------------
@@ -153,23 +185,35 @@ class InlineExecutor:
 # ----------------------------------------------------------------------------
 
 _POOL_DATASET: Optional[Dataset] = None
+_POOL_INDEX = None
 
 
-def _pool_worker_init(dataset: Dataset, descriptor=None) -> None:
+def _pool_worker_init(
+    dataset: Dataset, descriptor=None, index_descriptor=None, index=None
+) -> None:
     if descriptor is not None:
         # zero-copy: attach the host's shared snapshot instead of unpickling
         # a private copy of the graph (the shipped dataset carries no graph)
         from ..graph.shm import attach_frozen
 
         dataset = replace(dataset, graph=attach_frozen(descriptor))
+    if index_descriptor is not None:
+        # same move for the community index: every pool worker maps the
+        # host's one segment instead of unpickling the window arrays
+        from ..graph.index import attach_index
+
+        index = attach_index(index_descriptor)
     globals()["_POOL_DATASET"] = dataset
+    globals()["_POOL_INDEX"] = index
 
 
 def _pool_worker_run(algorithm: str, params: tuple, nodes: tuple):
-    outcome = execute_one(_POOL_DATASET.graph, algorithm, dict(params), nodes)
+    outcome, hit = execute_traced(
+        _POOL_DATASET.graph, algorithm, dict(params), nodes, _POOL_INDEX
+    )
     if isinstance(outcome, ProtocolError):
         raise outcome
-    return outcome
+    return hit, outcome
 
 
 class SharedProcessPool:
@@ -188,6 +232,8 @@ class SharedProcessPool:
         workers: int,
         *,
         descriptor=None,
+        index_descriptor=None,
+        index=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -195,6 +241,8 @@ class SharedProcessPool:
         self._dataset = dataset
         self._frozen = frozen
         self._descriptor = descriptor
+        self._index_descriptor = index_descriptor
+        self._index = index
         self._pool = None
 
     @property
@@ -207,12 +255,18 @@ class SharedProcessPool:
 
             if self._descriptor is not None:
                 shipped = replace(self._dataset, graph=None)
+            elif self._index_descriptor is not None or self._index is not None:
+                # index-backed shard: the segment already carries every
+                # decomposition the workers need, so ship the snapshot with
+                # an empty memo cache instead of pickling warm memo values
+                # once per worker
+                shipped = replace(self._dataset, graph=self._frozen.without_cache())
             else:
                 shipped = replace(self._dataset, graph=self._frozen)
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_pool_worker_init,
-                initargs=(shipped, self._descriptor),
+                initargs=(shipped, self._descriptor, self._index_descriptor, self._index),
             )
         return self._pool
 
@@ -229,6 +283,7 @@ class PoolExecutor:
 
     def __init__(self, shared_pool: SharedProcessPool) -> None:
         self._shared = shared_pool
+        self.index_hits = 0
 
     async def start(self) -> None:
         self._shared.ensure_started()
@@ -245,9 +300,13 @@ class PoolExecutor:
         outcomes: list[Outcome] = []
         for future in futures:
             try:
-                outcomes.append(await future)
+                hit, outcome = await future
             except Exception as exc:  # noqa: BLE001 - mapped to structured codes
                 outcomes.append(as_protocol_error(exc))
+                continue
+            if hit:
+                self.index_hits += 1
+            outcomes.append(outcome)
         return outcomes
 
     async def close(self) -> None:
@@ -255,11 +314,14 @@ class PoolExecutor:
         return None
 
     def describe(self) -> dict[str, Any]:
-        return {
+        info = {
             "kind": self.kind,
             "workers": self._shared.workers,
             "snapshot": self._shared.snapshot_mode,
         }
+        if self._shared._index_descriptor is not None or self._shared._index is not None:
+            info["index_hits"] = self.index_hits
+        return info
 
 
 # ----------------------------------------------------------------------------
@@ -267,7 +329,9 @@ class PoolExecutor:
 # ----------------------------------------------------------------------------
 
 
-def _worker_process_main(conn, dataset: Dataset, descriptor=None) -> None:
+def _worker_process_main(
+    conn, dataset: Dataset, descriptor=None, index_descriptor=None, index=None
+) -> None:
     """Entry point of a replica's worker process (spawn-safe, module level).
 
     With a ``descriptor`` the child attaches the host's shared snapshot —
@@ -276,11 +340,16 @@ def _worker_process_main(conn, dataset: Dataset, descriptor=None) -> None:
     already holds; the CSR kernels serve every hot read).  Without one it
     freezes **its own** snapshot from the shipped mutable dataset.  Either
     way the memo cache is private, so replicas never contend on one
-    interpreter.  The handshake reports the snapshot mode and the resident
-    memory the snapshot cost this worker, then the loop answers
-    ``("batch", items)`` messages until ``("stop", None)`` or pipe close.
+    interpreter.  An ``index_descriptor`` attaches the host's community
+    index segment the same zero-copy way (``index`` carries a pickled copy
+    where shared memory is unavailable).  The handshake reports the
+    snapshot/index modes and the resident memory the snapshot cost this
+    worker, then the loop answers ``("batch", items)`` messages — each
+    reply also carries how many items the index served — until
+    ``("stop", None)`` or pipe close.
     """
     attached = None
+    attached_index = None
     try:
         rss_before = _rss_kb()
         if descriptor is not None:
@@ -290,9 +359,18 @@ def _worker_process_main(conn, dataset: Dataset, descriptor=None) -> None:
         else:
             frozen = freeze(dataset.graph)
             frozen.csr.adjacency_lists()  # prebuild outside any batch timing
+        if index_descriptor is not None:
+            from ..graph.index import attach_index
+
+            index = attached_index = attach_index(index_descriptor)
         rss_after = _rss_kb()
         info = {
             "snapshot": "shared" if descriptor is not None else "private",
+            "index": (
+                "attached"
+                if attached_index is not None
+                else ("copied" if index is not None else None)
+            ),
             "rss_kb": rss_after,
             "snapshot_rss_kb": (
                 rss_after - rss_before
@@ -315,13 +393,21 @@ def _worker_process_main(conn, dataset: Dataset, descriptor=None) -> None:
         if kind != "batch":
             break
         outcomes = []
+        hits = 0
         for algorithm, params, nodes in payload:
-            outcome = execute_one(frozen, algorithm, dict(params), nodes)
+            outcome, hit = execute_traced(frozen, algorithm, dict(params), nodes, index)
+            if hit:
+                hits += 1
             if isinstance(outcome, ProtocolError):
                 outcomes.append(("err", outcome))
             else:
                 outcomes.append(("ok", outcome))
-        conn.send(("batch", outcomes))
+        conn.send(("batch", outcomes, hits))
+    if attached_index is not None:
+        try:
+            attached_index.detach()
+        except Exception:  # noqa: BLE001 - teardown must not mask the exit
+            pass
     if attached is not None:
         try:
             attached.detach()  # release the views before the mapping goes
@@ -349,16 +435,21 @@ class WorkerProcessExecutor:
         dataset: Dataset,
         *,
         descriptor=None,
+        index_descriptor=None,
+        index=None,
         start_timeout: float = 120.0,
     ) -> None:
         self._dataset = dataset
         self._descriptor = descriptor
+        self._index_descriptor = index_descriptor
+        self._index = index
         self._start_timeout = start_timeout
         self._proc = None
         self._conn = None
         self._lock = threading.Lock()
         self.restarts = -1  # first spawn brings it to 0
         self.worker_info: dict[str, Any] = {}
+        self.index_hits = 0
 
     @property
     def snapshot_mode(self) -> str:
@@ -374,11 +465,18 @@ class WorkerProcessExecutor:
             # the child attaches the shared segment; only the descriptor and
             # the dataset's metadata cross the pipe, never the graph
             shipped = replace(self._dataset, graph=None)
+        elif (
+            isinstance(self._dataset.graph, FrozenGraph)
+            and (self._index_descriptor is not None or self._index is not None)
+        ):
+            # index-backed, private snapshot: never pickle warm memo values
+            # into the child — the index carries the decompositions
+            shipped = replace(self._dataset, graph=self._dataset.graph.without_cache())
         else:
             shipped = self._dataset
         proc = ctx.Process(
             target=_worker_process_main,
-            args=(child_conn, shipped, self._descriptor),
+            args=(child_conn, shipped, self._descriptor, self._index_descriptor, self._index),
             name=f"repro-replica:{self._dataset.name}",
             daemon=True,
         )
@@ -466,7 +564,9 @@ class WorkerProcessExecutor:
     async def run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
         items = [(request.algorithm, request.params, request.nodes) for request in requests]
         loop = asyncio.get_running_loop()
-        _, tagged = await loop.run_in_executor(None, self._roundtrip, items)
+        _, tagged, hits = await loop.run_in_executor(None, self._roundtrip, items)
+        if hits:
+            self.index_hits += hits
         return [outcome for _tag, outcome in tagged]
 
     async def close(self) -> None:
@@ -485,4 +585,8 @@ class WorkerProcessExecutor:
         snapshot_rss = self.worker_info.get("snapshot_rss_kb")
         if snapshot_rss is not None:
             info["snapshot_rss_kb"] = snapshot_rss
+        index_mode = self.worker_info.get("index")
+        if index_mode is not None:
+            info["index"] = index_mode
+            info["index_hits"] = self.index_hits
         return info

@@ -30,7 +30,15 @@ import asyncio
 from typing import Any, Callable, Optional
 
 from ..datasets import Dataset, load_dataset
-from ..graph import FrozenGraph, freeze, shared_memory_available
+from ..graph import (
+    INDEX_MODES,
+    FrozenGraph,
+    GraphError,
+    freeze,
+    index_path,
+    load_index,
+    shared_memory_available,
+)
 from .executor import (
     EXECUTOR_KINDS,
     InlineExecutor,
@@ -287,6 +295,9 @@ class ReplicaSet:
         shared_pool=None,
         snapshot_handle=None,
         snapshot: str = "private",
+        index_handle=None,
+        index_effective: str = "executed",
+        index_reason: Optional[str] = None,
     ) -> None:
         if not replicas:
             raise ValueError("a replica set needs at least one replica")
@@ -295,6 +306,9 @@ class ReplicaSet:
         self._shared_pool = shared_pool
         self._snapshot_handle = snapshot_handle
         self.snapshot_mode = snapshot
+        self._index_handle = index_handle
+        self.index_effective = index_effective
+        self.index_reason = index_reason
 
     @classmethod
     def build(
@@ -309,6 +323,8 @@ class ReplicaSet:
         routing: str,
         max_batch: int,
         snapshot: str = "private",
+        index=None,
+        index_reason: Optional[str] = None,
     ) -> "ReplicaSet":
         """Construct ``count`` replicas of ``dataset`` on the given strategy."""
         if count < 1:
@@ -339,6 +355,21 @@ class ReplicaSet:
                 except (OSError, ValueError):  # graceful fallback: ship copies
                     snapshot_handle = None
         descriptor = snapshot_handle.descriptor if snapshot_handle is not None else None
+        # the community index is exported once per shard too: N process/pool
+        # replicas on this host map ONE index segment, never N copies (a
+        # pickled copy per worker is the fallback where shm is unavailable)
+        index_handle = None
+        index_descriptor = None
+        index_copy = None
+        if index is not None and executor in ("pool", "process"):
+            if shared_memory_available():
+                try:
+                    index_handle = index.share()
+                    index_descriptor = index_handle.descriptor
+                except (OSError, ValueError):
+                    index_handle = None
+            if index_descriptor is None:
+                index_copy = index
         shared_pool = None
         if executor == "pool":
             shared_pool = SharedProcessPool(
@@ -346,22 +377,34 @@ class ReplicaSet:
                 frozen,
                 workers if workers else DEFAULT_POOL_WORKERS,
                 descriptor=descriptor,
+                index_descriptor=index_descriptor,
+                index=index_copy,
             )
         replicas = []
-        for index in range(count):
+        for replica_index in range(count):
             if executor == "inline":
-                engine_executor = InlineExecutor(frozen)
+                engine_executor = InlineExecutor(frozen, index=index)
             elif executor == "pool":
                 engine_executor = PoolExecutor(shared_pool)
             else:
-                engine_executor = WorkerProcessExecutor(dataset, descriptor=descriptor)
-            replicas.append(Replica(index, engine_executor, key=key, max_batch=max_batch))
+                engine_executor = WorkerProcessExecutor(
+                    dataset,
+                    descriptor=descriptor,
+                    index_descriptor=index_descriptor,
+                    index=index_copy,
+                )
+            replicas.append(
+                Replica(replica_index, engine_executor, key=key, max_batch=max_batch)
+            )
         return cls(
             replicas,
             ROUTING_POLICIES[routing](),
             shared_pool=shared_pool,
             snapshot_handle=snapshot_handle,
             snapshot=effective,
+            index_handle=index_handle,
+            index_effective="indexed" if index is not None else "executed",
+            index_reason=index_reason,
         )
 
     def __len__(self) -> int:
@@ -418,6 +461,17 @@ class ReplicaSet:
             except OSError:
                 pass
             self._snapshot_handle = None
+        if self._index_handle is not None:
+            try:
+                self._index_handle.close()
+                self._index_handle.unlink()
+            except OSError:
+                pass
+            self._index_handle = None
+
+    def index_hits(self) -> int:
+        """Queries answered from the index windows, summed over replicas."""
+        return sum(getattr(replica.executor, "index_hits", 0) for replica in self.replicas)
 
     def stats(self) -> list[dict[str, Any]]:
         return [replica.stats() for replica in self.replicas]
@@ -451,6 +505,8 @@ class Placement:
         workers: Optional[int] = None,
         routing: str = LeastLoadedPolicy.name,
         snapshot: str = "shared",
+        index: str = "auto",
+        index_dir: Optional[str] = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -460,6 +516,10 @@ class Placement:
             raise ValueError(
                 f"unknown snapshot mode {snapshot!r}; choose from "
                 f"{', '.join(SNAPSHOT_MODES)}"
+            )
+        if index not in INDEX_MODES:
+            raise ValueError(
+                f"unknown index mode {index!r}; choose from {', '.join(INDEX_MODES)}"
             )
         if routing not in ROUTING_POLICIES:
             raise ValueError(
@@ -495,6 +555,8 @@ class Placement:
         self.workers = workers
         self.routing = routing
         self.snapshot = snapshot
+        self.index = index
+        self.index_dir = index_dir
         self.replicas = replicas
         self.replica_overrides = overrides
         self._shards: dict[str, Shard] = {}
@@ -532,11 +594,41 @@ class Placement:
         """The configured replica count for ``name``."""
         return self.replica_overrides.get(name, self.replicas)
 
+    def load_shard_index(self, key: str, frozen: FrozenGraph):
+        """Load (and digest-verify) ``key``'s index per the placement policy.
+
+        Returns ``(index, reason)``: in ``auto`` mode a missing, stale or
+        corrupt index degrades to the executed path with the reason
+        recorded in ``stats``; in ``require`` mode it fails the shard build
+        with a structured :class:`GraphError` instead — a node must never
+        silently serve the slow path when the operator demanded the index.
+        """
+        if self.index == "off":
+            return None, None
+        path = index_path(key, self.index_dir)
+        try:
+            # load_index binds against the live snapshot, which rejects any
+            # digest mismatch — a stale index never serves
+            return load_index(path, frozen), None
+        except FileNotFoundError:
+            reason = f"no index file at {path}"
+            if self.index == "require":
+                raise GraphError(
+                    f"index mode 'require': {reason}; "
+                    f"build it with 'repro index build {key}'"
+                ) from None
+            return None, reason
+        except GraphError as exc:
+            if self.index == "require":
+                raise
+            return None, str(exc)
+
     def build_shard(self, dataset: Dataset, *, key: Optional[str] = None) -> Shard:
         """Freeze ``dataset`` once and stand a replicated shard in front."""
         key = key if key is not None else dataset.name
         frozen = freeze(dataset.graph)
         frozen.csr.adjacency_lists()  # prebuild outside any request timing
+        index, index_reason = self.load_shard_index(key, frozen)
         replica_set = ReplicaSet.build(
             dataset,
             frozen,
@@ -547,6 +639,8 @@ class Placement:
             routing=self.routing,
             max_batch=self._options["max_batch"],
             snapshot=self.snapshot,
+            index=index,
+            index_reason=index_reason,
         )
         return Shard(
             dataset,
@@ -612,11 +706,16 @@ class Placement:
                 "retried",
             )
         }
+        totals["index_hits"] = sum(
+            stats["index"]["hits"] for stats in per_shard.values()
+        )
         return {
             "placement": {
                 "executor": self.executor,
                 "routing": self.routing,
                 "snapshot": self.snapshot,
+                "index": self.index,
+                "index_dir": str(self.index_dir) if self.index_dir is not None else None,
                 "replicas": self.replicas,
                 "replica_overrides": dict(sorted(self.replica_overrides.items())),
                 "max_queue": self._options["max_queue"],

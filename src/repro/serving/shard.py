@@ -219,6 +219,21 @@ class Shard:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+    def _index_stats(self) -> dict[str, Any]:
+        """The shard's index tier: effective mode, hit count, fallback reason."""
+        info: dict[str, Any] = {
+            "effective": getattr(self.replica_set, "index_effective", "executed"),
+            "hits": (
+                self.replica_set.index_hits()
+                if hasattr(self.replica_set, "index_hits")
+                else 0
+            ),
+        }
+        reason = getattr(self.replica_set, "index_reason", None)
+        if reason is not None:
+            info["reason"] = reason
+        return info
+
     def stats(self) -> dict[str, Any]:
         """Return a JSON-serialisable snapshot of the shard counters."""
         latencies = list(self._latencies)
@@ -229,6 +244,7 @@ class Shard:
             "edges": self.frozen.number_of_edges(),
             "executor": self.replica_set.executor_kind,
             "snapshot": self.replica_set.snapshot_mode,
+            "index": self._index_stats(),
             "routing": self.replica_set.policy.name,
             "replica_count": len(self.replica_set),
             "workers": self.replica_set.pool_workers,

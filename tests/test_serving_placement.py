@@ -445,6 +445,7 @@ class TestStatsSchema:
         "cache_entries",
         "replicas",
         "latency_ms",
+        "index",
     }
     REPLICA_KEYS = {
         "replica",
@@ -467,6 +468,7 @@ class TestStatsSchema:
         "errors",
         "shed",
         "retried",
+        "index_hits",
     }
 
     def test_stats_schema_is_stable(self):
@@ -488,12 +490,18 @@ class TestStatsSchema:
             "executor",
             "routing",
             "snapshot",
+            "index",
+            "index_dir",
             "replicas",
             "replica_overrides",
             "max_queue",
         }
         shard = payload["shards"]["karate"]
         assert set(shard) == self.SHARD_KEYS
+        # no index file here, so the tier reports the executed fallback
+        assert shard["index"]["effective"] == "executed"
+        assert shard["index"]["hits"] == 0
+        assert payload["totals"]["index_hits"] == 0
         assert shard["replica_count"] == 2 and len(shard["replicas"]) == 2
         for replica_stats in shard["replicas"]:
             assert set(replica_stats) == self.REPLICA_KEYS
