@@ -181,6 +181,8 @@ class ServerProcess(WireProcess):
         index: str | None = None,
         index_dir: str | None = None,
         join: str | None = None,
+        epochs: bool = False,
+        epoch_threshold: int | None = None,
     ) -> None:
         command = [
             sys.executable,
@@ -212,6 +214,10 @@ class ServerProcess(WireProcess):
             command += ["--index-dir", index_dir]
         if join:
             command += ["--join", join]
+        if epochs:
+            command += ["--epochs"]
+        if epoch_threshold is not None:
+            command += ["--epoch-threshold", str(epoch_threshold)]
         super().__init__(command)
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six sub-commands expose the library without writing any code:
+Eight sub-commands expose the library without writing any code:
 
 * ``datasets`` — list the built-in datasets with their Table-1 statistics;
 * ``algorithms`` — list the registered community-search algorithms;
@@ -17,6 +17,10 @@ Six sub-commands expose the library without writing any code:
   precomputed community-search index files that let ``serve`` answer
   ``kc`` / ``kt`` / ``hightruss`` queries as binary-search window scans
   instead of running decompositions (see ``repro.graph.index``);
+* ``mutate`` — apply ordered graph mutations to a running ``serve
+  --epochs`` daemon; the server repairs its core/truss decompositions
+  incrementally and publishes the result as a new snapshot epoch (see
+  ``repro.dynamic``);
 * ``coordinator`` — run the cluster control plane (membership, per-host
   shard placement, failover, the versioned routing table; see
   ``repro.cluster``).
@@ -174,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
         "or ./.repro-index)",
     )
     serve.add_argument(
+        "--epochs",
+        action="store_true",
+        help="serve epochal snapshots: every shard's state is owned by an "
+        "epoch manager, responses carry an 'epoch' field, and the 'mutate' "
+        "wire op (or 'repro mutate') evolves the graph by publishing new "
+        "epochs (see repro.dynamic)",
+    )
+    serve.add_argument(
+        "--epoch-threshold",
+        type=int,
+        default=64,
+        help="delta batches with at most this many ops repair the core/truss "
+        "decompositions incrementally; larger batches refreeze from scratch "
+        "(default 64; 0 always refreezes)",
+    )
+    serve.add_argument(
         "--join",
         default=None,
         metavar="HOST:PORT",
@@ -224,6 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding <dataset>.idx files (default: $REPRO_INDEX_DIR "
         "or ./.repro-index)",
     )
+
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="apply graph mutations to a running --epochs server, publishing "
+        "a new snapshot epoch (ops like add-edge:0:99 remove-edge:2:3 "
+        "add-node:99 remove-node:5)",
+    )
+    mutate.add_argument("dataset", metavar="DATASET", help="dataset to mutate")
+    mutate.add_argument(
+        "ops",
+        nargs="+",
+        metavar="OP",
+        help="mutations, in order: add-edge:U:V[:WEIGHT], remove-edge:U:V, "
+        "add-node:N, remove-node:N",
+    )
+    mutate.add_argument("--host", default="127.0.0.1", help="server host")
+    mutate.add_argument("--port", type=int, default=7531, help="server port")
 
     coordinator = subparsers.add_parser(
         "coordinator",
@@ -383,6 +420,8 @@ def _command_serve(args) -> int:
         snapshot=args.snapshot,
         index=args.index,
         index_dir=args.index_dir,
+        epochs=args.epochs,
+        epoch_threshold=args.epoch_threshold,
     )
     if args.join is None:
         return run_server(engine, args.host, args.port)
@@ -485,6 +524,26 @@ def _command_index(args) -> int:
     return _command_index_inspect(args)
 
 
+def _command_mutate(args) -> int:
+    from .dynamic import DeltaBatch
+    from .serving.client import ServingClient
+
+    batch = DeltaBatch.from_tokens(args.ops)  # ValueError → flag-shaped error
+    with ServingClient(args.host, args.port) as client:
+        response = client.request(
+            {"op": "mutate", "dataset": args.dataset, "ops": batch.to_wire()}
+        )
+    if not response.get("ok"):
+        error = response.get("error", {})
+        raise ValueError(f"{error.get('code', 'error')}: {error.get('message', response)}")
+    print(
+        f"{args.dataset}: epoch {response['epoch']} "
+        f"({response['mode']}, {response['ops']} ops, "
+        f"{response['nodes']} nodes / {response['edges']} edges)"
+    )
+    return 0
+
+
 def _command_coordinator(args) -> int:
     from .cluster import Coordinator, run_coordinator
 
@@ -515,6 +574,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_serve(args)
         if args.command == "index":
             return _command_index(args)
+        if args.command == "mutate":
+            return _command_mutate(args)
         if args.command == "coordinator":
             return _command_coordinator(args)
     except BrokenPipeError:

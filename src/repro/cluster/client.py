@@ -14,7 +14,11 @@ path.  Three situations send it back to the coordinator:
   refetched, and the query fails over to another listed replica;
 * a dataset with no (reachable) replicas — poll the table until the
   coordinator's failover publishes a new version, bounded by
-  ``failover_timeout``.
+  ``failover_timeout``;
+* an **epoch regression** — a node that previously answered a dataset at
+  epoch ``N`` answers the same dataset at an older epoch (an evolving
+  dataset failed over onto a lagging snapshot, see ``repro.dynamic``);
+  treated exactly like ``not_owner``: refetch and retry.
 
 Routing is **cache-affine**: each distinct request hashes to a stable
 replica in the dataset's owner list, so a repeated query always lands on
@@ -89,10 +93,16 @@ class ClusterClient:
         self._coordinator: Optional[ServingClient] = None
         self._coordinator_lock = threading.Lock()
         self._closed = False
+        # highest epoch each (dataset, address) pair has answered with —
+        # a later answer from the SAME address carrying a lower epoch means
+        # we were routed to a snapshot that went backwards (a failed-over
+        # replica lagging behind the one we saw); treated like not_owner
+        self._epochs: dict[tuple[str, str], int] = {}
         # counters
         self.table_fetches = 0
         self.failovers = 0
         self.not_owner_refreshes = 0
+        self.epoch_regressions = 0
         self.refresh_table()
 
     # ------------------------------------------------------------------
@@ -262,6 +272,17 @@ class ClusterClient:
                             self.not_owner_refreshes += 1
                         last_failure = f"{address}: not_owner"
                         stale = True
+                    elif self._epoch_regressed(dataset, address, response):
+                        # an epochal snapshot went backwards on this address:
+                        # treat it like stale routing — refetch and retry.
+                        # The recorded epoch is rebased to the lower value
+                        # first, so a genuinely lagging replica is accepted
+                        # on the retry rather than black-holing the query.
+                        last_failure = (
+                            f"{address}: epoch regressed below "
+                            f"{response.get('epoch')}"
+                        )
+                        stale = True
                     else:
                         return response
             if time.monotonic() > deadline:
@@ -289,6 +310,26 @@ class ClusterClient:
                 elif stale:
                     time.sleep(self.refresh_interval)
 
+    def _epoch_regressed(self, dataset: str, address: str, response: dict[str, Any]) -> bool:
+        """Record the response's epoch; True when this address went backwards.
+
+        Only successful epoch-stamped responses participate (static
+        snapshots never carry ``epoch``).  The check is per address: two
+        replicas at different epochs are merely skewed, not regressed.
+        """
+        epoch = response.get("epoch")
+        if not response.get("ok") or not isinstance(epoch, int) or isinstance(epoch, bool):
+            return False
+        key = (dataset, address)
+        with self._lock:
+            known = self._epochs.get(key)
+            if known is not None and epoch < known:
+                self.epoch_regressions += 1
+                self._epochs[key] = epoch  # rebase: the retry must terminate
+                return True
+            self._epochs[key] = epoch
+        return False
+
     # ------------------------------------------------------------------
     # convenience + introspection
     # ------------------------------------------------------------------
@@ -313,6 +354,7 @@ class ClusterClient:
             "table_fetches": self.table_fetches,
             "failovers": self.failovers,
             "not_owner_refreshes": self.not_owner_refreshes,
+            "epoch_regressions": self.epoch_regressions,
             "pools": {address: pool.counters() for address, pool in sorted(pools.items())},
         }
 

@@ -73,7 +73,15 @@ class _HostSlot:
 class NodeInfo:
     """One registered node: identity, liveness and assignment bookkeeping."""
 
-    __slots__ = ("node_id", "address", "index", "last_heartbeat", "alive", "heartbeats")
+    __slots__ = (
+        "node_id",
+        "address",
+        "index",
+        "last_heartbeat",
+        "alive",
+        "heartbeats",
+        "epochs",
+    )
 
     def __init__(self, node_id: str, address: str, index: int, now: float) -> None:
         self.node_id = node_id
@@ -82,14 +90,20 @@ class NodeInfo:
         self.last_heartbeat = now
         self.alive = True
         self.heartbeats = 0
+        # dataset → snapshot epoch, as last reported on a heartbeat (empty
+        # for nodes serving static snapshots; see repro.dynamic)
+        self.epochs: dict[str, int] = {}
 
     def describe(self) -> dict[str, Any]:
-        return {
+        info: dict[str, Any] = {
             "node_id": self.node_id,
             "address": self.address,
             "alive": self.alive,
             "heartbeats": self.heartbeats,
         }
+        if self.epochs:
+            info["epochs"] = dict(sorted(self.epochs.items()))
+        return info
 
 
 class Coordinator:
@@ -203,8 +217,19 @@ class Coordinator:
             "heartbeat_timeout_ms": int(self.heartbeat_timeout * 1000),
         }
 
-    def heartbeat(self, node_id: str, now: Optional[float] = None) -> dict[str, Any]:
-        """Record a node heartbeat; returns the current version + ownership."""
+    def heartbeat(
+        self,
+        node_id: str,
+        now: Optional[float] = None,
+        epochs: Optional[dict[str, int]] = None,
+    ) -> dict[str, Any]:
+        """Record a node heartbeat; returns the current version + ownership.
+
+        ``epochs`` is the node's per-dataset snapshot epoch map (nodes on
+        epochal snapshots piggyback it on every heartbeat); the coordinator
+        records it per node and publishes the per-dataset maximum in the
+        routing table so clients can detect replicas lagging behind.
+        """
         node = self._nodes.get(node_id)
         if node is None:
             raise ProtocolError(
@@ -213,6 +238,19 @@ class Coordinator:
         now = self._clock() if now is None else now
         node.last_heartbeat = now
         node.heartbeats += 1
+        if epochs is not None:
+            if not isinstance(epochs, dict) or not all(
+                isinstance(name, str)
+                and isinstance(epoch, int)
+                and not isinstance(epoch, bool)
+                and epoch >= 0
+                for name, epoch in epochs.items()
+            ):
+                raise ProtocolError(
+                    "bad_request",
+                    "'epochs' must map dataset names to non-negative integers",
+                )
+            node.epochs = dict(epochs)
         if not node.alive:
             # declared dead but still beating (e.g. a long GC pause): rejoin
             node.alive = True
@@ -316,14 +354,37 @@ class Coordinator:
             name for name, assigned in self._assignments.items() if node_id in assigned
         )
 
+    def dataset_epochs(self) -> dict[str, int]:
+        """Highest snapshot epoch reported per dataset by its live replicas.
+
+        Empty for datasets whose replicas serve static snapshots (they
+        never report epochs).  A replica reporting less than this maximum
+        is lagging — clients treat answers from it like stale routing.
+        """
+        epochs: dict[str, int] = {}
+        for name, assigned in self._assignments.items():
+            reported = [
+                self._nodes[node_id].epochs[name]
+                for node_id in assigned
+                if self._nodes[node_id].alive and name in self._nodes[node_id].epochs
+            ]
+            if reported:
+                epochs[name] = max(reported)
+        return dict(sorted(epochs.items()))
+
     def route_table(self) -> dict[str, Any]:
-        """The published table: dataset → replica addresses, plus version."""
+        """The published table: dataset → replica addresses, plus version.
+
+        ``epochs`` carries the per-dataset maximum snapshot epoch the live
+        replicas have reported (absent entries = static snapshots).
+        """
         return {
             "version": self._version,
             "table": {
                 name: [self._nodes[node_id].address for node_id in assigned]
                 for name, assigned in sorted(self._assignments.items())
             },
+            "epochs": self.dataset_epochs(),
         }
 
     # ------------------------------------------------------------------
@@ -344,6 +405,7 @@ class Coordinator:
             "assignments": {
                 name: list(assigned) for name, assigned in sorted(self._assignments.items())
             },
+            "epochs": self.dataset_epochs(),
             "registrations": self.registrations,
             "deregistrations": self.deregistrations,
             "failovers": self.failovers,
@@ -415,7 +477,13 @@ class CoordinatorServer:
         if op == "register":
             return {"ok": True, "op": "register", **coordinator.register(payload.get("address"))}
         if op == "heartbeat":
-            return {"ok": True, "op": "heartbeat", **coordinator.heartbeat(payload.get("node_id"))}
+            return {
+                "ok": True,
+                "op": "heartbeat",
+                **coordinator.heartbeat(
+                    payload.get("node_id"), epochs=payload.get("epochs")
+                ),
+            }
         if op == "deregister":
             return {
                 "ok": True,

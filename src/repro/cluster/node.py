@@ -164,8 +164,15 @@ class NodeAgent:
         return True
 
     def _heartbeat_once(self) -> None:
+        payload: dict[str, Any] = {"op": "heartbeat", "node_id": self.node_id}
+        epochs = self._dataset_epochs()
+        if epochs:
+            # piggyback the per-dataset snapshot epochs so the coordinator
+            # can publish the cluster-wide maximum (see repro.dynamic);
+            # static snapshots report nothing and cost nothing on the wire
+            payload["epochs"] = epochs
         try:
-            response = self._request({"op": "heartbeat", "node_id": self.node_id})
+            response = self._request(payload)
         except OSError:
             self.heartbeat_failures += 1
             self._close_client()
@@ -224,8 +231,18 @@ class NodeAgent:
     # ------------------------------------------------------------------
     # introspection (the engine's "node" stats block)
     # ------------------------------------------------------------------
+    def _dataset_epochs(self) -> dict[str, int]:
+        """The engine's per-dataset epochs ({} when static or engine-less)."""
+        provider = getattr(self.engine, "dataset_epochs", None)
+        if provider is None:
+            return {}
+        try:
+            return dict(provider())
+        except Exception:  # noqa: BLE001 - heartbeats must not die on stats
+            return {}
+
     def info(self) -> dict[str, Any]:
-        return {
+        info: dict[str, Any] = {
             "node_id": self.node_id,
             "advertise": self.advertise,
             "coordinator": f"{self.coordinator_host}:{self.coordinator_port}",
@@ -235,3 +252,7 @@ class NodeAgent:
             "heartbeat_failures": self.heartbeat_failures,
             "registrations": self.registrations,
         }
+        epochs = self._dataset_epochs()
+        if epochs:
+            info["epochs"] = epochs
+        return info

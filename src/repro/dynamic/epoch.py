@@ -1,0 +1,241 @@
+"""Epochal snapshot publication: apply a delta, publish a new frozen graph.
+
+:class:`EpochManager` owns the evolving state of one dataset: the current
+mutable graph, its exact core-number and triangle-support state, the
+current :class:`~repro.graph.csr.FrozenGraph` and the **epoch** — a
+monotonically increasing integer that names each published snapshot.  The
+serving tier keys result caches by epoch and stamps every response with
+it, so "which graph answered this query" is always explicit on the wire.
+
+Publication is two-phase so callers can interpose work between computing a
+snapshot and exposing it (the serving layer reloads the community index
+and builds a fresh replica set in between):
+
+* :meth:`prepare` does *all* the work on private copies — replays the
+  batch, repairs the decomposition state (incrementally up to
+  ``threshold`` ops, by full recomputation past it), freezes the result
+  and primes the snapshot's memo cache — and returns a
+  :class:`PreparedEpoch`.  A failing op (``GraphError``) leaves the
+  committed state untouched.
+* :meth:`commit` swaps the prepared state in and advances the epoch.
+
+The primed memo entries are exactly the values a from-scratch freeze would
+derive lazily (same list orders, same canonical dict keys), which is the
+bit-identical parity contract the tests and the ``dynamic-smoke`` CI job
+enforce.  The truss decomposition is re-peeled at publish time, *seeded*
+with the maintained supports, so the dominant triangle-counting pass never
+reruns on the incremental path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..graph.csr import FrozenGraph, csr_core_numbers, freeze
+from ..graph.csr_truss import csr_edge_index, csr_edge_support, csr_truss_numbers
+from ..graph.graph import Edge, Graph, Node
+from ..graph.trussness import _edge_value_dict
+from .delta import DeltaBatch
+from .incremental import apply_op
+
+__all__ = ["EpochManager", "PreparedEpoch"]
+
+
+class PreparedEpoch:
+    """Everything :meth:`EpochManager.commit` needs, computed off to the side."""
+
+    __slots__ = ("epoch", "mode", "delta_size", "frozen", "graph", "core", "support")
+
+    def __init__(
+        self,
+        *,
+        epoch: int,
+        mode: str,
+        delta_size: int,
+        frozen: FrozenGraph,
+        graph: Graph,
+        core: dict[Node, int],
+        support: dict[Edge, int],
+    ) -> None:
+        self.epoch = epoch
+        self.mode = mode
+        self.delta_size = delta_size
+        self.frozen = frozen
+        self.graph = graph
+        self.core = core
+        self.support = support
+
+    def __repr__(self) -> str:
+        return f"PreparedEpoch(epoch={self.epoch}, mode={self.mode!r}, ops={self.delta_size})"
+
+
+class EpochManager:
+    """Evolve one dataset through monotonically numbered snapshots.
+
+    ``graph`` is the epoch-0 state; it is never mutated (every batch works
+    on a copy), so handing in a cached dataset graph is safe.  ``frozen``
+    lets a caller that already froze epoch 0 avoid a second freeze.
+    ``threshold`` is the incremental/refreeze crossover: batches with more
+    ops than this replay onto the copy and recompute the decompositions
+    from scratch — past a point, one bulk recomputation beats per-edge
+    repair.  ``threshold=0`` always refreezes.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        frozen: Optional[FrozenGraph] = None,
+        threshold: int = 64,
+        epoch: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        self.threshold = threshold
+        self.epoch = epoch
+        self.frozen = frozen if frozen is not None else freeze(graph)
+        self._graph = graph
+        self._core: Optional[dict[Node, int]] = None
+        self._support: Optional[dict[Edge, int]] = None
+        # counters (JSON-safe via describe())
+        self.batches = 0
+        self.incremental_batches = 0
+        self.refrozen_batches = 0
+        self.ops_applied = 0
+
+    # ------------------------------------------------------------------
+    # decomposition state
+    # ------------------------------------------------------------------
+    def _state(self) -> tuple[dict[Node, int], dict[Edge, int]]:
+        """The committed core/support dicts, derived lazily from the snapshot."""
+        if self._core is None or self._support is None:
+            csr = self.frozen.csr
+            cache = self.frozen.shared_cache()
+            core_list = cache.memo(("csr-core-numbers",), lambda: csr_core_numbers(csr))
+            index = cache.memo(("csr-edge-index",), lambda: csr_edge_index(csr))
+            self._core = dict(zip(csr.node_list, core_list))
+            self._support = _edge_value_dict(
+                self.frozen, index, csr_edge_support(csr, index)
+            )
+        return self._core, self._support
+
+    # ------------------------------------------------------------------
+    # two-phase publication
+    # ------------------------------------------------------------------
+    def prepare(self, batch: DeltaBatch) -> PreparedEpoch:
+        """Compute the next epoch's snapshot without exposing it yet.
+
+        Raises ``GraphError`` on a semantically invalid op (the committed
+        state is untouched — everything runs on copies) and ``ValueError``
+        on an empty batch.
+        """
+        ops = list(batch)
+        if not ops:
+            raise ValueError("cannot publish an epoch from an empty delta batch")
+        working = self._graph.copy()
+        incremental = len(ops) <= self.threshold
+        if incremental:
+            committed_core, committed_support = self._state()
+            core = dict(committed_core)
+            support = dict(committed_support)
+            for op in ops:
+                apply_op(working, core, support, op)
+        else:
+            batch.apply(working)
+            core = {}
+            support = {}
+        frozen = freeze(working)
+        csr = frozen.csr
+        index = csr_edge_index(csr)
+        if incremental:
+            node_list = csr.node_list
+            core_list = [core[node] for node in node_list]
+            reprs = [repr(node) for node in node_list]
+            eu, ev = index.eu, index.ev
+            support_list = []
+            for e in range(index.num_edges):
+                i, j = eu[e], ev[e]
+                key = (
+                    (node_list[i], node_list[j])
+                    if reprs[i] <= reprs[j]
+                    else (node_list[j], node_list[i])
+                )
+                support_list.append(support[key])
+            truss_list = csr_truss_numbers(csr, index, support=support_list)
+        else:
+            core_list = csr_core_numbers(csr)
+            support_list = csr_edge_support(csr, index)
+            truss_list = csr_truss_numbers(csr, index)
+            core = dict(zip(csr.node_list, core_list))
+            support = _edge_value_dict(frozen, index, support_list)
+        # prime the new snapshot's memo cache with the maintained values —
+        # the exact base keys the lazy paths would fill; every derived
+        # format (core dicts, truss dicts, k-core structures) computes
+        # through these, so serving the new epoch never re-derives what the
+        # incremental repair already knows
+        cache = frozen.shared_cache()
+        cache[("csr-core-numbers",)] = list(core_list)
+        cache[("csr-edge-index",)] = index
+        cache[("edge-support",)] = _edge_value_dict(frozen, index, support_list)
+        cache[("csr-edge-truss",)] = list(truss_list)
+        return PreparedEpoch(
+            epoch=self.epoch + 1,
+            mode="incremental" if incremental else "refreeze",
+            delta_size=len(ops),
+            frozen=frozen,
+            graph=working,
+            core=core,
+            support=support,
+        )
+
+    def commit(self, prepared: PreparedEpoch) -> PreparedEpoch:
+        """Expose a prepared epoch; rejects anything but the direct successor."""
+        if prepared.epoch != self.epoch + 1:
+            raise ValueError(
+                f"cannot commit epoch {prepared.epoch}: current epoch is "
+                f"{self.epoch} (prepare again from the committed state)"
+            )
+        self._graph = prepared.graph
+        self._core = prepared.core
+        self._support = prepared.support
+        self.frozen = prepared.frozen
+        self.epoch = prepared.epoch
+        self.batches += 1
+        self.ops_applied += prepared.delta_size
+        if prepared.mode == "incremental":
+            self.incremental_batches += 1
+        else:
+            self.refrozen_batches += 1
+        return prepared
+
+    def apply(self, batch: DeltaBatch) -> PreparedEpoch:
+        """``prepare`` + ``commit`` in one step (the non-serving path)."""
+        return self.commit(self.prepare(batch))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def graph_copy(self) -> Graph:
+        """A private copy of the committed mutable graph (test/bench aid)."""
+        return self._graph.copy()
+
+    def core_numbers(self) -> dict[Node, int]:
+        """The committed core numbers (a copy)."""
+        return dict(self._state()[0])
+
+    def edge_supports(self) -> dict[Edge, int]:
+        """The committed triangle supports, canonically keyed (a copy)."""
+        return dict(self._state()[1])
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe counters for the serving tier's ``epoch`` stats block."""
+        return {
+            "current": self.epoch,
+            "threshold": self.threshold,
+            "batches": self.batches,
+            "incremental_batches": self.incremental_batches,
+            "refrozen_batches": self.refrozen_batches,
+            "ops_applied": self.ops_applied,
+        }

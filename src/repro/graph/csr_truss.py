@@ -201,6 +201,7 @@ def csr_truss_numbers(
     csr: CSRGraph,
     index: Optional[CSREdgeIndex] = None,
     alive: Optional[bytearray] = None,
+    support: Optional[list[int]] = None,
 ) -> list[int]:
     """Return the truss number of every alive edge (``-1`` for dead edges).
 
@@ -216,18 +217,26 @@ def csr_truss_numbers(
     Truss numbers are order-independent, so when the optional numpy tier
     is enabled the values come from the level-synchronous vectorised peel
     — the returned list is identical either way.
+
+    ``support`` optionally seeds the peel with already-known per-edge-id
+    triangle counts (the dynamic tier maintains them incrementally across
+    epochs), skipping the triangle-counting pass — the dominant cost.  The
+    seed must equal what :func:`csr_edge_support` would return; the peel is
+    a pure function of the supports, so the result is identical.
     """
     if index is None:
         index = csr_edge_index(csr)
-    from . import vec_kernels
+    if support is None:
+        from . import vec_kernels
 
-    if vec_kernels.vec_enabled():
-        return vec_kernels.vec_truss_numbers(csr, index, alive)
+        if vec_kernels.vec_enabled():
+            return vec_kernels.vec_truss_numbers(csr, index, alive)
     m = index.num_edges
     truss = [-1] * m
     if m == 0:
         return truss
-    support = csr_edge_support(csr, index, alive)
+    # the peel mutates its support list, so never the caller's seed
+    support = list(support) if support is not None else csr_edge_support(csr, index, alive)
     degree = _alive_degrees(csr, alive)
     eu = index.eu
     ev = index.ev

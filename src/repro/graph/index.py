@@ -375,11 +375,16 @@ class CommunityIndex:
         """
         actual = dataset_digest(frozen)
         if actual != self.digest:
-            raise GraphError(
+            error = GraphError(
                 f"index for dataset {self.dataset!r} is stale: it was built for "
                 f"content digest {self.digest[:12]} but the dataset now has "
                 f"{actual[:12]}; rebuild it with 'repro index build {self.dataset}'"
             )
+            # machine-readable cause: the serving tier's auto-index mode
+            # reports this compact reason instead of the full message when
+            # an evolving dataset outgrows its index (repro.dynamic)
+            error.reason = "stale"
+            raise error
         self._index_of = frozen.csr.index_of
         return self
 

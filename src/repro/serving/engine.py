@@ -33,7 +33,9 @@ import time
 from typing import Any, Callable, Optional
 
 from ..datasets import list_datasets
+from ..dynamic import DeltaBatch
 from ..experiments.registry import list_algorithms
+from ..graph import GraphError
 from .placement import Placement
 from .protocol import (
     ProtocolError,
@@ -65,6 +67,8 @@ class ServingEngine:
         snapshot: str = "shared",
         index: str = "auto",
         index_dir: Optional[str] = None,
+        epochs: bool = False,
+        epoch_threshold: int = 64,
     ) -> None:
         self._known_datasets = set(list_datasets())
         self._known_algorithms = set(list_algorithms())
@@ -92,6 +96,8 @@ class ServingEngine:
             snapshot=snapshot,
             index=index,
             index_dir=index_dir,
+            epochs=epochs,
+            epoch_threshold=epoch_threshold,
         )
         self._started = False
         self._loop = None  # captured at start() for thread-safe preloads
@@ -142,18 +148,59 @@ class ServingEngine:
         through to placement's ``unknown_dataset`` error, which a client
         cannot fix by refetching any routing table.
         """
+        self._check_owner(request.dataset)
+        return await self._placement.submit(request)
+
+    async def submit_traced(
+        self, request: QueryRequest
+    ) -> tuple[Any, bool, bool, Optional[int]]:
+        """Like :meth:`submit`, plus the epoch the result was computed on
+        (``None`` unless the engine runs with epochal snapshots)."""
+        self._check_owner(request.dataset)
+        return await self._placement.submit_traced(request)
+
+    def _check_owner(self, dataset: str) -> None:
         owned = self._owned_datasets
         if (
             owned is not None
-            and request.dataset not in owned
-            and request.dataset in self._known_datasets
+            and dataset not in owned
+            and dataset in self._known_datasets
         ):
             raise ProtocolError(
                 "not_owner",
-                f"this node does not own dataset {request.dataset!r}; "
+                f"this node does not own dataset {dataset!r}; "
                 f"refetch the routing table from the coordinator",
             )
-        return await self._placement.submit(request)
+
+    async def mutate(self, dataset: str, batch: DeltaBatch) -> dict[str, Any]:
+        """Apply a delta batch to ``dataset``, publishing the next epoch.
+
+        Cluster-gated like :meth:`submit`: a node must own a dataset to
+        mutate it.  Requires the engine to run with ``epochs=True``
+        (``bad_request`` otherwise); a semantically invalid op — removing
+        an absent edge, say — fails with ``bad_query`` and the published
+        state is untouched.
+        """
+        if dataset not in self._known_datasets:
+            raise ProtocolError(
+                "unknown_dataset",
+                f"unknown dataset {dataset!r}; available: "
+                f"{', '.join(sorted(self._known_datasets))}",
+            )
+        self._check_owner(dataset)
+        try:
+            return await self._placement.apply_delta(dataset, batch)
+        except GraphError as exc:
+            # a well-formed request the graph rejects (removing an absent
+            # edge, a stale required index): same class as a query for an
+            # absent node
+            raise ProtocolError("bad_query", str(exc)) from None
+        except ValueError as exc:
+            raise ProtocolError("bad_request", str(exc)) from None
+
+    def dataset_epochs(self) -> dict[str, int]:
+        """Current epoch per epochal shard (empty without ``epochs=True``)."""
+        return self._placement.dataset_epochs()
 
     async def query(
         self, dataset: str, algorithm: str, nodes, **params
@@ -195,7 +242,7 @@ class ServingEngine:
                     payload, self._known_datasets, self._known_algorithms
                 )
                 started = time.perf_counter()
-                result, cached, coalesced = await self.submit(request)
+                result, cached, coalesced, epoch = await self.submit_traced(request)
                 return result_payload(
                     request,
                     result,
@@ -203,7 +250,24 @@ class ServingEngine:
                     coalesced=coalesced,
                     served_seconds=time.perf_counter() - started,
                     request_id=request_id,
+                    epoch=epoch,
                 )
+            if op == "mutate":
+                dataset = payload.get("dataset")
+                if not isinstance(dataset, str) or not dataset:
+                    raise ProtocolError("bad_request", "request needs a 'dataset' string")
+                try:
+                    batch = DeltaBatch.from_wire(payload.get("ops"))
+                except ValueError as exc:
+                    raise ProtocolError("bad_request", str(exc)) from None
+                applied = await self.mutate(dataset, batch)
+                return {
+                    "ok": True,
+                    "op": "mutate",
+                    "dataset": dataset,
+                    **applied,
+                    **_with_id(request_id),
+                }
             raise ProtocolError("bad_request", f"unknown operation {op!r}")
         except ProtocolError as exc:
             return error_payload(exc, request_id)

@@ -30,6 +30,7 @@ import asyncio
 from typing import Any, Callable, Optional
 
 from ..datasets import Dataset, load_dataset
+from ..dynamic import DeltaBatch, EpochManager
 from ..graph import (
     INDEX_MODES,
     FrozenGraph,
@@ -507,7 +508,11 @@ class Placement:
         snapshot: str = "shared",
         index: str = "auto",
         index_dir: Optional[str] = None,
+        epochs: bool = False,
+        epoch_threshold: int = 64,
     ) -> None:
+        if epoch_threshold < 0:
+            raise ValueError(f"epoch_threshold must be >= 0, got {epoch_threshold}")
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {', '.join(EXECUTOR_KINDS)}"
@@ -559,7 +564,11 @@ class Placement:
         self.index_dir = index_dir
         self.replicas = replicas
         self.replica_overrides = overrides
+        self.epochs = bool(epochs)
+        self.epoch_threshold = epoch_threshold
         self._shards: dict[str, Shard] = {}
+        self._managers: dict[str, EpochManager] = {}
+        self._mutation_locks: dict[str, asyncio.Lock] = {}
         self._load_lock: Optional[asyncio.Lock] = None
         self._closed = False
 
@@ -594,14 +603,18 @@ class Placement:
         """The configured replica count for ``name``."""
         return self.replica_overrides.get(name, self.replicas)
 
-    def load_shard_index(self, key: str, frozen: FrozenGraph):
+    def load_shard_index(self, key: str, frozen: FrozenGraph, *, epoch: Optional[int] = None):
         """Load (and digest-verify) ``key``'s index per the placement policy.
 
         Returns ``(index, reason)``: in ``auto`` mode a missing, stale or
         corrupt index degrades to the executed path with the reason
-        recorded in ``stats``; in ``require`` mode it fails the shard build
-        with a structured :class:`GraphError` instead — a node must never
-        silently serve the slow path when the operator demanded the index.
+        recorded in ``stats`` — a snapshot whose content digest no longer
+        matches the index (the dataset evolved past the build) reports the
+        compact reason ``"stale"``.  In ``require`` mode the shard build
+        fails with a structured :class:`GraphError` instead — a node must
+        never silently serve the slow path when the operator demanded the
+        index; on an epochal snapshot the error also names the epoch the
+        rejection happened at (``epoch``, the one about to be served).
         """
         if self.index == "off":
             return None, None
@@ -613,23 +626,60 @@ class Placement:
         except FileNotFoundError:
             reason = f"no index file at {path}"
             if self.index == "require":
+                suffix = f" (current epoch {epoch})" if epoch is not None else ""
                 raise GraphError(
                     f"index mode 'require': {reason}; "
-                    f"build it with 'repro index build {key}'"
+                    f"build it with 'repro index build {key}'{suffix}"
                 ) from None
             return None, reason
         except GraphError as exc:
             if self.index == "require":
+                if epoch is not None:
+                    raise GraphError(f"{exc} (current epoch {epoch})") from None
                 raise
+            if getattr(exc, "reason", None) == "stale":
+                return None, "stale"
             return None, str(exc)
 
     def build_shard(self, dataset: Dataset, *, key: Optional[str] = None) -> Shard:
-        """Freeze ``dataset`` once and stand a replicated shard in front."""
+        """Freeze ``dataset`` once and stand a replicated shard in front.
+
+        With epochal snapshots enabled the shard's state is owned by an
+        :class:`~repro.dynamic.EpochManager` (starting at epoch 0) and the
+        shard is born epoch-aware: caches keyed by epoch, responses carrying
+        it, :meth:`apply_delta` swapping in successors.
+        """
         key = key if key is not None else dataset.name
-        frozen = freeze(dataset.graph)
+        manager: Optional[EpochManager] = None
+        if self.epochs:
+            manager = EpochManager(dataset.graph, threshold=self.epoch_threshold)
+            frozen = manager.frozen
+        else:
+            frozen = freeze(dataset.graph)
         frozen.csr.adjacency_lists()  # prebuild outside any request timing
-        index, index_reason = self.load_shard_index(key, frozen)
-        replica_set = ReplicaSet.build(
+        index, index_reason = self.load_shard_index(
+            key, frozen, epoch=manager.epoch if manager is not None else None
+        )
+        replica_set = self._build_replica_set(
+            dataset, frozen, key=key, index=index, index_reason=index_reason
+        )
+        shard = Shard(
+            dataset,
+            frozen,
+            replica_set,
+            key=key,
+            cache_size=self._options["cache_size"],
+            max_queue=self._options["max_queue"],
+            epoch=manager.epoch if manager is not None else None,
+        )
+        if manager is not None:
+            self._managers[key] = manager
+        return shard
+
+    def _build_replica_set(
+        self, dataset: Dataset, frozen: FrozenGraph, *, key: str, index, index_reason
+    ) -> ReplicaSet:
+        return ReplicaSet.build(
             dataset,
             frozen,
             key=key,
@@ -641,14 +691,6 @@ class Placement:
             snapshot=self.snapshot,
             index=index,
             index_reason=index_reason,
-        )
-        return Shard(
-            dataset,
-            frozen,
-            replica_set,
-            key=key,
-            cache_size=self._options["cache_size"],
-            max_queue=self._options["max_queue"],
         )
 
     async def get_shard(self, name: str) -> Shard:
@@ -678,11 +720,71 @@ class Placement:
             self._shards[name] = shard
         return shard
 
+    # -- mutations ---------------------------------------------------------
+    async def apply_delta(self, name: str, batch: DeltaBatch) -> dict[str, Any]:
+        """Apply a delta batch to ``name`` and publish the next epoch.
+
+        One mutation at a time per dataset (an asyncio lock): the epoch
+        manager prepares the new snapshot off the event loop, the community
+        index is (re)loaded against it — in ``require`` mode a digest
+        mismatch fails the mutation *before* anything is committed — a
+        fresh replica set is built, and only then is the shard swapped.
+        Queries keep flowing against the old epoch for the whole build;
+        the swap itself is atomic between micro-batches.
+        """
+        if not self.epochs:
+            raise ProtocolError(
+                "bad_request",
+                "this server was started without epochal snapshots; "
+                "restart it with --epochs to accept mutations",
+            )
+        shard = await self.get_shard(name)
+        manager = self._managers[shard.key]
+        lock = self._mutation_locks.setdefault(name, asyncio.Lock())
+        loop = asyncio.get_running_loop()
+        async with lock:
+            prepared = await loop.run_in_executor(None, manager.prepare, batch)
+
+            def _stage() -> ReplicaSet:
+                prepared.frozen.csr.adjacency_lists()
+                index, index_reason = self.load_shard_index(
+                    name, prepared.frozen, epoch=prepared.epoch
+                )
+                return self._build_replica_set(
+                    shard.dataset,
+                    prepared.frozen,
+                    key=name,
+                    index=index,
+                    index_reason=index_reason,
+                )
+
+            replica_set = await loop.run_in_executor(None, _stage)
+            manager.commit(prepared)
+            await shard.swap(prepared.frozen, replica_set, epoch=prepared.epoch)
+        return {
+            "epoch": manager.epoch,
+            "mode": prepared.mode,
+            "ops": prepared.delta_size,
+            "nodes": prepared.frozen.number_of_nodes(),
+            "edges": prepared.frozen.number_of_edges(),
+        }
+
+    def dataset_epochs(self) -> dict[str, int]:
+        """Current epoch per built epochal shard (empty without --epochs)."""
+        return {name: manager.epoch for name, manager in sorted(self._managers.items())}
+
     # -- routing + introspection ------------------------------------------
     async def submit(self, request: QueryRequest) -> tuple[Outcome, bool, bool]:
         """Route a validated request to the owning shard and resolve it."""
         shard = await self.get_shard(request.dataset)
         return await shard.submit(request)
+
+    async def submit_traced(
+        self, request: QueryRequest
+    ) -> tuple[Outcome, bool, bool, Optional[int]]:
+        """Like :meth:`submit`, plus the epoch the result was computed on."""
+        shard = await self.get_shard(request.dataset)
+        return await shard.submit_traced(request)
 
     @property
     def shards(self) -> dict[str, Shard]:
@@ -692,6 +794,10 @@ class Placement:
     def stats(self) -> dict[str, Any]:
         """Aggregate + per-shard (+ per-replica) statistics, JSON-safe."""
         per_shard = {name: shard.stats() for name, shard in sorted(self._shards.items())}
+        for name, stats in per_shard.items():
+            manager = self._managers.get(name)
+            if manager is not None and "epoch" in stats:
+                stats["epoch"].update(manager.describe())
         totals = {
             key: sum(stats[key] for stats in per_shard.values())
             for key in (
@@ -719,6 +825,8 @@ class Placement:
                 "replicas": self.replicas,
                 "replica_overrides": dict(sorted(self.replica_overrides.items())),
                 "max_queue": self._options["max_queue"],
+                "epochs": self.epochs,
+                "epoch_threshold": self.epoch_threshold if self.epochs else None,
             },
             "shards": per_shard,
             "totals": totals,

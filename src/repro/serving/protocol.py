@@ -23,8 +23,17 @@ request because the owning shard's bounded queue is full; the error object
 carries ``retry_after_ms``, the server's estimate of when capacity frees
 up), ``not_owner`` (cluster mode: this node is not in the dataset's replica
 set under the coordinator's current routing table — the client should
-refetch the table and resend to an owning node, see ``repro.cluster``) and
-``internal_error`` (anything else; the server stays up).
+refetch the table and resend to an owning node, see ``repro.cluster``),
+``stale_epoch`` (the request carried ``min_epoch`` and the shard's current
+snapshot epoch is older — a staleness-bounded read the server refuses
+rather than answer from a superseded graph) and ``internal_error``
+(anything else; the server stays up).
+
+On a server started with ``--epochs`` every query response carries
+``"epoch": N`` — the snapshot version the result was computed against (see
+``repro.dynamic``).  A request may pin ``"min_epoch": N`` to demand a
+snapshot at least that fresh; like ``attempt`` it is not part of the
+request identity.
 
 A client retrying a shed request may send ``"attempt": N`` (a positive
 integer) alongside the query fields; the server counts retried admissions
@@ -67,6 +76,7 @@ ERROR_CODES = (
     "bad_query",
     "overloaded",
     "not_owner",
+    "stale_epoch",
     "internal_error",
 )
 
@@ -107,7 +117,10 @@ class QueryRequest:
     result cache and the in-flight deduplication map.  ``attempt`` records
     how many times the client already had this request shed (0 for a first
     try); it is deliberately **excluded** from :attr:`cache_key` so a retry
-    deduplicates against the original.
+    deduplicates against the original.  ``min_epoch`` is the optional
+    staleness bound — also excluded from the identity, because the shard
+    keys caches by ``(epoch, cache_key)`` and a bound either passes (same
+    result as unbounded) or fails before the cache is consulted.
     """
 
     dataset: str
@@ -115,6 +128,7 @@ class QueryRequest:
     nodes: tuple
     params: tuple[tuple[str, Any], ...] = ()
     attempt: int = 0
+    min_epoch: Optional[int] = None
 
     @property
     def cache_key(self) -> tuple:
@@ -192,8 +206,19 @@ def parse_request(
     if isinstance(attempt, bool) or not isinstance(attempt, int) or attempt < 0:
         raise ProtocolError("bad_request", "'attempt' must be a non-negative integer")
 
+    min_epoch = payload.get("min_epoch")
+    if min_epoch is not None and (
+        isinstance(min_epoch, bool) or not isinstance(min_epoch, int) or min_epoch < 0
+    ):
+        raise ProtocolError("bad_request", "'min_epoch' must be a non-negative integer")
+
     return QueryRequest(
-        dataset=dataset, algorithm=algorithm, nodes=nodes, params=params, attempt=attempt
+        dataset=dataset,
+        algorithm=algorithm,
+        nodes=nodes,
+        params=params,
+        attempt=attempt,
+        min_epoch=min_epoch,
     )
 
 
@@ -205,6 +230,7 @@ def result_payload(
     coalesced: bool = False,
     served_seconds: Optional[float] = None,
     request_id: Any = None,
+    epoch: Optional[int] = None,
 ) -> dict[str, Any]:
     """Format a :class:`CommunityResult` as a response payload.
 
@@ -214,6 +240,8 @@ def result_payload(
     ``elapsed_ms`` is the *algorithm execution* time (replayed verbatim on a
     cache hit); ``served_ms``, when provided, is this request's actual wall
     time in the service — the number latency monitoring should use.
+    ``epoch``, when the server runs with epochal snapshots, is the snapshot
+    version the result was computed against.
     """
     failed = bool(result.extra.get("failed")) or not result.nodes
     score: Optional[float] = result.score
@@ -236,6 +264,8 @@ def result_payload(
     }
     if served_seconds is not None:
         payload["served_ms"] = round(served_seconds * 1000.0, 3)
+    if epoch is not None:
+        payload["epoch"] = epoch
     reason = result.extra.get("reason")
     if reason is not None:
         payload["reason"] = reason

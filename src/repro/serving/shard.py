@@ -11,12 +11,17 @@ request-lifecycle logic every replica strategy shares:
   components, kecc partitions, ...) amortises across *requests* the same
   way ``evaluate_batch`` amortises it across a sweep (worker-process
   replicas freeze their own private snapshot instead);
-* an **LRU result cache** keyed by the full request identity — repeated
-  queries are answered without touching any replica;
+* an **LRU result cache** keyed by ``(epoch, request identity)`` — repeated
+  queries are answered without touching any replica, and a republished
+  snapshot (see :mod:`repro.dynamic`) can never serve a result computed
+  against a prior graph: the epoch is part of the key and superseded
+  entries are purged on swap;
 * an **in-flight map** that coalesces duplicate requests: a request that
   arrives while an identical one is queued or executing awaits the same
   future instead of being executed twice (retries coalesce with their
-  original, because ``attempt`` is excluded from the cache key);
+  original, because ``attempt`` is excluded from the cache key) — keyed by
+  epoch too, so a request admitted after a snapshot swap never joins a
+  stale computation;
 * **admission control** — a bounded queue across the replica set
   (``max_queue``; 0 disables the bound).  A request that finds the queue
   full is *shed* with the closed protocol code ``overloaded`` and a
@@ -70,6 +75,7 @@ class Shard:
         cache_size: int = 1024,
         max_queue: int = 0,
         latency_window: int = 4096,
+        epoch: Optional[int] = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -81,6 +87,9 @@ class Shard:
         self.replica_set = replica_set
         self.cache_size = cache_size
         self.max_queue = max_queue
+        # the snapshot epoch this shard currently serves; None = the dataset
+        # is static (no --epochs), which also keeps "epoch" off the wire
+        self.epoch = epoch
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._started = False
@@ -94,12 +103,15 @@ class Shard:
         self.shed = 0
         self.retried = 0
         self.max_queue_depth = 0
+        self.swaps = 0
+        self.purged_entries = 0
+        self.stale_rejections = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
         # execution-only latencies (no cache hits / coalesced waits): the
         # retry_after_ms estimate must reflect what draining the queue
         # actually costs, which ~0ms cache hits would wash out
         self._execution_latencies: deque[float] = deque(maxlen=latency_window // 4)
-        replica_set.bind(self._complete)
+        self._bind(replica_set, epoch)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,6 +132,58 @@ class Shard:
         await self.replica_set.close(drain=drain)
         self._started = False
 
+    def _bind(self, replica_set, epoch: Optional[int]) -> None:
+        """Bind a replica set's completions to this shard, tagged with the
+        epoch the set serves — a completion's cache key must name the epoch
+        the result was computed against, not whatever is current when the
+        executor finishes."""
+        replica_set.bind(
+            lambda request, future, outcome, _epoch=epoch: self._complete(
+                _epoch, request, future, outcome
+            )
+        )
+
+    async def swap(self, frozen: FrozenGraph, replica_set, *, epoch: int) -> None:
+        """Atomically republish this shard under a new snapshot epoch.
+
+        The new replica set is started first; the pointer swap plus the
+        purge of superseded cache/in-flight entries then happens with no
+        awaits in between, so from the event loop's point of view the shard
+        moves between micro-batches: every request admitted before this
+        call resolves against the old snapshot (and reports the old epoch),
+        every request admitted after it runs against the new one.  The old
+        replica set is drained and closed last — its in-flight batches
+        finish for their waiting clients, and its shared-memory snapshot
+        segment is unlinked.
+        """
+        if self.epoch is None:
+            raise ValueError(f"shard {self.key!r} was built without epochs")
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"epoch must advance monotonically: shard {self.key!r} serves "
+                f"{self.epoch}, got {epoch}"
+            )
+        self._bind(replica_set, epoch)
+        await replica_set.start()
+        old_set = self.replica_set
+        # -- no awaits in this block: the swap is atomic between batches --
+        self.replica_set = replica_set
+        self.frozen = frozen
+        self.epoch = epoch
+        stale_cached = [key for key in self._cache if key[0] != epoch]
+        for key in stale_cached:
+            del self._cache[key]
+        stale_inflight = [key for key in self._inflight if key[0] != epoch]
+        for key in stale_inflight:
+            # the old epoch's computations still resolve for their waiters;
+            # unlinking them just makes them unjoinable by new requests
+            # (which could never hit these keys anyway — the epoch differs)
+            del self._inflight[key]
+        self.purged_entries += len(stale_cached) + len(stale_inflight)
+        self.swaps += 1
+        # -- end of the atomic block --
+        await old_set.close(drain=True)
+
     # ------------------------------------------------------------------
     # the request path
     # ------------------------------------------------------------------
@@ -129,17 +193,36 @@ class Shard:
         Raises :class:`ProtocolError` for structured failures (bad query
         node, unsupported parameter, an overloaded queue, shutdown).
         """
+        result, cached, coalesced, _ = await self.submit_traced(request)
+        return result, cached, coalesced
+
+    async def submit_traced(self, request: QueryRequest) -> tuple[Any, bool, bool, Optional[int]]:
+        """Like :meth:`submit`, plus the epoch the result was computed
+        against (``None`` when the shard is static).  The epoch is captured
+        at admission — a snapshot swap while the request executes does not
+        relabel it, because the result really was computed on the epoch
+        that was current when the request entered the shard."""
         arrival = time.perf_counter()
         self.queries += 1
         if request.attempt:
             self.retried += 1
-        key = request.cache_key
+        epoch = self.epoch
+        if request.min_epoch is not None and request.min_epoch > (epoch or 0):
+            # refuse before the cache: a staleness-bounded read must never
+            # be answered from a snapshot older than its bound
+            self.stale_rejections += 1
+            raise ProtocolError(
+                "stale_epoch",
+                f"shard {self.key!r} serves epoch {epoch or 0} but the request "
+                f"requires min_epoch {request.min_epoch}",
+            )
+        key = (epoch, request.cache_key)
         hit = self._cache.get(key)
         if hit is not None:
             self._cache.move_to_end(key)
             self.cache_hits += 1
             self._latencies.append(time.perf_counter() - arrival)
-            return hit, True, False
+            return hit, True, False, epoch
         self.cache_misses += 1
 
         pending = self._inflight.get(key)
@@ -147,7 +230,7 @@ class Shard:
             self.coalesced += 1
             result = await asyncio.shield(pending)
             self._latencies.append(time.perf_counter() - arrival)
-            return result, False, True
+            return result, False, True, epoch
 
         if self._closed or not self._started:
             # no replica loops to drain the queues: enqueueing would hang
@@ -175,7 +258,7 @@ class Shard:
         elapsed = time.perf_counter() - arrival
         self._latencies.append(elapsed)
         self._execution_latencies.append(elapsed)
-        return result, False, False
+        return result, False, False, epoch
 
     def _retry_after_ms(self) -> int:
         """Estimate when a shed client should retry, from recent latency.
@@ -192,9 +275,20 @@ class Shard:
         backlog = max(1, self.replica_set.total_pending()) / max(1, len(self.replica_set))
         return int(min(1000.0, max(5.0, p50_ms * backlog / 2.0)))
 
-    def _complete(self, request: QueryRequest, future: asyncio.Future, outcome: Outcome) -> None:
-        """Replica callback: resolve one request's future and bookkeeping."""
-        key = request.cache_key
+    def _complete(
+        self,
+        epoch: Optional[int],
+        request: QueryRequest,
+        future: asyncio.Future,
+        outcome: Outcome,
+    ) -> None:
+        """Replica callback: resolve one request's future and bookkeeping.
+
+        ``epoch`` is the epoch of the replica set that executed the request
+        (bound at :meth:`_bind` time), so completions arriving after a swap
+        key — and guard — against the epoch they were computed on.
+        """
+        key = (epoch, request.cache_key)
         if isinstance(outcome, ProtocolError):
             self.errors += 1
             self._inflight.pop(key, None)
@@ -210,6 +304,11 @@ class Shard:
 
     def _store(self, key: tuple, result: Any) -> None:
         if self.cache_size == 0:
+            return
+        if key[0] != self.epoch:
+            # a pre-swap computation finished after the swap: its waiters
+            # get the (correctly epoch-labelled) result, but it must not
+            # resurrect a superseded epoch in the cache
             return
         self._cache[key] = result
         self._cache.move_to_end(key)
@@ -238,7 +337,20 @@ class Shard:
         """Return a JSON-serialisable snapshot of the shard counters."""
         latencies = list(self._latencies)
         replicas = self.replica_set.stats()
+        epoch_block = (
+            {
+                "epoch": {
+                    "current": self.epoch,
+                    "swaps": self.swaps,
+                    "purged_entries": self.purged_entries,
+                    "stale_rejections": self.stale_rejections,
+                }
+            }
+            if self.epoch is not None
+            else {}
+        )
         return {
+            **epoch_block,
             "dataset": self.key,
             "nodes": self.frozen.number_of_nodes(),
             "edges": self.frozen.number_of_edges(),

@@ -495,7 +495,12 @@ class TestStatsSchema:
             "replicas",
             "replica_overrides",
             "max_queue",
+            "epochs",
+            "epoch_threshold",
         }
+        # a static server: epochs off, no threshold, no per-shard epoch block
+        assert payload["placement"]["epochs"] is False
+        assert payload["placement"]["epoch_threshold"] is None
         shard = payload["shards"]["karate"]
         assert set(shard) == self.SHARD_KEYS
         # no index file here, so the tier reports the executed fallback
