@@ -90,7 +90,9 @@ def append_json(
     The file becomes a JSON **list** of records ordered oldest-first (an
     existing single-record file is wrapped on first append), so a bench
     whose configuration evolves across PRs keeps its whole trajectory
-    diffable instead of overwriting history.
+    diffable instead of overwriting history.  A record identical to the
+    file's last one is dropped: re-running an unchanged bench (CI retries,
+    local repeats) must not bloat the trajectory with duplicate points.
     """
     import os
 
@@ -99,7 +101,11 @@ def append_json(
         with open(json_path) as handle:
             existing = json.load(handle)
         records = existing if isinstance(existing, list) else [existing]
-    records.append(_trajectory_record(bench, scale, rows, parity, **extra))
+    record = _trajectory_record(bench, scale, rows, parity, **extra)
+    if records and records[-1] == record:
+        print(f"unchanged {json_path}: identical to the last record, not appended")
+        return
+    records.append(record)
     with open(json_path, "w") as handle:
         json.dump(records, handle, indent=2)
         handle.write("\n")

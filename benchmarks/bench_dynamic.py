@@ -22,15 +22,28 @@ a from-scratch reference graph for *every* epoch, so the check is exact:
   one beyond it fails with the structured ``stale_epoch`` error;
 * the server shuts down cleanly and leaks no ``/dev/shm`` segments.
 
+With ``--index require`` the parity phase also exercises the index tier
+under mutation: community-index files are built first, the server binds
+them to the epochal shards, every ``mutate`` response must report the
+index as ``repaired`` (or ``rebuilt`` on oversized batches) — a
+require-mode server never refuses a write — and post-swap queries must
+keep *hitting* the index, with the ``/dev/shm`` leak gate covering the
+superseded ``repro_snap_idx_*`` segments.
+
 The timing phase (skipped under ``--parity-only``) compares the two
 publication paths on a bigger mutation stream in-process: a from-scratch
-refreeze per batch vs the incremental core/support/truss repair.  The
-wall-clock numbers ride the JSON record and are **never** asserted.
+refreeze per batch vs the incremental core/support/truss repair, and —
+with a bound community index — a full per-epoch index rebuild vs the
+incremental window repair.  The wall-clock numbers ride the JSON record
+and are **never** asserted.
 
 Usage::
 
     python benchmarks/bench_dynamic.py                    # parity + timings
     python benchmarks/bench_dynamic.py --parity-only      # CI smoke
+    python benchmarks/bench_dynamic.py --parity-only --index require
+                                                          # + the index tier
+                                                          # under mutation
     python benchmarks/bench_dynamic.py --json BENCH_dynamic.json
 """
 
@@ -38,12 +51,14 @@ from __future__ import annotations
 
 import argparse
 import random
+import shutil
 import sys
+import tempfile
 import threading
 import time
 
 from _bench_util import add_common_arguments, append_json, print_table
-from bench_serving import HOST, ServerProcess, live_snapshot_segments
+from bench_serving import HOST, ServerProcess, build_index_files, live_snapshot_segments
 
 from repro.datasets import load_dataset
 from repro.dynamic import DeltaBatch, EpochManager
@@ -178,7 +193,9 @@ def query_worker(port, references, stop, failures, observed):
     observed.append((served, last_epoch))
 
 
-def run_parity(scale: float, json_path: str | None = None) -> int:
+def run_parity(
+    scale: float, json_path: str | None = None, index_mode: str | None = None
+) -> int:
     failures: list[str] = []
 
     def check(name: str, ok: bool) -> None:
@@ -191,7 +208,17 @@ def run_parity(scale: float, json_path: str | None = None) -> int:
     references = reference_answers(mirrors)
     segments_before = live_snapshot_segments()
 
-    server = ServerProcess((PARITY_DATASET,), epochs=True)
+    # with --index the mutation stream must keep the index hot: builds the
+    # file first, then every epoch swap republishes the repaired one
+    indexed = bool(index_mode) and index_mode != "off"
+    server_kwargs: dict = {"epochs": True}
+    index_tmp = None
+    if indexed:
+        index_tmp = tempfile.mkdtemp(prefix="repro-bench-dynidx-")
+        build_index_files((PARITY_DATASET,), index_tmp)
+        server_kwargs.update(index=index_mode, index_dir=index_tmp)
+
+    server = ServerProcess((PARITY_DATASET,), **server_kwargs)
     start = time.perf_counter()
     try:
         stop = threading.Event()
@@ -221,11 +248,20 @@ def run_parity(scale: float, json_path: str | None = None) -> int:
                     )
                     check(f"mutate-{position}-ok", bool(response.get("ok")))
                     check(f"mutate-{position}-epoch", response.get("epoch") == position)
+                    if indexed:
+                        # a require-mode server must never refuse a write:
+                        # the prepared epoch carries a repaired (or, above
+                        # the batch threshold, rebuilt) index
+                        check(
+                            f"mutate-{position}-index-maintained",
+                            response.get("index") in ("repaired", "rebuilt"),
+                        )
                     mutation_report.append(
                         {
                             "epoch": response.get("epoch"),
                             "mode": response.get("mode"),
                             "ops": response.get("ops"),
+                            "index": response.get("index"),
                         }
                     )
                     time.sleep(0.05)  # let the probes interleave between swaps
@@ -257,14 +293,34 @@ def run_parity(scale: float, json_path: str | None = None) -> int:
                 "min-epoch-beyond-is-stale-epoch",
                 not beyond.get("ok") and beyond["error"]["code"] == "stale_epoch",
             )
+            if indexed:
+                # a probe NOT in the query workers' rotation: guaranteed
+                # cache-cold, so it must reach the post-final-swap replica
+                # set and be answered from the repaired index
+                fresh = client.query(PARITY_DATASET, "hightruss", [16])
+                check("index-post-swap-query-ok", bool(fresh.get("ok")))
             stats = client.stats()
         shard = stats["shards"][PARITY_DATASET]
         check("stats-epoch-current", shard["epoch"]["current"] == epochs)
         check("stats-epoch-swaps", shard["epoch"]["swaps"] == epochs)
         check("stats-epoch-batches", shard["epoch"]["batches"] == epochs)
         check("stats-stale-rejections", shard["epoch"]["stale_rejections"] == 1)
+        if indexed:
+            check("index-stays-effective", shard["index"]["effective"] == "indexed")
+            check("index-hits-after-swap", shard["index"]["hits"] > 0)
+            check(
+                "index-repaired-at-least-once",
+                any(entry["index"] == "repaired" for entry in mutation_report),
+            )
+            check(
+                "index-maintained-every-epoch",
+                shard["epoch"]["index_repairs"] + shard["epoch"]["index_rebuilds"]
+                == epochs,
+            )
     finally:
         exit_code = server.shutdown()
+        if index_tmp is not None:
+            shutil.rmtree(index_tmp, ignore_errors=True)
     check("clean-shutdown", exit_code == 0)
 
     # the epochal server republished a snapshot per mutation; every segment
@@ -280,6 +336,7 @@ def run_parity(scale: float, json_path: str | None = None) -> int:
             rows=[],
             parity=not failures,
             mode="parity",
+            index=index_mode or "off",
             epochs=epochs,
             clients=PARITY_CLIENTS,
             responses_checked=served_total,
@@ -300,6 +357,13 @@ def run_parity(scale: float, json_path: str | None = None) -> int:
         f"stale answers, epochs monotone per connection, min_epoch bounds "
         f"enforced, clean shutdown, no leaked shared-memory segments"
     )
+    if indexed:
+        repaired = sum(1 for entry in mutation_report if entry["index"] == "repaired")
+        print(
+            f"index under mutation ok: mode {index_mode}, {repaired}/{epochs} "
+            f"epochs repaired incrementally (rest rebuilt), index stayed "
+            f"effective with {shard['index']['hits']} post-swap hits"
+        )
     return 0
 
 
@@ -312,12 +376,16 @@ TIMING_DATASET = "dolphin"
 
 def run_timings(scale: float, json_path: str | None) -> int:
     """Publish the same mutation stream both ways, in-process, and time it."""
+    from repro.graph import build_index
+
     batch_count = max(30, int(60 * scale))
     graph = load_dataset(TIMING_DATASET).graph
     batches, _ = build_mutation_script(graph, batch_count, seed=29, ops_per_batch=1)
 
-    def publish(threshold: int) -> tuple[float, EpochManager]:
+    def publish(threshold: int, *, indexed: bool = False) -> tuple[float, EpochManager]:
         manager = EpochManager(graph.copy(), threshold=threshold)
+        if indexed:
+            manager.bind_index(build_index(graph, dataset=TIMING_DATASET))
         start = time.perf_counter()
         for batch in batches:
             manager.apply(batch)
@@ -328,20 +396,36 @@ def run_timings(scale: float, json_path: str | None) -> int:
     assert incremental_manager.describe()["incremental_batches"] == batch_count
     assert refreeze_manager.describe()["refrozen_batches"] == batch_count
 
+    # the index tier under the same stream: a bound community index is
+    # maintained per epoch — full from-scratch rebuild (refreeze path) vs
+    # the incremental window repair (incremental path)
+    rebuild_seconds, rebuild_manager = publish(threshold=0, indexed=True)
+    repair_seconds, repair_manager = publish(threshold=64, indexed=True)
+    assert rebuild_manager.describe()["index_rebuilds"] == batch_count
+    assert repair_manager.describe()["index_repairs"] == batch_count
+
     rows = [
         (
             f"{TIMING_DATASET} x{batch_count} single-op epochs",
             refreeze_seconds,
             incremental_seconds,
-        )
+        ),
+        (
+            f"{TIMING_DATASET} x{batch_count} + index maintenance",
+            rebuild_seconds,
+            repair_seconds,
+        ),
     ]
-    print_table(rows, columns=("refreeze (s)", "increm (s)"))
+    print_table(rows, columns=("rebuild (s)", "increm (s)"))
     print()
     print(
         f"epoch publication ({TIMING_DATASET}, {batch_count} single-edge batches): "
         f"from-scratch refreeze {refreeze_seconds:.4f}s vs incremental repair "
         f"{incremental_seconds:.4f}s "
-        f"({refreeze_seconds / incremental_seconds:.2f}x); both paths are "
+        f"({refreeze_seconds / incremental_seconds:.2f}x); with a bound "
+        f"community index, per-epoch full rebuild {rebuild_seconds:.4f}s vs "
+        f"incremental window repair {repair_seconds:.4f}s "
+        f"({rebuild_seconds / repair_seconds:.2f}x); all paths are "
         f"bit-identical by construction (the parity smoke and the test suite "
         f"enforce it)"
     )
@@ -358,6 +442,8 @@ def run_timings(scale: float, json_path: str | None) -> int:
             per_batch_ms={
                 "refreeze": round(refreeze_seconds / batch_count * 1000.0, 3),
                 "incremental": round(incremental_seconds / batch_count * 1000.0, 3),
+                "index_rebuild": round(rebuild_seconds / batch_count * 1000.0, 3),
+                "index_repair": round(repair_seconds / batch_count * 1000.0, 3),
             },
         )
     return 0
@@ -366,8 +452,17 @@ def run_timings(scale: float, json_path: str | None) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     add_common_arguments(parser)
+    parser.add_argument(
+        "--index",
+        choices=["auto", "require", "off"],
+        default=None,
+        help="forwarded to `repro serve --index`; with 'require' the parity "
+        "phase builds index files first, asserts every mutation keeps the "
+        "index maintained (repaired/rebuilt, never refused) and that "
+        "post-swap queries still hit it",
+    )
     args = parser.parse_args(argv)
-    status = run_parity(args.scale, args.json_path)
+    status = run_parity(args.scale, args.json_path, index_mode=args.index)
     if status or args.parity_only:
         return status
     return run_timings(args.scale, args.json_path)

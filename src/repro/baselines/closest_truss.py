@@ -55,8 +55,38 @@ def closest_truss_community(
             queries, "huang2015", reason="no connected truss contains all query nodes"
         )
     k, community = base
+    best_nodes, best_distance, deletions = _greedy_shrink(
+        graph, queries, k, community, max_deletions
+    )
 
-    # phase 2: greedily delete the farthest node while the queries stay connected
+    elapsed = time.perf_counter() - start
+    return CommunityResult(
+        nodes=frozenset(best_nodes),
+        query_nodes=queries,
+        algorithm="huang2015",
+        score=float(k),
+        objective_name="truss_level",
+        elapsed_seconds=elapsed,
+        extra={"k": k, "query_distance": best_distance, "deletions": deletions},
+    )
+
+
+def _greedy_shrink(
+    graph: Graph,
+    queries: frozenset[Node],
+    k: int,
+    community: set[Node],
+    max_deletions: Optional[int],
+) -> tuple[set[Node], int, int]:
+    """Phase 2: greedily delete the farthest node while the queries stay connected.
+
+    Victim selection breaks distance ties canonically (lexicographic on
+    ``repr``), never by set iteration order — the community index answers
+    ``huang2015`` by seeding this exact function with its window scan, and
+    the indexed/executed answers must stay bit-identical.
+
+    Returns ``(best_nodes, best_distance, deletions)``.
+    """
     best_nodes = set(community)
     best_distance = _query_distance(graph, best_nodes, queries)
     working = set(community)
@@ -64,11 +94,10 @@ def closest_truss_community(
     limit = max_deletions if max_deletions is not None else len(community)
     while deletions < limit:
         distances = _distances_within(graph, working, queries)
-        # candidates: non-query nodes, farthest first
+        # candidates: non-query nodes, farthest first (ties by repr)
         candidates = sorted(
             (node for node in working if node not in queries),
-            key=lambda node: distances.get(node, 0),
-            reverse=True,
+            key=lambda node: (-distances.get(node, 0), repr(node)),
         )
         if not candidates or distances.get(candidates[0], 0) == 0:
             break
@@ -87,17 +116,7 @@ def closest_truss_community(
         if distance <= best_distance:
             best_distance = distance
             best_nodes = set(working)
-
-    elapsed = time.perf_counter() - start
-    return CommunityResult(
-        nodes=frozenset(best_nodes),
-        query_nodes=queries,
-        algorithm="huang2015",
-        score=float(k),
-        objective_name="truss_level",
-        elapsed_seconds=elapsed,
-        extra={"k": k, "query_distance": best_distance, "deletions": deletions},
-    )
+    return best_nodes, best_distance, deletions
 
 
 def _maximal_connected_truss(

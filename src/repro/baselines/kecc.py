@@ -33,7 +33,15 @@ from ..graph import (
 )
 from .kcore import kcore_structure
 
-__all__ = ["kecc_community"]
+__all__ = ["kecc_community", "KECC_DEFAULT_K", "KECC_APPROXIMATE_ABOVE"]
+
+#: the paper's default connectivity requirement.
+KECC_DEFAULT_K = 3
+
+#: candidate-size crossover to the documented superset approximation; the
+#: community index bakes partitions for candidates up to exactly this size,
+#: so an index answer and an executed answer cross over at the same point.
+KECC_APPROXIMATE_ABOVE = 400
 
 
 def _kecc_partition(graph: Graph, candidate: set[Node], k: int) -> list[set[Node]]:
@@ -56,8 +64,8 @@ def _kecc_partition(graph: Graph, candidate: set[Node], k: int) -> list[set[Node
 def kecc_community(
     graph: Graph,
     query_nodes: Sequence[Node],
-    k: int = 3,
-    approximate_above: Optional[int] = 400,
+    k: int = KECC_DEFAULT_K,
+    approximate_above: Optional[int] = KECC_APPROXIMATE_ABOVE,
 ) -> CommunityResult:
     """Return the k-edge-connected component containing the query nodes.
 

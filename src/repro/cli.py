@@ -33,6 +33,7 @@ stderr and exit with code 2 — never a traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
@@ -243,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory holding <dataset>.idx files (default: $REPRO_INDEX_DIR "
         "or ./.repro-index)",
+    )
+    index_inspect.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable description (digest, region sizes, "
+        "per-level community counts, served algorithms) instead of the table",
     )
 
     mutate = subparsers.add_parser(
@@ -499,6 +506,9 @@ def _command_index_inspect(args) -> int:
     dataset = load_dataset(args.dataset)
     index.bind(freeze(dataset.graph))
     info = index.describe()
+    if args.json:
+        print(json.dumps({"index_file": str(path), **info}, indent=2, sort_keys=True))
+        return 0
     print(f"index file:      {path}")
     print(f"format version:  {info['format_version']}")
     print(f"dataset:         {info['dataset']}")
@@ -506,12 +516,16 @@ def _command_index_inspect(args) -> int:
     print(f"nodes / edges:   {info['nodes']} / {info['edges']}")
     print(f"total bytes:     {info['total_bytes']}")
     print(f"build seconds:   {info['build_seconds']:.3f}")
+    print(f"serves:          {', '.join(info['serves'])}")
     print(f"core kmax:       {info['core_kmax']}")
     core = ", ".join(f"k={k}:{c}" for k, c in info["core_communities"].items())
     print(f"core communities:  {core}")
     print(f"truss kmax:      {info['truss_kmax']}")
     truss = ", ".join(f"k={k}:{c}" for k, c in info["truss_communities"].items())
     print(f"truss communities: {truss}")
+    if info.get("kecc_communities"):
+        kecc = ", ".join(f"k={k}:{c}" for k, c in info["kecc_communities"].items())
+        print(f"kecc partitions (cap {info['kecc_cap']}): {kecc}")
     print("region bytes:")
     for name, size in sorted(info["region_bytes"].items()):
         print(f"  {name:<12} {size}")

@@ -199,17 +199,23 @@ class NodeAgent:
         owned = response.get("owned")
         if owned is None or (version == self.table_version and list(owned) == self.owned):
             return
+        previously_owned = set(self.owned)
         self.table_version = version
         self.owned = list(owned)
         if self.engine is not None:
             self.engine.set_owned_datasets(owned)
-            # warm the newly assigned shards now (dataset load, freeze,
-            # community-index load) so a failover target answers its first
-            # rerouted query from the index instead of re-deriving
-            # decompositions on the request path
-            preload = getattr(self.engine, "request_preload", None)
-            if preload is not None:
-                preload(list(owned))
+            # warm only the newly *gained* shards (dataset load, freeze,
+            # community-index load — mutation-serving owners republish the
+            # repaired index file with every epoch, so the failover target
+            # picks up the current one) so a rerouted query is answered
+            # from the index instead of re-deriving decompositions on the
+            # request path; shards this node already serves are warm and
+            # must not be rebuilt on every table change
+            gained = [name for name in owned if name not in previously_owned]
+            if gained:
+                preload = getattr(self.engine, "request_preload", None)
+                if preload is not None:
+                    preload(gained)
         if self._on_owned is not None:
             self._on_owned(list(owned))
 

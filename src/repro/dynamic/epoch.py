@@ -29,11 +29,14 @@ reruns on the incremental path.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Optional
 
 from ..graph.csr import FrozenGraph, csr_core_numbers, freeze
 from ..graph.csr_truss import csr_edge_index, csr_edge_support, csr_truss_numbers
-from ..graph.graph import Edge, Graph, Node
+from ..graph.graph import Edge, Graph, GraphError, Node
+from ..graph.index import CommunityIndex, _assemble_index
+from ..graph.index_delta import repair_index
 from ..graph.trussness import _edge_value_dict
 from .delta import DeltaBatch
 from .incremental import apply_op
@@ -42,9 +45,28 @@ __all__ = ["EpochManager", "PreparedEpoch"]
 
 
 class PreparedEpoch:
-    """Everything :meth:`EpochManager.commit` needs, computed off to the side."""
+    """Everything :meth:`EpochManager.commit` needs, computed off to the side.
 
-    __slots__ = ("epoch", "mode", "delta_size", "frozen", "graph", "core", "support")
+    When the manager has a bound community index, ``index`` carries its
+    maintained successor (a fresh :class:`CommunityIndex` bit-identical to
+    a from-scratch build on the new snapshot), ``index_mode`` says how it
+    was produced (``"repaired"`` incrementally or ``"rebuilt"`` from the
+    already-maintained decompositions) and ``index_seconds`` how long that
+    took — the number the dynamic bench records as repair-vs-rebuild.
+    """
+
+    __slots__ = (
+        "epoch",
+        "mode",
+        "delta_size",
+        "frozen",
+        "graph",
+        "core",
+        "support",
+        "index",
+        "index_mode",
+        "index_seconds",
+    )
 
     def __init__(
         self,
@@ -56,6 +78,9 @@ class PreparedEpoch:
         graph: Graph,
         core: dict[Node, int],
         support: dict[Edge, int],
+        index: Optional[CommunityIndex] = None,
+        index_mode: Optional[str] = None,
+        index_seconds: float = 0.0,
     ) -> None:
         self.epoch = epoch
         self.mode = mode
@@ -64,6 +89,9 @@ class PreparedEpoch:
         self.graph = graph
         self.core = core
         self.support = support
+        self.index = index
+        self.index_mode = index_mode
+        self.index_seconds = index_seconds
 
     def __repr__(self) -> str:
         return f"PreparedEpoch(epoch={self.epoch}, mode={self.mode!r}, ops={self.delta_size})"
@@ -99,11 +127,28 @@ class EpochManager:
         self._graph = graph
         self._core: Optional[dict[Node, int]] = None
         self._support: Optional[dict[Edge, int]] = None
+        self.index: Optional[CommunityIndex] = None
         # counters (JSON-safe via describe())
         self.batches = 0
         self.incremental_batches = 0
         self.refrozen_batches = 0
         self.ops_applied = 0
+        self.index_repairs = 0
+        self.index_rebuilds = 0
+
+    def bind_index(self, index: Optional[CommunityIndex]) -> None:
+        """Adopt the dataset's community index; ``prepare`` maintains it.
+
+        Every subsequent :meth:`prepare` produces the index of the *new*
+        snapshot alongside it — repaired in place for incremental batches,
+        rebuilt from the already-maintained decompositions otherwise — so a
+        serving tier in ``--index require`` mode never refuses a mutation.
+        ``None`` detaches.  Binding runs the usual digest check against the
+        committed snapshot.
+        """
+        if index is not None:
+            index.bind(self.frozen, epoch=self.epoch)
+        self.index = index
 
     # ------------------------------------------------------------------
     # decomposition state
@@ -136,12 +181,13 @@ class EpochManager:
             raise ValueError("cannot publish an epoch from an empty delta batch")
         working = self._graph.copy()
         incremental = len(ops) <= self.threshold
+        touched: set[Node] = set()
         if incremental:
             committed_core, committed_support = self._state()
             core = dict(committed_core)
             support = dict(committed_support)
             for op in ops:
-                apply_op(working, core, support, op)
+                apply_op(working, core, support, op, touched=touched)
         else:
             batch.apply(working)
             core = {}
@@ -180,6 +226,30 @@ class EpochManager:
         cache[("csr-edge-index",)] = index
         cache[("edge-support",)] = _edge_value_dict(frozen, index, support_list)
         cache[("csr-edge-truss",)] = list(truss_list)
+        # maintain the bound community index: incremental batches repair it
+        # in place (bit-identical to a from-scratch build, enforced by the
+        # parity tests); anything else rebuilds from the decompositions just
+        # computed — either way the index is never stale and never rebuilt
+        # on the serving path
+        index_new: Optional[CommunityIndex] = None
+        index_mode: Optional[str] = None
+        index_seconds = 0.0
+        if self.index is not None:
+            index_started = perf_counter()
+            if incremental and self.index.format_version >= 2:
+                try:
+                    index_new = repair_index(
+                        self.index, frozen, core_list, index, truss_list, touched=touched
+                    )
+                    index_mode = "repaired"
+                except GraphError:
+                    index_new = None
+            if index_new is None:
+                index_new = _assemble_index(
+                    frozen, core_list, index, truss_list, dataset=self.index.dataset
+                )
+                index_mode = "rebuilt"
+            index_seconds = perf_counter() - index_started
         return PreparedEpoch(
             epoch=self.epoch + 1,
             mode="incremental" if incremental else "refreeze",
@@ -188,6 +258,9 @@ class EpochManager:
             graph=working,
             core=core,
             support=support,
+            index=index_new,
+            index_mode=index_mode,
+            index_seconds=index_seconds,
         )
 
     def commit(self, prepared: PreparedEpoch) -> PreparedEpoch:
@@ -208,6 +281,12 @@ class EpochManager:
             self.incremental_batches += 1
         else:
             self.refrozen_batches += 1
+        if prepared.index is not None:
+            self.index = prepared.index
+            if prepared.index_mode == "repaired":
+                self.index_repairs += 1
+            else:
+                self.index_rebuilds += 1
         return prepared
 
     def apply(self, batch: DeltaBatch) -> PreparedEpoch:
@@ -238,4 +317,7 @@ class EpochManager:
             "incremental_batches": self.incremental_batches,
             "refrozen_batches": self.refrozen_batches,
             "ops_applied": self.ops_applied,
+            "index_bound": self.index is not None,
+            "index_repairs": self.index_repairs,
+            "index_rebuilds": self.index_rebuilds,
         }

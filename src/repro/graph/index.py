@@ -58,18 +58,26 @@ __all__ = [
     "default_index_dir",
     "index_path",
     "INDEX_FORMAT_VERSION",
+    "INDEX_COMPAT_VERSIONS",
     "INDEX_MODES",
     "INDEX_ALGORITHMS",
     "INDEX_DIR_ENV",
     "INDEX_SEGMENT_TAG",
 ]
 
-#: bump when the on-disk layout changes; older files are rejected with a
-#: "rebuild" error instead of being misread.
-INDEX_FORMAT_VERSION = 1
+#: bump when the on-disk layout changes; unknown versions are rejected with
+#: a "rebuild" error instead of being misread.
+INDEX_FORMAT_VERSION = 2
 
-#: the algorithms an index can serve (everything else takes the executed path).
-INDEX_ALGORITHMS = ("kc", "kt", "hightruss")
+#: older on-disk versions this build still reads.  v1 files lack the edge
+#: hierarchy (``edge_*`` / ``kecc_label`` regions), so ``huang2015`` and
+#: ``kecc`` fall through to the executed path while kc/kt/hightruss keep
+#: their fast path — the serving stats surface the reason.
+INDEX_COMPAT_VERSIONS = (1, INDEX_FORMAT_VERSION)
+
+#: the algorithms an index can serve (everything else takes the executed
+#: path).  ``huang2015`` and ``kecc`` need the v2 edge hierarchy.
+INDEX_ALGORITHMS = ("kc", "kt", "hightruss", "huang2015", "kecc")
 
 #: serving-side index policy: ``auto`` uses an index when a fresh one exists,
 #: ``require`` refuses to build a shard without one, ``off`` never loads one.
@@ -92,7 +100,7 @@ _MAGIC = b"REPROIDX"
 #: indices, permutation positions, window bounds, core/truss levels).
 _FIELD_TYPECODE = "l"
 
-_FIELDS = (
+_FIELDS_V1 = (
     "node_core",
     "node_truss",
     "core_order",
@@ -106,6 +114,19 @@ _FIELDS = (
     "truss_start",
     "truss_end",
 )
+
+#: v2 edge-hierarchy regions: the canonical per-edge-id endpoint pairs and
+#: truss numbers (what the incremental repair diffs against, and what seeds
+#: ``huang2015``), plus the flat per-core-level kecc class labels
+#: (``core_kmax * nodes`` longs, level k at offset ``(k-1)*nodes``; -1 = not
+#: in the k-core or a partition singleton, -2 = candidate above the cap).
+_FIELDS_EDGE = ("edge_eu", "edge_ev", "edge_truss", "kecc_label")
+
+_FIELDS = _FIELDS_V1 + _FIELDS_EDGE
+
+
+def _fields_for_version(version: int) -> tuple[str, ...]:
+    return _FIELDS_V1 if version < 2 else _FIELDS
 
 
 def default_index_dir() -> Path:
@@ -230,28 +251,14 @@ def _level_windows(pos, levels) -> tuple[array, array, array]:
     return ptr, starts, ends
 
 
-def build_index(graph: Graph, *, dataset: str = "?") -> "CommunityIndex":
-    """Derive the full community-hierarchy index of ``graph`` offline.
+def _inc_max_truss(csr: CSRGraph, edge_id, truss) -> array:
+    """Max incident surviving truss per node; 1 = "not even in the 2-truss".
 
-    Runs one core decomposition, one truss decomposition (both through the
-    CSR kernels, vectorised when the numpy tier is enabled) and one
-    component sweep per hierarchy level, then linearises both families.
+    Isolated nodes are dropped by every k-truss but still belong to the
+    plain connected-component level the hightruss fallback uses.
     """
-    started = time.perf_counter()
-    frozen = freeze(graph)
-    csr = frozen.csr
-    node_list = csr.node_list
-    n = len(node_list)
     indptr = csr.indptr
-
-    core = csr_core_numbers(csr)
-    edge_index = csr_edge_index(csr)
-    truss = csr_truss_numbers(csr, edge_index)
-    edge_id = edge_index.edge_id
-
-    # max incident surviving truss per node; 1 = "not even in the 2-truss"
-    # (isolated nodes are dropped by every k-truss but still belong to the
-    # plain connected-component level the hightruss fallback uses).
+    n = len(csr.node_list)
     inc_max = array(_FIELD_TYPECODE, [1] * n)
     for i in range(n):
         best = 1
@@ -260,6 +267,81 @@ def build_index(graph: Graph, *, dataset: str = "?") -> "CommunityIndex":
             if t > best:
                 best = t
         inc_max[i] = best
+    return inc_max
+
+
+def _kecc_labels(
+    frozen: FrozenGraph, core_levels, cap: int
+) -> tuple[array, list[int]]:
+    """Flat per-core-level kecc class labels (see ``_FIELDS_EDGE``).
+
+    Level ``k`` (1..core_kmax) occupies ``[(k-1)*n, k*n)``.  Each level-k
+    core component up to ``cap`` nodes is partitioned into its
+    k-edge-connected components (through the memoised baseline partition, so
+    a later executed ``kecc`` query reuses the entry); labels are numbered
+    canonically — candidates in first-seen (min-member-index) order, classes
+    within a candidate by min member index — which makes the numbering a
+    pure function of the graph content, the property the incremental repair
+    relies on to reuse labels bit-identically.
+    """
+    from ..baselines.kecc import _kecc_partition
+
+    csr = frozen.csr
+    node_list = csr.node_list
+    index_of = csr.index_of
+    n = len(node_list)
+    labels = array(_FIELD_TYPECODE, bytes(0))
+    counts: list[int] = []
+    for level in core_levels[1:]:
+        level_labels = array(_FIELD_TYPECODE, [-1] * n)
+        next_label = 0
+        for component in level:
+            if len(component) > cap:
+                for i in component:
+                    level_labels[i] = -2
+                continue
+            candidate = {node_list[i] for i in component}
+            classes = [
+                sorted(index_of[node] for node in cls)
+                for cls in _kecc_partition(frozen, candidate, len(counts) + 1)
+            ]
+            classes.sort(key=lambda members: members[0])
+            for members in classes:
+                for i in members:
+                    level_labels[i] = next_label
+                next_label += 1
+        labels.extend(level_labels)
+        counts.append(next_label)
+    return labels, counts
+
+
+def _assemble_index(
+    frozen: FrozenGraph,
+    core,
+    edge_index,
+    truss,
+    *,
+    dataset: str = "?",
+    started: Optional[float] = None,
+) -> "CommunityIndex":
+    """Linearise precomputed decompositions into a :class:`CommunityIndex`.
+
+    ``core`` / ``edge_index`` / ``truss`` are the kernel outputs for
+    ``frozen`` — :func:`build_index` derives them from scratch, the epoch
+    manager hands in the incrementally maintained ones, and the repair path
+    in :mod:`repro.graph.index_delta` goes through the same code so a
+    repaired index is bit-identical to a rebuilt one by construction.
+    """
+    if started is None:
+        started = time.perf_counter()
+    from ..baselines.kecc import KECC_APPROXIMATE_ABOVE
+
+    csr = frozen.csr
+    node_list = csr.node_list
+    n = len(node_list)
+    edge_id = edge_index.edge_id
+
+    inc_max = _inc_max_truss(csr, edge_id, truss)
     node_truss = array(_FIELD_TYPECODE, (b if b >= 2 else 2 for b in inc_max))
     node_core = array(_FIELD_TYPECODE, core)
 
@@ -278,6 +360,40 @@ def build_index(graph: Graph, *, dataset: str = "?") -> "CommunityIndex":
     for k in range(2, truss_kmax + 1):
         truss_levels.append(_truss_level_components(csr, edge_id, truss, inc_max, k))
 
+    kecc_label, kecc_counts = _kecc_labels(frozen, core_levels, KECC_APPROXIMATE_ABOVE)
+    return _finish_index(
+        frozen,
+        core_levels,
+        truss_levels,
+        fields={
+            "node_core": node_core,
+            "node_truss": node_truss,
+            "edge_eu": array(_FIELD_TYPECODE, edge_index.eu),
+            "edge_ev": array(_FIELD_TYPECODE, edge_index.ev),
+            "edge_truss": array(_FIELD_TYPECODE, truss),
+            "kecc_label": kecc_label,
+        },
+        kecc_counts=kecc_counts,
+        dataset=dataset,
+        started=started,
+    )
+
+
+def _finish_index(
+    frozen: FrozenGraph,
+    core_levels,
+    truss_levels,
+    *,
+    fields: dict[str, Any],
+    kecc_counts: list[int],
+    dataset: str,
+    started: float,
+) -> "CommunityIndex":
+    """Shared tail of build and repair: linearise, window, stamp the meta."""
+    from ..baselines.kecc import KECC_APPROXIMATE_ABOVE
+
+    csr = frozen.csr
+    n = len(csr.node_list)
     core_order, core_pos = _laminar_order(n, core_levels)
     core_ptr, core_start, core_end = _level_windows(core_pos, core_levels)
     truss_order, truss_pos = _laminar_order(n, truss_levels)
@@ -289,29 +405,51 @@ def build_index(graph: Graph, *, dataset: str = "?") -> "CommunityIndex":
         "dataset": dataset,
         "nodes": n,
         "edges": csr.num_edges,
-        "core_kmax": core_kmax,
-        "truss_kmax": truss_kmax,
+        "core_kmax": len(core_levels) - 1,
+        "truss_kmax": len(truss_levels) if len(truss_levels) > 1 else 1,
         "core_counts": [len(level) for level in core_levels],
         "truss_counts": [len(level) for level in truss_levels],
+        "kecc_cap": KECC_APPROXIMATE_ABOVE,
+        "kecc_counts": list(kecc_counts),
         "build_seconds": time.perf_counter() - started,
     }
-    fields = {
-        "node_core": node_core,
-        "node_truss": node_truss,
-        "core_order": core_order,
-        "core_pos": core_pos,
-        "core_ptr": core_ptr,
-        "core_start": core_start,
-        "core_end": core_end,
-        "truss_order": truss_order,
-        "truss_pos": truss_pos,
-        "truss_ptr": truss_ptr,
-        "truss_start": truss_start,
-        "truss_end": truss_end,
-    }
-    index = CommunityIndex(meta, list(node_list), fields)
+    fields = dict(fields)
+    fields.update(
+        {
+            "core_order": core_order,
+            "core_pos": core_pos,
+            "core_ptr": core_ptr,
+            "core_start": core_start,
+            "core_end": core_end,
+            "truss_order": truss_order,
+            "truss_pos": truss_pos,
+            "truss_ptr": truss_ptr,
+            "truss_start": truss_start,
+            "truss_end": truss_end,
+        }
+    )
+    index = CommunityIndex(meta, list(csr.node_list), fields)
     index._index_of = csr.index_of
     return index
+
+
+def build_index(graph: Graph, *, dataset: str = "?") -> "CommunityIndex":
+    """Derive the full community-hierarchy index of ``graph`` offline.
+
+    Runs one core decomposition, one truss decomposition (both through the
+    CSR kernels, vectorised when the numpy tier is enabled), one component
+    sweep per hierarchy level and one kecc partition per small-enough core
+    component, then linearises both node families.
+    """
+    started = time.perf_counter()
+    frozen = freeze(graph)
+    csr = frozen.csr
+    core = csr_core_numbers(csr)
+    edge_index = csr_edge_index(csr)
+    truss = csr_truss_numbers(csr, edge_index)
+    return _assemble_index(
+        frozen, core, edge_index, truss, dataset=dataset, started=started
+    )
 
 
 def _rebuild_index(meta, node_list, fields) -> "CommunityIndex":
@@ -367,18 +505,38 @@ class CommunityIndex:
             self._index_of = {node: i for i, node in enumerate(self.node_list)}
         return self._index_of
 
-    def bind(self, frozen: FrozenGraph) -> "CommunityIndex":
+    @property
+    def format_version(self) -> int:
+        return self.meta.get("format_version", 1)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """The regions this index's format version carries."""
+        return _fields_for_version(self.format_version)
+
+    def served_algorithms(self) -> tuple[str, ...]:
+        """The algorithms this index serves at their default parameters."""
+        return tuple(name for name in INDEX_ALGORITHMS if self.serves(name, {}))
+
+    def bind(
+        self, frozen: FrozenGraph, *, epoch: Optional[int] = None
+    ) -> "CommunityIndex":
         """Verify the digest against ``frozen`` and adopt its node mapping.
 
         Raises :class:`GraphError` when the dataset content has changed
-        since the index was built — a stale index must never answer.
+        since the index was built — a stale index must never answer.  Pass
+        ``epoch`` on epochal datasets so the error names the snapshot the
+        index fell behind (the same hint on every surface, in-process or
+        wire).
         """
         actual = dataset_digest(frozen)
         if actual != self.digest:
+            suffix = f" (current epoch {epoch})" if epoch is not None else ""
             error = GraphError(
                 f"index for dataset {self.dataset!r} is stale: it was built for "
                 f"content digest {self.digest[:12]} but the dataset now has "
-                f"{actual[:12]}; rebuild it with 'repro index build {self.dataset}'"
+                f"{actual[:12]}; rebuild it with "
+                f"'repro index build {self.dataset}'{suffix}"
             )
             # machine-readable cause: the serving tier's auto-index mode
             # reports this compact reason instead of the full message when
@@ -406,6 +564,12 @@ class CommunityIndex:
             "truss_kmax": meta["truss_kmax"],
             "core_communities": {str(k): c for k, c in enumerate(meta["core_counts"])},
             "truss_communities": truss_counts,
+            # v2 edge hierarchy (None/{} on a v1 file: those regions are absent)
+            "kecc_cap": meta.get("kecc_cap"),
+            "kecc_communities": {
+                str(k): c for k, c in enumerate(meta.get("kecc_counts", ()), start=1)
+            },
+            "serves": list(self.served_algorithms()),
             "region_bytes": region_bytes,
             "total_bytes": sum(region_bytes.values()),
             "build_seconds": meta.get("build_seconds", 0.0),
@@ -422,7 +586,7 @@ class CommunityIndex:
         from .shm import share_regions
 
         fields = {
-            name: self._as_array(name) for name in _FIELDS
+            name: self._as_array(name) for name in self.field_names
         }
         payload = pickle.dumps(
             (self.meta, self.node_list), protocol=pickle.HIGHEST_PROTOCOL
@@ -458,7 +622,7 @@ class CommunityIndex:
     def __reduce__(self):
         if self.attached:
             return (attach_index, (self._descriptor,))
-        fields = {name: self._as_array(name) for name in _FIELDS}
+        fields = {name: self._as_array(name) for name in self.field_names}
         return (_rebuild_index, (self.meta, self.node_list, fields))
 
     def __repr__(self) -> str:
@@ -475,6 +639,9 @@ class CommunityIndex:
         Conservative by design: anything but a plain-int ``k`` (or no
         params at all) falls back to the executed path, which also owns
         producing the errors for genuinely malformed parameters.
+        ``huang2015`` and ``kecc`` additionally need the v2 edge-hierarchy
+        regions, so a v1 file keeps serving kc/kt/hightruss while those two
+        fall through.
         """
         if algorithm in ("kc", "kt"):
             if not params:
@@ -485,16 +652,50 @@ class CommunityIndex:
             return isinstance(k, int) and not isinstance(k, bool)
         if algorithm == "hightruss":
             return not params
+        if algorithm == "huang2015":
+            return not params and self.format_version >= 2
+        if algorithm == "kecc":
+            if self.format_version < 2:
+                return False
+            from ..baselines.kecc import KECC_APPROXIMATE_ABOVE
+
+            # the stored partitions bake in the approximation crossover;
+            # serve only when it matches the executed default
+            if self.meta.get("kecc_cap") != KECC_APPROXIMATE_ABOVE:
+                return False
+            if not params:
+                return True
+            if set(params) != {"k"}:
+                return False
+            k = params["k"]
+            # k < 1 stays executed: k_edge_connected_components owns that error
+            return isinstance(k, int) and not isinstance(k, bool) and k >= 1
         return False
 
-    def search(self, algorithm: str, query_nodes: Sequence[Node], **params):
-        """Answer one community-containing-v query from the windows."""
+    def search(
+        self,
+        algorithm: str,
+        query_nodes: Sequence[Node],
+        *,
+        graph: Optional[Graph] = None,
+        **params,
+    ):
+        """Answer one community-containing-v query from the windows.
+
+        ``graph`` is the live (frozen) snapshot the index is bound to; only
+        ``huang2015`` needs it — its greedy shrink phase genuinely inspects
+        the graph, the index contributes the phase-1 seed.
+        """
         if algorithm == "kc":
             return self._core_search(query_nodes, **params)
         if algorithm == "kt":
             return self._truss_search(query_nodes, **params)
         if algorithm == "hightruss":
             return self._highest_truss(query_nodes, **params)
+        if algorithm == "huang2015":
+            return self._closest_truss(query_nodes, graph, **params)
+        if algorithm == "kecc":
+            return self._kecc_search(query_nodes, **params)
         raise GraphError(f"index cannot serve algorithm {algorithm!r}")
 
     def _validate(self, query_nodes: Sequence[Node]) -> frozenset:
@@ -598,6 +799,16 @@ class CommunityIndex:
             extra={"k": k},
         )
 
+    def _agreed_window(self, family: str, level: int, positions):
+        """The window all ``positions`` share at ``level``, or ``None``."""
+        first = None
+        for p in positions:
+            window = self._window(family, level, p)
+            if window is None or (first is not None and window != first):
+                return None
+            first = window
+        return first
+
     def _highest_truss(self, query_nodes: Sequence[Node]):
         from ..core.result import CommunityResult
 
@@ -609,16 +820,8 @@ class CommunityIndex:
         positions = [pos[index_of[node]] for node in queries]
         upper = min(node_truss[index_of[node]] for node in queries)
         for k in range(upper, 2, -1):
-            level = k - 1
-            first = None
-            agreed = True
-            for p in positions:
-                window = self._window("truss", level, p)
-                if window is None or (first is not None and window != first):
-                    agreed = False
-                    break
-                first = window
-            if not agreed or first is None:
+            first = self._agreed_window("truss", k - 1, positions)
+            if first is None:
                 continue
             elapsed = time.perf_counter() - started
             return CommunityResult(
@@ -631,15 +834,8 @@ class CommunityIndex:
                 extra={"k": k},
             )
         # level 0: the whole connected component, no triangle constraint
-        first = None
-        agreed = True
-        for p in positions:
-            window = self._window("truss", 0, p)
-            if window is None or (first is not None and window != first):
-                agreed = False
-                break
-            first = window
-        if agreed and first is not None:
+        first = self._agreed_window("truss", 0, positions)
+        if first is not None:
             elapsed = time.perf_counter() - started
             return CommunityResult(
                 nodes=self._scan("truss", first),
@@ -651,6 +847,124 @@ class CommunityIndex:
                 extra={"k": 2},
             )
         return CommunityResult.empty(queries, "hightruss", reason="queries are disconnected")
+
+    def _closest_truss(self, query_nodes: Sequence[Node], graph: Optional[Graph]):
+        """``huang2015`` with the phase-1 seed read off the truss windows.
+
+        Phase 1 of the executed baseline walks ``ktruss_structure`` down
+        from the trussness upper bound — exactly the per-level truss node
+        components these windows store.  Phase 2 (the greedy shrink) runs
+        the *same* baseline helper on the live graph, so the answer is
+        bit-identical to the executed path by construction.
+        """
+        from ..baselines.closest_truss import _greedy_shrink
+        from ..core.result import CommunityResult
+
+        started = time.perf_counter()
+        queries = self._validate(query_nodes)
+        if graph is None:
+            raise GraphError(
+                "index search for 'huang2015' needs the live graph "
+                "for its greedy phase"
+            )
+        index_of = self.index_of
+        node_truss = self._fields["node_truss"]
+        pos = self._fields["truss_pos"]
+        positions = [pos[index_of[node]] for node in queries]
+        upper = min(node_truss[index_of[node]] for node in queries)
+        base = None
+        for k in range(upper, 2, -1):
+            window = self._agreed_window("truss", k - 1, positions)
+            if window is not None:
+                base = (k, window)
+                break
+        if base is None:
+            # fall back to the plain connected component (truss level 2)
+            window = self._agreed_window("truss", 0, positions)
+            if window is not None:
+                base = (2, window)
+        if base is None:
+            return CommunityResult.empty(
+                queries, "huang2015", reason="no connected truss contains all query nodes"
+            )
+        k, window = base
+        community = set(self._scan("truss", window))
+        best_nodes, best_distance, deletions = _greedy_shrink(
+            graph, queries, k, community, None
+        )
+        elapsed = time.perf_counter() - started
+        return CommunityResult(
+            nodes=frozenset(best_nodes),
+            query_nodes=queries,
+            algorithm="huang2015",
+            score=float(k),
+            objective_name="truss_level",
+            elapsed_seconds=elapsed,
+            extra={"k": k, "query_distance": best_distance, "deletions": deletions},
+        )
+
+    def _kecc_search(self, query_nodes: Sequence[Node], k: Optional[int] = None):
+        """``kecc`` from the core windows plus the stored per-level labels."""
+        from ..baselines.kecc import KECC_DEFAULT_K
+        from ..core.result import CommunityResult
+
+        started = time.perf_counter()
+        queries = self._validate(query_nodes)
+        if k is None:
+            k = KECC_DEFAULT_K
+        index_of = self.index_of
+        pos = self._fields["core_pos"]
+        # the degree-<k pruned components ARE the level-k core components
+        if 1 <= k <= self.meta["core_kmax"]:
+            windows = [self._window("core", k, pos[index_of[node]]) for node in queries]
+        else:
+            windows = [None]
+        if any(window is None for window in windows):
+            return CommunityResult.empty(
+                queries, "kecc", reason=f"query nodes do not survive degree-{k} pruning"
+            )
+        first = windows[0]
+        if any(window != first for window in windows):
+            return CommunityResult.empty(
+                queries, "kecc", reason="query nodes lie in different pruned components"
+            )
+        lo, hi = first
+        if hi - lo > self.meta["kecc_cap"]:
+            elapsed = time.perf_counter() - started
+            return CommunityResult(
+                nodes=self._scan("core", first),
+                query_nodes=queries,
+                algorithm="kecc",
+                score=float(k),
+                objective_name="edge_connectivity",
+                elapsed_seconds=elapsed,
+                extra={"k": k, "approximate": True},
+            )
+        labels = self._fields["kecc_label"]
+        base = (k - 1) * self.meta["nodes"]
+        query_labels = {labels[base + index_of[node]] for node in queries}
+        label = next(iter(query_labels))
+        if len(query_labels) == 1 and label >= 0:
+            order = self._fields["core_order"]
+            node_list = self.node_list
+            nodes = frozenset(
+                node_list[order[p]]
+                for p in range(lo, hi)
+                if labels[base + order[p]] == label
+            )
+            elapsed = time.perf_counter() - started
+            return CommunityResult(
+                nodes=nodes,
+                query_nodes=queries,
+                algorithm="kecc",
+                score=float(k),
+                objective_name="edge_connectivity",
+                elapsed_seconds=elapsed,
+                extra={"k": k, "approximate": False},
+            )
+        return CommunityResult.empty(
+            queries, "kecc", reason=f"no {k}-edge-connected component contains all query nodes"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -669,7 +983,7 @@ def save_index(index: CommunityIndex, path: os.PathLike | str) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    fields = {name: index._as_array(name) for name in _FIELDS}
+    fields = {name: index._as_array(name) for name in index.field_names}
     payload = pickle.dumps((index.meta, index.node_list), protocol=pickle.HIGHEST_PROTOCOL)
 
     from .shm import _pad  # single source of truth for region alignment
@@ -712,7 +1026,10 @@ def save_index(index: CommunityIndex, path: os.PathLike | str) -> Path:
 
 
 def load_index(
-    path: os.PathLike | str, frozen: Optional[FrozenGraph] = None
+    path: os.PathLike | str,
+    frozen: Optional[FrozenGraph] = None,
+    *,
+    epoch: Optional[int] = None,
 ) -> CommunityIndex:
     """Load an index file; verify it against ``frozen`` when given.
 
@@ -720,7 +1037,8 @@ def load_index(
     (callers in ``auto`` mode treat that as "serve executed"), and
     :class:`GraphError` for corrupt files, unsupported format versions and
     stale digests — production surfaces turn those into structured errors,
-    never tracebacks.
+    never tracebacks.  ``epoch`` rides into :meth:`CommunityIndex.bind` so
+    a stale-digest error on an epochal dataset names the current epoch.
     """
     path = Path(path)
     data = path.read_bytes()  # FileNotFoundError propagates deliberately
@@ -752,10 +1070,11 @@ def load_index(
         raise
     except Exception as exc:  # noqa: BLE001 - any parse failure is corruption
         raise corrupt(f"unreadable header: {exc}") from None
-    if version != INDEX_FORMAT_VERSION:
+    if version not in INDEX_COMPAT_VERSIONS:
+        supported = ", ".join(str(v) for v in INDEX_COMPAT_VERSIONS)
         raise GraphError(
             f"index file {str(path)!r} has format version {version!r} but this "
-            f"build reads version {INDEX_FORMAT_VERSION}; rebuild it with "
+            f"build reads versions {supported}; rebuild it with "
             f"'repro index build'"
         )
     blob_start = header_start + header_length
@@ -773,7 +1092,7 @@ def load_index(
         meta, node_list = pickle.loads(
             data[blob_start + payload_offset : blob_start + payload_offset + payload_length]
         )
-        for name in _FIELDS:
+        for name in _fields_for_version(version):
             if name not in fields:
                 raise ValueError(f"region {name} missing")
     except Exception as exc:  # noqa: BLE001
@@ -781,7 +1100,7 @@ def load_index(
 
     index = CommunityIndex(meta, node_list, fields)
     if frozen is not None:
-        index.bind(frozen)
+        index.bind(frozen, epoch=epoch)
     return index
 
 

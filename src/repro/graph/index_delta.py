@@ -1,0 +1,363 @@
+"""Incremental repair of a :class:`~repro.graph.index.CommunityIndex`.
+
+PR 8 made graphs evolve by publishing epochal snapshots whose core/truss
+decompositions are patched in place instead of recomputed; this module does
+the same for the community index that sits on top of them.  A small delta
+perturbs only the hierarchy levels along the affected nodes' component
+paths — laminarity means every untouched level keeps exactly its old
+components — so :func:`repair_index` diffs the old index against the new
+snapshot's patched numbers, recomputes only the *dirty* levels, remaps the
+clean ones, and reassembles through the very same linearisation code
+:func:`~repro.graph.index.build_index` uses.
+
+The contract (enforced by randomized edit-script parity tests) is strict
+**bit-identity**: the repaired index's regions and digest equal a
+from-scratch ``build_index`` on the post-mutation graph.  That falls out of
+three facts:
+
+* the CSR node order is insertion order, so surviving nodes keep their
+  relative indices across a mutation (the old→new remap is monotone) and
+  every content-determined ordering rule — component enumeration by min
+  member index, kecc class numbering — is preserved by remapping;
+* dirty levels run the *same* component sweeps the build runs;
+* the permutation/window tail (:func:`_finish_index`) is shared code.
+
+Dirtiness is computed conservatively from exact diffs: per-node core
+changes and per-edge existence/truss changes (the old per-edge truss rides
+in the v2 ``edge_*`` regions precisely so this diff never needs the old
+graph).  Truss changes cascade globally, so the edge diff is a full O(E)
+scan — still far below the decomposition cost the repair avoids.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from typing import Optional
+
+from .csr import FrozenGraph, csr_connected_components
+from .graph import GraphError, Node
+from .index import (
+    _FIELD_TYPECODE,
+    CommunityIndex,
+    _finish_index,
+    _inc_max_truss,
+    _truss_level_components,
+)
+
+__all__ = ["repair_index"]
+
+
+def _remap_components(old: CommunityIndex, family: str, level: int, remap):
+    """An old level's components as new-index lists, first-seen order.
+
+    Only called for *clean* levels, whose membership is unchanged — every
+    member must therefore survive the delta.  Components come back ordered
+    by min member index, which the monotone remap makes identical to the
+    enumeration order a fresh component sweep would produce.
+    """
+    fields = old._fields
+    ptr = fields[family + "_ptr"]
+    starts = fields[family + "_start"]
+    ends = fields[family + "_end"]
+    order = fields[family + "_order"]
+    components = []
+    for w in range(ptr[level], ptr[level + 1]):
+        members = []
+        for p in range(starts[w], ends[w]):
+            new_i = remap[order[p]]
+            if new_i is None:  # pragma: no cover - dirtiness diff invariant
+                raise GraphError(
+                    f"index repair: clean {family} level {level} lost a member; "
+                    f"the dirtiness diff is unsound"
+                )
+            members.append(new_i)
+        components.append(members)
+    components.sort(key=min)
+    return components
+
+
+def repair_index(
+    old: CommunityIndex,
+    frozen: FrozenGraph,
+    core,
+    edge_index,
+    truss,
+    *,
+    touched: Optional[set[Node]] = None,
+) -> CommunityIndex:
+    """Repair ``old`` into the index of ``frozen`` after a small delta.
+
+    ``core`` / ``edge_index`` / ``truss`` are the post-mutation kernel
+    values the epoch manager already maintains incrementally (the repair
+    never reruns a decomposition).  ``touched`` optionally seeds the
+    changed-node set with the nodes the delta ops named — purely a
+    conservative hint; the exact diff below extends it.
+
+    Returns a **new** local index (the old one, which workers may still
+    have mapped, is never mutated) bit-identical to ``build_index`` on
+    ``frozen``.  Raises :class:`GraphError` when ``old`` cannot be
+    repaired (v1 file: no edge hierarchy to diff against) — callers fall
+    back to a full rebuild.
+    """
+    started = time.perf_counter()
+    if old.format_version < 2:
+        raise GraphError(
+            "cannot repair a format v1 index (no edge hierarchy to diff); "
+            "rebuild it with 'repro index build'"
+        )
+    from ..baselines.kecc import KECC_APPROXIMATE_ABOVE as cap
+
+    if old.meta.get("kecc_cap") != cap:
+        raise GraphError(
+            "cannot repair an index built with a different kecc cap; rebuild it"
+        )
+
+    csr = frozen.csr
+    node_list = csr.node_list
+    index_of = csr.index_of
+    n = len(node_list)
+    edge_id = edge_index.edge_id
+    eu, ev = edge_index.eu, edge_index.ev
+
+    old_fields = old._fields
+    old_nodes = old.node_list
+    n_old = len(old_nodes)
+    old_core = old_fields["node_core"]
+    old_labels = old_fields["kecc_label"]
+
+    # old -> new node index (None = removed); monotone because the CSR node
+    # order is insertion order and mutations only append or drop nodes
+    remap = [index_of.get(node) for node in old_nodes]
+    survived = bytearray(n)
+    for new_i in remap:
+        if new_i is not None:
+            survived[new_i] = 1
+
+    node_core_new = array(_FIELD_TYPECODE, core)
+    inc_max_new = _inc_max_truss(csr, edge_id, truss)
+    node_truss_new = array(_FIELD_TYPECODE, (b if b >= 2 else 2 for b in inc_max_new))
+
+    # ------------------------------------------------------------------
+    # exact diff -> dirty-level cutoffs + changed-node set
+    # ------------------------------------------------------------------
+    # changed: new indices incident to any edge existence change (feeds the
+    # kecc candidate-reuse check; truss-value changes don't affect kecc)
+    changed: set[int] = set()
+    if touched:
+        for node in touched:
+            new_i = index_of.get(node)
+            if new_i is not None:
+                changed.add(new_i)
+
+    old_edge_truss = {
+        frozenset((old_nodes[old_fields["edge_eu"][e]], old_nodes[old_fields["edge_ev"][e]])): (
+            old_fields["edge_truss"][e]
+        )
+        for e in range(old.meta["edges"])
+    }
+
+    core_dirty = 0  # core levels 1..core_dirty recompute (level 0 always does)
+    truss_dirty = 1  # truss levels 2..truss_dirty recompute
+
+    new_pairs = set()
+    for e in range(edge_index.num_edges):
+        pair = frozenset((node_list[eu[e]], node_list[ev[e]]))
+        new_pairs.add(pair)
+        t_new = truss[e]
+        t_old = old_edge_truss.get(pair)
+        if t_old is None:  # added edge
+            if core_dirty < n:
+                core_dirty = max(core_dirty, min(core[eu[e]], core[ev[e]]))
+            truss_dirty = max(truss_dirty, t_new)
+            changed.add(eu[e])
+            changed.add(ev[e])
+        elif t_old != t_new:  # truss cascade reached this surviving edge
+            truss_dirty = max(truss_dirty, t_old, t_new)
+
+    old_index_of = old.index_of
+    for pair, t_old in old_edge_truss.items():
+        if pair not in new_pairs:  # removed edge
+            u, v = tuple(pair)
+            core_dirty = max(
+                core_dirty, min(old_core[old_index_of[u]], old_core[old_index_of[v]])
+            )
+            truss_dirty = max(truss_dirty, t_old)
+            for node in (u, v):
+                new_i = index_of.get(node)
+                if new_i is not None:
+                    changed.add(new_i)
+
+    for old_i in range(n_old):
+        new_i = remap[old_i]
+        if new_i is None:  # removed node
+            core_dirty = max(core_dirty, old_core[old_i])
+        elif old_core[old_i] != node_core_new[new_i]:
+            core_dirty = max(core_dirty, old_core[old_i], node_core_new[new_i])
+    for new_i in range(n):
+        if not survived[new_i]:  # added node
+            core_dirty = max(core_dirty, node_core_new[new_i])
+            changed.add(new_i)
+
+    # ------------------------------------------------------------------
+    # levels: recompute dirty, remap clean
+    # ------------------------------------------------------------------
+    level0 = csr_connected_components(csr)
+    core_kmax = max(core, default=0)
+    core_levels = [level0]
+    for k in range(1, core_kmax + 1):
+        if k <= core_dirty:
+            alive = bytearray(1 if c >= k else 0 for c in core)
+            core_levels.append(csr_connected_components(csr, alive=alive))
+        else:
+            core_levels.append(_remap_components(old, "core", k, remap))
+
+    truss_kmax = max(inc_max_new, default=1)
+    truss_levels = [level0]
+    for k in range(2, truss_kmax + 1):
+        if k <= truss_dirty:
+            truss_levels.append(
+                _truss_level_components(csr, edge_id, truss, inc_max_new, k)
+            )
+        else:
+            truss_levels.append(_remap_components(old, "truss", k - 1, remap))
+
+    kecc_label, kecc_counts = _repair_kecc_labels(
+        old, frozen, core_levels, core_dirty, remap, changed, cap
+    )
+
+    index = _finish_index(
+        frozen,
+        core_levels,
+        truss_levels,
+        fields={
+            "node_core": node_core_new,
+            "node_truss": node_truss_new,
+            "edge_eu": array(_FIELD_TYPECODE, eu),
+            "edge_ev": array(_FIELD_TYPECODE, ev),
+            "edge_truss": array(_FIELD_TYPECODE, truss),
+            "kecc_label": kecc_label,
+        },
+        kecc_counts=kecc_counts,
+        dataset=old.dataset,
+        started=started,
+    )
+    return index
+
+
+def _repair_kecc_labels(
+    old: CommunityIndex,
+    frozen: FrozenGraph,
+    core_levels,
+    core_dirty: int,
+    remap,
+    changed: set[int],
+    cap: int,
+) -> tuple[array, list[int]]:
+    """Per-level kecc labels of the repaired index (bit-identical to build).
+
+    Clean core levels scatter the old labels through the monotone remap —
+    the canonical numbering (candidates by first-seen order, classes by min
+    member index) is order-preserved, so the labels carry over verbatim.
+    Dirty levels re-derive candidate by candidate, reusing a candidate's
+    old partition when its membership is unchanged and no existence-changed
+    edge touches it (edge-connectivity ignores truss values, so the induced
+    subgraph — and hence the partition — is provably identical); everything
+    else reruns the same memoised partition the build uses.
+    """
+    from ..baselines.kecc import _kecc_partition
+
+    csr = frozen.csr
+    node_list = csr.node_list
+    index_of = csr.index_of
+    n = len(node_list)
+    n_old = len(old.node_list)
+    old_labels = old._fields["kecc_label"]
+    old_counts = old.meta["kecc_counts"]
+    old_core_kmax = old.meta["core_kmax"]
+    old_core_pos = old._fields["core_pos"]
+
+    # new index -> old index, for reading a dirty candidate's old labels
+    back = [None] * n
+    for old_i, new_i in enumerate(remap):
+        if new_i is not None:
+            back[new_i] = old_i
+
+    labels = array(_FIELD_TYPECODE, bytes(0))
+    counts: list[int] = []
+    core_kmax = len(core_levels) - 1
+    for k in range(1, core_kmax + 1):
+        level_labels = array(_FIELD_TYPECODE, [-1] * n)
+        if k > core_dirty:
+            old_base = (k - 1) * n_old
+            for old_i in range(n_old):
+                new_i = remap[old_i]
+                if new_i is not None:
+                    label = old_labels[old_base + old_i]
+                    if label != -1:
+                        level_labels[new_i] = label
+            counts.append(old_counts[k - 1])
+        else:
+            next_label = 0
+            for component in core_levels[k]:
+                if len(component) > cap:
+                    for i in component:
+                        level_labels[i] = -2
+                    continue
+                classes = None
+                if k <= old_core_kmax:
+                    classes = _reuse_candidate(
+                        old, component, k, back, changed, old_core_pos, n_old
+                    )
+                if classes is None:
+                    candidate = {node_list[i] for i in component}
+                    classes = [
+                        sorted(index_of[node] for node in cls)
+                        for cls in _kecc_partition(frozen, candidate, k)
+                    ]
+                classes.sort(key=lambda members: members[0])
+                for members in classes:
+                    for i in members:
+                        level_labels[i] = next_label
+                    next_label += 1
+            counts.append(next_label)
+        labels.extend(level_labels)
+    return labels, counts
+
+
+def _reuse_candidate(
+    old: CommunityIndex,
+    component,
+    k: int,
+    back,
+    changed: set[int],
+    old_core_pos,
+    n_old: int,
+):
+    """The candidate's old kecc classes (new-index lists), or ``None``.
+
+    Reuse demands proof the induced subgraph is unchanged: every member
+    survived, none touches an existence-changed edge, and the members fill
+    exactly one old level-``k`` core window (same size ⇒ same set).
+    """
+    window = None
+    for i in component:
+        old_i = back[i]
+        if old_i is None or i in changed:
+            return None
+        w = old._window("core", k, old_core_pos[old_i])
+        if w is None or (window is not None and w != window):
+            return None
+        window = w
+    if window is None or window[1] - window[0] != len(component):
+        return None
+    old_labels = old._fields["kecc_label"]
+    old_base = (k - 1) * n_old
+    groups: dict[int, list[int]] = {}
+    for i in component:
+        label = old_labels[old_base + back[i]]
+        if label == -2:  # old candidate was over the cap; cannot happen when
+            return None  # membership is identical, but recompute defensively
+        if label >= 0:
+            groups.setdefault(label, []).append(i)
+    return [sorted(members) for members in groups.values()]

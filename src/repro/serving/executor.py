@@ -115,7 +115,10 @@ def execute_traced(
     try:
         if index is not None and index.serves(algorithm, params):
             served_by_index = True
-            return index.search(algorithm, list(nodes), **params), served_by_index
+            # the live snapshot rides along for the algorithms whose index
+            # path still needs it (huang2015's greedy phase runs on the
+            # graph after the window scan replaces its decomposition)
+            return index.search(algorithm, list(nodes), graph=graph, **params), served_by_index
         runner = _resolve_algorithm(algorithm, params)
         return runner(graph, list(nodes)), served_by_index
     except Exception as exc:  # noqa: BLE001 - mapped to structured codes

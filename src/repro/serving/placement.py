@@ -32,12 +32,14 @@ from typing import Any, Callable, Optional
 from ..datasets import Dataset, load_dataset
 from ..dynamic import DeltaBatch, EpochManager
 from ..graph import (
+    INDEX_FORMAT_VERSION,
     INDEX_MODES,
     FrozenGraph,
     GraphError,
     freeze,
     index_path,
     load_index,
+    save_index,
     shared_memory_available,
 )
 from .executor import (
@@ -299,6 +301,7 @@ class ReplicaSet:
         index_handle=None,
         index_effective: str = "executed",
         index_reason: Optional[str] = None,
+        index_algorithms: tuple[str, ...] = (),
     ) -> None:
         if not replicas:
             raise ValueError("a replica set needs at least one replica")
@@ -310,6 +313,7 @@ class ReplicaSet:
         self._index_handle = index_handle
         self.index_effective = index_effective
         self.index_reason = index_reason
+        self.index_algorithms = index_algorithms
 
     @classmethod
     def build(
@@ -406,6 +410,9 @@ class ReplicaSet:
             index_handle=index_handle,
             index_effective="indexed" if index is not None else "executed",
             index_reason=index_reason,
+            index_algorithms=(
+                index.served_algorithms() if index is not None else ()
+            ),
         )
 
     def __len__(self) -> int:
@@ -613,8 +620,11 @@ class Placement:
         compact reason ``"stale"``.  In ``require`` mode the shard build
         fails with a structured :class:`GraphError` instead — a node must
         never silently serve the slow path when the operator demanded the
-        index; on an epochal snapshot the error also names the epoch the
-        rejection happened at (``epoch``, the one about to be served).
+        index.  ``epoch`` rides into :meth:`CommunityIndex.bind`, which
+        formats every stale-digest error (in-process and wire alike) with
+        the current epoch and the rebuild command.  A loadable pre-v2 file
+        still serves its node hierarchies; the reason records that the
+        edge-hierarchy algorithms fall through to the executed path.
         """
         if self.index == "off":
             return None, None
@@ -622,7 +632,7 @@ class Placement:
         try:
             # load_index binds against the live snapshot, which rejects any
             # digest mismatch — a stale index never serves
-            return load_index(path, frozen), None
+            index = load_index(path, frozen, epoch=epoch)
         except FileNotFoundError:
             reason = f"no index file at {path}"
             if self.index == "require":
@@ -634,12 +644,16 @@ class Placement:
             return None, reason
         except GraphError as exc:
             if self.index == "require":
-                if epoch is not None:
-                    raise GraphError(f"{exc} (current epoch {epoch})") from None
                 raise
             if getattr(exc, "reason", None) == "stale":
                 return None, "stale"
             return None, str(exc)
+        if index.format_version < INDEX_FORMAT_VERSION:
+            return index, (
+                f"format v{index.format_version}: edge hierarchy absent; "
+                "huang2015/kecc run on the executed path"
+            )
+        return index, None
 
     def build_shard(self, dataset: Dataset, *, key: Optional[str] = None) -> Shard:
         """Freeze ``dataset`` once and stand a replicated shard in front.
@@ -660,6 +674,11 @@ class Placement:
         index, index_reason = self.load_shard_index(
             key, frozen, epoch=manager.epoch if manager is not None else None
         )
+        if manager is not None and index is not None:
+            # the epoch manager maintains the index from now on: every
+            # prepared epoch carries a repaired (or rebuilt) successor, so
+            # mutations never stale the index tier
+            manager.bind_index(index)
         replica_set = self._build_replica_set(
             dataset, frozen, key=key, index=index, index_reason=index_reason
         )
@@ -725,12 +744,14 @@ class Placement:
         """Apply a delta batch to ``name`` and publish the next epoch.
 
         One mutation at a time per dataset (an asyncio lock): the epoch
-        manager prepares the new snapshot off the event loop, the community
-        index is (re)loaded against it — in ``require`` mode a digest
-        mismatch fails the mutation *before* anything is committed — a
-        fresh replica set is built, and only then is the shard swapped.
-        Queries keep flowing against the old epoch for the whole build;
-        the swap itself is atomic between micro-batches.
+        manager prepares the new snapshot off the event loop — repairing
+        its bound community index along the way — the repaired index file
+        is republished atomically (tmp + rename) and a fresh replica set
+        built on it, and only then is the shard swapped (workers re-attach
+        the new index segment on swap).  Datasets that never had an index
+        reload per the placement policy instead.  Queries keep flowing
+        against the old epoch for the whole build; the swap itself is
+        atomic between micro-batches.
         """
         if not self.epochs:
             raise ProtocolError(
@@ -747,9 +768,17 @@ class Placement:
 
             def _stage() -> ReplicaSet:
                 prepared.frozen.csr.adjacency_lists()
-                index, index_reason = self.load_shard_index(
-                    name, prepared.frozen, epoch=prepared.epoch
-                )
+                if prepared.index is not None:
+                    # the manager repaired (or rebuilt) the index off the
+                    # serving path; publish the file atomically alongside
+                    # the epoch so a restarted server finds it current, and
+                    # hand the in-memory object straight to the replicas
+                    save_index(prepared.index, index_path(name, self.index_dir))
+                    index, index_reason = prepared.index, None
+                else:
+                    index, index_reason = self.load_shard_index(
+                        name, prepared.frozen, epoch=prepared.epoch
+                    )
                 return self._build_replica_set(
                     shard.dataset,
                     prepared.frozen,
@@ -761,13 +790,17 @@ class Placement:
             replica_set = await loop.run_in_executor(None, _stage)
             manager.commit(prepared)
             await shard.swap(prepared.frozen, replica_set, epoch=prepared.epoch)
-        return {
+        response = {
             "epoch": manager.epoch,
             "mode": prepared.mode,
             "ops": prepared.delta_size,
             "nodes": prepared.frozen.number_of_nodes(),
             "edges": prepared.frozen.number_of_edges(),
         }
+        if prepared.index_mode is not None:
+            response["index"] = prepared.index_mode
+            response["index_seconds"] = round(prepared.index_seconds, 6)
+        return response
 
     def dataset_epochs(self) -> dict[str, int]:
         """Current epoch per built epochal shard (empty without --epochs)."""

@@ -319,7 +319,9 @@ class Shard:
     # statistics
     # ------------------------------------------------------------------
     def _index_stats(self) -> dict[str, Any]:
-        """The shard's index tier: effective mode, hit count, fallback reason."""
+        """The shard's index tier: effective mode, hit count, what it serves,
+        and the fallback reason when part (or all) of the tier is degraded —
+        e.g. a pre-v2 index file whose edge-hierarchy algorithms execute."""
         info: dict[str, Any] = {
             "effective": getattr(self.replica_set, "index_effective", "executed"),
             "hits": (
@@ -328,6 +330,9 @@ class Shard:
                 else 0
             ),
         }
+        algorithms = getattr(self.replica_set, "index_algorithms", ())
+        if algorithms:
+            info["algorithms"] = list(algorithms)
         reason = getattr(self.replica_set, "index_reason", None)
         if reason is not None:
             info["reason"] = reason

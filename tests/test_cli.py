@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -145,6 +147,59 @@ class TestStructuredErrors:
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "in use" in err
+
+
+class TestIndexInspectJson:
+    """`repro index inspect --json` is the machine-readable surface the
+    benches and CI lean on — its schema is a contract."""
+
+    EXPECTED_KEYS = {
+        "index_file",
+        "format_version",
+        "digest",
+        "dataset",
+        "nodes",
+        "edges",
+        "core_kmax",
+        "truss_kmax",
+        "core_communities",
+        "truss_communities",
+        "kecc_cap",
+        "kecc_communities",
+        "serves",
+        "region_bytes",
+        "total_bytes",
+        "build_seconds",
+    }
+
+    def test_inspect_json_schema(self, tmp_path, capsys):
+        assert main(["index", "build", "karate", "--index-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["index", "inspect", "karate", "--json", "--index-dir", str(tmp_path)]
+        ) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert set(info) == self.EXPECTED_KEYS
+        assert info["format_version"] == 2
+        assert info["dataset"] == "karate"
+        assert info["nodes"] == 34 and info["edges"] == 78
+        assert info["index_file"].endswith("karate.idx")
+        assert isinstance(info["digest"], str) and len(info["digest"]) == 64
+        assert set(info["serves"]) == {"kc", "kt", "hightruss", "huang2015", "kecc"}
+        assert info["kecc_cap"] == 400
+        # region table covers every v2 region, sizes are positive bytes
+        for region in ("node_core", "truss_order", "edge_truss", "kecc_label"):
+            assert info["region_bytes"][region] > 0
+        assert info["total_bytes"] == sum(info["region_bytes"].values())
+        assert info["build_seconds"] >= 0.0
+
+    def test_inspect_json_missing_index_is_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["index", "inspect", "karate", "--json", "--index-dir", str(tmp_path)]
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # errors never pollute the JSON stream
+        assert "no index file" in captured.err
 
 
 class TestServeParser:

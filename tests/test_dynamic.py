@@ -11,9 +11,11 @@ Four layers of coverage:
   refreeze path;
 * the serving tier — epoch-stamped responses, the ``mutate`` wire op,
   cache purging across snapshot swaps, ``min_epoch`` staleness bounds and
-  the ``stale_epoch`` error code, plus the community index growing stale
-  under an evolving dataset (``auto`` degrades with reason ``"stale"``,
-  ``require`` refuses with the build command and current epoch);
+  the ``stale_epoch`` error code, plus the community index riding the
+  epoch lifecycle: mutations repair the bound index (bit-identically to a
+  fresh build, asserted per epoch on randomized edit scripts), ``require``
+  mode keeps accepting writes, and both modes keep serving index answers
+  after every swap;
 * the cluster tier — epochs piggybacked on heartbeats, the coordinator's
   per-dataset maximum, and the client treating an epoch regression like
   stale routing.
@@ -37,6 +39,7 @@ from repro.graph import (
     build_index,
     freeze,
     index_path,
+    load_index,
     node_truss_numbers,
     save_index,
     truss_numbers,
@@ -225,6 +228,59 @@ class TestEpochManagerParity:
             assert manager.epoch == prepared.epoch
             assert_snapshot_parity(manager.frozen, mirror)
 
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("source", ["karate", "figure1", "er", "bridge"])
+    def test_randomized_edit_scripts_repair_the_index_bit_identically(
+        self, source, seed, karate, figure1, small_er_graph, two_triangles_bridge
+    ):
+        """Every epoch's repaired index equals a from-scratch build — regions,
+        meta and digest — and its answers equal the executed path's."""
+        graph = {
+            "karate": karate.graph,
+            "figure1": figure1.graph,
+            "er": small_er_graph,
+            "bridge": two_triangles_bridge,
+        }[source]
+        manager = EpochManager(graph.copy(), threshold=64)
+        manager.bind_index(build_index(manager.frozen, dataset=source))
+        mirror = graph.copy()
+        rng = random.Random(seed)
+        next_node = [10_000]
+        for _ in range(6):
+            batch = random_batch(rng, mirror, next_node)
+            if not batch:
+                continue
+            prepared = manager.apply(batch)
+            assert prepared.index_mode == "repaired"
+            repaired = manager.index
+            fresh = build_index(freeze(mirror), dataset=source)
+            # bit-identity: same digest, same meta, same bytes in every region
+            assert repaired.meta["digest"] == fresh.meta["digest"]
+            assert repaired.field_names == fresh.field_names
+            for key, value in fresh.meta.items():
+                if key != "build_seconds":
+                    assert repaired.meta[key] == value, key
+            for name in fresh.field_names:
+                assert bytes(repaired._fields[name]) == bytes(fresh._fields[name]), name
+            assert repaired.node_list == fresh.node_list
+            # indexed answers match the executed path byte-for-byte
+            reference = freeze(mirror)
+            for node in sorted(mirror.nodes(), key=repr)[:2]:
+                for algorithm, params in (
+                    ("kc", {"k": 2}),
+                    ("kt", {"k": 3}),
+                    ("hightruss", {}),
+                    ("huang2015", {}),
+                ):
+                    got = repaired.search(
+                        algorithm, [node], graph=manager.frozen, **params
+                    )
+                    expected = run_algorithm(algorithm, reference, [node], **params)
+                    assert got.nodes == expected.nodes
+                    assert got.score == expected.score
+                    assert got.extra == expected.extra
+        assert manager.describe()["index_repairs"] >= 1
+
     def test_refreeze_path_matches_fresh_freeze(self, karate):
         manager = EpochManager(karate.graph.copy(), threshold=0)  # always refreeze
         mirror = karate.graph.copy()
@@ -237,6 +293,20 @@ class TestEpochManagerParity:
             prepared = manager.apply(batch)
             assert prepared.mode == "refreeze"
             assert_snapshot_parity(manager.frozen, mirror)
+
+    def test_large_batches_rebuild_the_bound_index_off_the_serving_path(self, karate):
+        manager = EpochManager(karate.graph.copy(), threshold=1)
+        manager.bind_index(build_index(manager.frozen, dataset="karate"))
+        prepared = manager.apply(DeltaBatch().add_node(100).add_node(101))
+        assert prepared.mode == "refreeze"
+        assert prepared.index_mode == "rebuilt"
+        fresh = build_index(manager.frozen, dataset="karate")
+        assert manager.index.meta["digest"] == fresh.meta["digest"]
+        for name in fresh.field_names:
+            assert bytes(manager.index._fields[name]) == bytes(fresh._fields[name])
+        describe = manager.describe()
+        assert describe["index_bound"] is True
+        assert describe["index_rebuilds"] == 1 and describe["index_repairs"] == 0
 
     def test_threshold_selects_the_mode(self, karate):
         manager = EpochManager(karate.graph.copy(), threshold=2)
@@ -488,7 +558,17 @@ class TestIndexUnderEpochs:
             index_path("karate", tmp_path),
         )
 
-    def test_auto_mode_degrades_to_stale_after_a_mutation(self, tmp_path, karate):
+    def query_payload(self, **extra):
+        return {
+            "op": "query",
+            "dataset": "karate",
+            "algorithm": "kt",
+            "nodes": [0],
+            "params": {"k": 4},
+            **extra,
+        }
+
+    def test_auto_mode_keeps_serving_the_index_under_mutation(self, tmp_path, karate):
         self._build_index(tmp_path)
         mirror = karate.graph.copy()
         u, v = first_absent_edge(mirror)
@@ -498,61 +578,76 @@ class TestIndexUnderEpochs:
                 datasets=["karate"], epochs=True, index="auto", index_dir=str(tmp_path)
             ) as engine:
                 before = await engine.handle({"op": "stats"})
-                await engine.handle(
+                applied = await engine.handle(
                     {"op": "mutate", "dataset": "karate", "ops": [["add_edge", u, v]]}
                 )
-                response = await engine.handle(
-                    {
-                        "op": "query",
-                        "dataset": "karate",
-                        "algorithm": "kt",
-                        "nodes": [0],
-                        "params": {"k": 4},
-                    }
-                )
+                response = await engine.handle(self.query_payload())
                 after = await engine.handle({"op": "stats"})
-                return before, response, after
+                return before, applied, response, after
 
-        before, response, after = run(scenario())
+        before, applied, response, after = run(scenario())
         # epoch 0 is exactly what the index was built for
         assert before["shards"]["karate"]["index"]["effective"] == "indexed"
-        # the dataset evolved past the build: degrade, with the compact reason
+        # the mutation repaired the index in memory and republished it
+        assert applied["ok"] and applied["epoch"] == 1
+        assert applied["index"] == "repaired"
+        assert applied["index_seconds"] >= 0.0
         index_stats = after["shards"]["karate"]["index"]
-        assert index_stats["effective"] == "executed"
-        assert index_stats["reason"] == "stale"
-        # and the executed fallback serves the *new* graph correctly
+        assert index_stats["effective"] == "indexed"
+        assert "reason" not in index_stats
+        # the post-mutation query was answered FROM the repaired index...
+        assert response["ok"] and response["epoch"] == 1
+        assert index_stats["hits"] >= 1
+        # ...with the executed path's exact answer on the *new* graph
         mirror.add_edge(u, v)
         reference = run_algorithm("kt", mirror, [0], k=4)
         assert response["nodes"] == sorted(reference.nodes, key=repr)
+        assert after["shards"]["karate"]["epoch"]["index_repairs"] == 1
+        assert after["shards"]["karate"]["epoch"]["index_rebuilds"] == 0
+        # the republished file binds cleanly against the mutated graph
+        reloaded = load_index(index_path("karate", tmp_path), freeze(mirror))
+        assert reloaded.meta["edges"] == mirror.number_of_edges()
 
-    def test_require_mode_refuses_the_mutation_with_epoch(self, tmp_path):
+    def test_require_mode_accepts_mutations_and_serves_from_the_index(self, tmp_path):
         self._build_index(tmp_path)
 
         async def scenario():
             async with ServingEngine(
                 datasets=["karate"], epochs=True, index="require", index_dir=str(tmp_path)
             ) as engine:
-                refused = await engine.handle(
+                applied = await engine.handle(
                     {"op": "mutate", "dataset": "karate", "ops": [["add_node", 99]]}
                 )
-                still_epoch_zero = await engine.handle(
-                    {
-                        "op": "query",
-                        "dataset": "karate",
-                        "algorithm": "kt",
-                        "nodes": [0],
-                        "params": {"k": 4},
-                    }
-                )
-                return refused, still_epoch_zero
+                served = await engine.handle(self.query_payload())
+                stats = await engine.handle({"op": "stats"})
+                return applied, served, stats
 
-        refused, still = run(scenario())
-        assert not refused["ok"]
-        assert refused["error"]["code"] == "bad_query"
-        assert "repro index build karate" in refused["error"]["message"]
-        assert "current epoch 1" in refused["error"]["message"]
-        # the refused epoch was never committed: the shard still serves 0
-        assert still["ok"] and still["epoch"] == 0
+        applied, served, stats = run(scenario())
+        # a require-mode server no longer refuses writes: the prepared epoch
+        # carries the repaired index, so there is never a moment without one
+        assert applied["ok"] and applied["epoch"] == 1
+        assert applied["index"] == "repaired"
+        assert served["ok"] and served["epoch"] == 1
+        index_stats = stats["shards"]["karate"]["index"]
+        assert index_stats["effective"] == "indexed"
+        assert index_stats["hits"] >= 1
+        assert set(index_stats["algorithms"]) >= {"kc", "kt", "hightruss"}
+
+    def test_stale_bind_error_names_epoch_and_rebuild_uniformly(self, karate):
+        index = build_index(karate.graph, dataset="karate")
+        mutated = karate.graph.copy()
+        mutated.add_node(12345)
+        with pytest.raises(GraphError) as excinfo:
+            index.bind(freeze(mutated), epoch=3)
+        message = str(excinfo.value)
+        assert "repro index build karate" in message
+        assert "current epoch 3" in message
+        assert excinfo.value.reason == "stale"
+        # the same error without an epoch names the rebuild command alone
+        with pytest.raises(GraphError) as plain:
+            index.bind(freeze(mutated))
+        assert "repro index build karate" in str(plain.value)
+        assert "current epoch" not in str(plain.value)
 
 
 # ----------------------------------------------------------------------------

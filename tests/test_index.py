@@ -2,13 +2,16 @@
 
 Four concerns, mirroring the index's lifecycle:
 
-* **query parity** — every ``kc`` / ``kt`` / ``hightruss`` answer served
-  from the index (success, failure *and* error) is bit-identical to the
-  executed baselines, across connected, multi-component and
-  isolated-node graphs and for ``k`` values with no community at all;
-* **serialisation** — the versioned on-disk format round-trips, and
-  missing / truncated / corrupt / stale files surface structured
-  :class:`GraphError`\\ s (a mutated dataset invalidates its index);
+* **query parity** — every ``kc`` / ``kt`` / ``hightruss`` /
+  ``huang2015`` / ``kecc`` answer served from the index (success,
+  failure *and* error) is bit-identical to the executed baselines,
+  across connected, multi-component and isolated-node graphs and for
+  ``k`` values with no community at all;
+* **serialisation** — the versioned on-disk format round-trips, missing
+  / truncated / corrupt / stale files surface structured
+  :class:`GraphError`\\ s (a mutated dataset invalidates its index), and
+  v1 files — no edge-hierarchy regions — still load and serve the node
+  hierarchy while ``huang2015`` / ``kecc`` fall through;
 * **zero-copy sharing** — the flat arrays travel through one shared
   segment, attached copies answer identically, pickling an attached
   index re-attaches instead of copying, and nothing leaks;
@@ -26,8 +29,10 @@ import pickle
 import pytest
 
 from repro.baselines import (
+    closest_truss_community,
     highest_truss_community,
     kcore_community,
+    kecc_community,
     ktruss_community,
 )
 from repro.cli import main
@@ -67,6 +72,8 @@ BASELINES = {
     "kc": kcore_community,
     "kt": ktruss_community,
     "hightruss": highest_truss_community,
+    "huang2015": closest_truss_community,
+    "kecc": kecc_community,
 }
 
 
@@ -80,13 +87,34 @@ def assert_same_answer(index, baseline_graph, algorithm, queries, **params):
         expected = None
         expected_error = str(exc)
     try:
-        got = observable(index.search(algorithm, queries, **params))
+        # graph rides along for huang2015's greedy phase; the others ignore it
+        got = observable(
+            index.search(algorithm, queries, graph=baseline_graph, **params)
+        )
         got_error = None
     except GraphError as exc:
         got = None
         got_error = str(exc)
     assert got == expected, (algorithm, queries, params)
     assert got_error == expected_error, (algorithm, queries, params)
+
+
+def downgrade_to_v1(index):
+    """A v1-shaped copy of a v2 index: node-hierarchy regions only.
+
+    This is exactly what a file written by the previous release contains,
+    so saving it exercises the forward-compat read path for real.
+    """
+    from repro.graph.index import _FIELDS_V1, CommunityIndex
+
+    meta = {
+        key: value
+        for key, value in index.meta.items()
+        if key not in ("kecc_cap", "kecc_counts")
+    }
+    meta["format_version"] = 1
+    fields = {name: index._fields[name] for name in _FIELDS_V1}
+    return CommunityIndex(meta, list(index.node_list), fields)
 
 
 class TestQueryParity:
@@ -110,11 +138,23 @@ class TestQueryParity:
             assert_same_answer(index, dataset.graph, "kc", list(pair), k=2)
             assert_same_answer(index, dataset.graph, "kt", list(pair), k=3)
             assert_same_answer(index, dataset.graph, "hightruss", list(pair))
+        # the v2 edge hierarchy: huang2015 and kecc against a frozen
+        # baseline (the executed kecc path memoises its partitions there,
+        # which keeps the repeated queries honest *and* fast)
+        frozen = freeze(dataset.graph)
+        for node in sample:
+            assert_same_answer(index, frozen, "huang2015", [node])
+            assert_same_answer(index, frozen, "kecc", [node])
+        for pair in zip(sample, sample[1:]):
+            assert_same_answer(index, frozen, "huang2015", list(pair))
+            assert_same_answer(index, frozen, "kecc", list(pair), k=2)
 
     def test_default_k_matches_registry_partials(self, karate_graph):
         index = build_index(karate_graph, dataset="karate")
         assert_same_answer(index, karate_graph, "kc", [0])  # k=3 default
         assert_same_answer(index, karate_graph, "kt", [0])  # k=4 default
+        assert_same_answer(index, karate_graph, "kecc", [0])  # k=3 default
+        assert_same_answer(index, karate_graph, "huang2015", [0, 33])
 
     def test_multi_component_and_isolated_nodes(self):
         graph = Graph()
@@ -137,6 +177,10 @@ class TestQueryParity:
         assert_same_answer(index, karate_graph, "kc", ["ghost"], k=2)
         assert_same_answer(index, karate_graph, "kc", [0], k=-1)
         assert_same_answer(index, karate_graph, "kt", [0], k=1)
+        assert_same_answer(index, karate_graph, "huang2015", [])
+        assert_same_answer(index, karate_graph, "huang2015", ["ghost"])
+        assert_same_answer(index, karate_graph, "kecc", [])
+        assert_same_answer(index, karate_graph, "kecc", ["ghost"], k=2)
 
     def test_serves_gates_on_algorithm_and_params(self, karate_graph):
         index = build_index(karate_graph, dataset="karate")
@@ -148,6 +192,19 @@ class TestQueryParity:
         assert not index.serves("kc", {"k": True})  # bool is not a level
         assert not index.serves("kt", {"k": 4, "extra": 1})
         assert not index.serves("hightruss", {"k": 2})
+        # the v2 edge hierarchy widens the served set...
+        assert index.format_version == 2
+        assert index.serves("huang2015", {})
+        assert index.serves("kecc", {})
+        assert index.serves("kecc", {"k": 2})
+        # ...but stays conservative about parameters it did not bake in
+        assert not index.serves("huang2015", {"max_deletions": 2})
+        assert not index.serves("kecc", {"k": 0})  # executed path owns the error
+        assert not index.serves("kecc", {"k": True})
+        assert not index.serves("kecc", {"approximate_above": 10})
+        assert set(index.served_algorithms()) == {
+            "kc", "kt", "hightruss", "huang2015", "kecc",
+        }
 
 
 class TestSerialisation:
@@ -158,9 +215,42 @@ class TestSerialisation:
         loaded = load_index(path, freeze(karate_graph))
         assert loaded.meta == index.meta
         for node in (0, 33):
-            for algorithm in ("kc", "kt", "hightruss"):
+            for algorithm in ("kc", "kt", "hightruss", "huang2015", "kecc"):
                 assert_same_answer(loaded, karate_graph, algorithm, [node])
         assert loaded.describe()["digest"] == dataset_digest(freeze(karate_graph))
+
+    def test_v1_files_still_load_and_serve_the_node_hierarchy(
+        self, karate_graph, tmp_path
+    ):
+        """Forward compat: a file from the previous release (format v1, no
+        edge-hierarchy regions) keeps its kc/kt/hightruss fast path while
+        huang2015/kecc fall through to the executed path."""
+        path = index_path("karate", tmp_path)
+        save_index(downgrade_to_v1(build_index(karate_graph, dataset="karate")), path)
+        loaded = load_index(path, freeze(karate_graph))
+        assert loaded.format_version == 1
+        assert "edge_truss" not in loaded.field_names
+        assert "kecc_label" not in loaded._fields
+        for algorithm in ("kc", "kt", "hightruss"):
+            assert loaded.serves(algorithm, {})
+            assert_same_answer(loaded, karate_graph, algorithm, [0, 33])
+        assert not loaded.serves("huang2015", {})
+        assert not loaded.serves("kecc", {})
+        assert set(loaded.served_algorithms()) == {"kc", "kt", "hightruss"}
+        described = loaded.describe()
+        assert described["format_version"] == 1
+        assert described["kecc_cap"] is None
+        assert described["kecc_communities"] == {}
+
+    def test_future_format_versions_are_rejected_with_rebuild_hint(
+        self, karate_graph, tmp_path
+    ):
+        index = build_index(karate_graph, dataset="karate")
+        index.meta["format_version"] = 99
+        path = index_path("karate", tmp_path)
+        save_index(index, path)
+        with pytest.raises(GraphError, match="reads versions 1, 2"):
+            load_index(path)
 
     def test_missing_file_is_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -213,7 +303,7 @@ class TestZeroCopySharing:
             remote = attach_index(handle.descriptor)
             try:
                 for node in (0, 33):
-                    for algorithm in ("kc", "kt", "hightruss"):
+                    for algorithm in ("kc", "kt", "hightruss", "huang2015", "kecc"):
                         assert_same_answer(remote, karate_graph, algorithm, [node])
                 # pickling an *attached* index ships the descriptor, so a
                 # worker re-attaches the same segment instead of copying
@@ -238,6 +328,8 @@ class TestServingIntegration:
         ("kt", [0, 33], {}),
         ("hightruss", [11], {}),
         ("kc", [0], {"k": 99}),  # no community at this k
+        ("huang2015", [0, 33], {}),  # v2 edge hierarchy
+        ("kecc", [0], {}),
     )
 
     def _build(self, tmp_path, *names):
@@ -282,6 +374,25 @@ class TestServingIntegration:
         shard = stats["shards"]["karate"]["index"]
         assert shard["effective"] == "executed"
         assert "no index file" in shard["reason"]
+
+    def test_v1_file_serves_with_a_degradation_reason(self, tmp_path):
+        """A pre-v2 file still backs the shard, and the stats say exactly
+        which part of the tier is degraded (and why)."""
+        save_index(
+            downgrade_to_v1(build_index(load_dataset("karate").graph, dataset="karate")),
+            index_path("karate", tmp_path),
+        )
+        executed, _ = self._serve(tmp_path, index="off")
+        indexed, stats = self._serve(tmp_path, index="auto")
+        assert executed == indexed  # huang2015/kecc fell through, bit-identically
+        shard = stats["shards"]["karate"]["index"]
+        assert shard["effective"] == "indexed"
+        assert "format v1" in shard["reason"]
+        assert "edge hierarchy absent" in shard["reason"]
+        assert set(shard["algorithms"]) == {"kc", "kt", "hightruss"}
+        # only the node-hierarchy queries hit the index; the last two
+        # ALGORITHMS entries (huang2015, kecc) executed
+        assert shard["hits"] == len(self.ALGORITHMS) - 2
 
     def test_require_without_index_is_structured(self, tmp_path):
         async def scenario():
@@ -388,6 +499,61 @@ class TestServingIntegration:
         assert stats["shards"]["karate"]["index"]["hits"] == 2
         assert live_segment_names() == before
 
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="named shared memory unavailable"
+    )
+    def test_crash_after_an_epoch_swap_reattaches_the_repaired_index(
+        self, tmp_path, karate_graph
+    ):
+        """Mutation between swap and crash: the respawned worker must map
+        the *repaired* index segment, not the one it was born with."""
+        self._build(tmp_path, "karate")
+        mutated = karate_graph.copy()
+        u, v = next(
+            (a, b)
+            for a in sorted(mutated.nodes())
+            for b in sorted(mutated.nodes())
+            if repr(a) < repr(b) and not mutated.has_edge(a, b)
+        )
+        mutated.add_edge(u, v)
+
+        async def scenario():
+            async with ServingEngine(
+                datasets=["karate"],
+                executor="process",
+                index="require",
+                index_dir=str(tmp_path),
+                cache_size=0,
+                epochs=True,
+            ) as engine:
+                first, _, _ = await engine.query("karate", "kt", [0, 33])
+                applied = await engine.handle(
+                    {"op": "mutate", "dataset": "karate", "ops": [["add_edge", u, v]]}
+                )
+                # the swap published the repaired index in a fresh segment;
+                # crash the post-swap worker so the respawn re-attaches it
+                executor = engine.shards["karate"].replica_set.replicas[0].executor
+                executor._proc.kill()
+                executor._proc.join(10)
+                second, _, _ = await engine.query("karate", "kt", [1, 2])
+                return first, applied, second, executor.describe(), engine.stats()
+
+        before = live_segment_names()
+        first, applied, second, describe, stats = run(scenario())
+        assert applied["ok"] and applied["epoch"] == 1
+        assert applied["index"] == "repaired"
+        assert describe["restarts"] == 1
+        assert describe["index"] == "attached"
+        assert observable(first) == observable(
+            ktruss_community(karate_graph, [0, 33], k=4)
+        )
+        # answered from the repaired index, bit-identical to the executed
+        # path on the *mutated* graph
+        assert observable(second) == observable(ktruss_community(mutated, [1, 2], k=4))
+        assert stats["shards"]["karate"]["index"]["hits"] == 1  # post-swap counter
+        assert stats["shards"]["karate"]["epoch"]["index_repairs"] == 1
+        assert live_segment_names() == before
+
 
 class TestIndexCLI:
     def test_build_then_inspect(self, tmp_path, capsys):
@@ -395,10 +561,12 @@ class TestIndexCLI:
         assert "karate.idx" in capsys.readouterr().out
         assert main(["index", "inspect", "karate", "--index-dir", str(tmp_path)]) == 0
         output = capsys.readouterr().out
-        assert "format version:  1" in output
+        assert "format version:  2" in output
         assert "content digest:" in output
         assert "core communities:" in output
         assert "truss communities:" in output
+        assert "kecc partitions" in output
+        assert "huang2015" in output  # the serves: row
 
     def test_build_requires_a_dataset_or_all(self, tmp_path):
         with pytest.raises(SystemExit):
