@@ -183,6 +183,9 @@ class ServerProcess(WireProcess):
         join: str | None = None,
         epochs: bool = False,
         epoch_threshold: int | None = None,
+        trace_sample: float | None = None,
+        log_json: str | None = None,
+        slow_ms: float | None = None,
     ) -> None:
         command = [
             sys.executable,
@@ -218,6 +221,12 @@ class ServerProcess(WireProcess):
             command += ["--epochs"]
         if epoch_threshold is not None:
             command += ["--epoch-threshold", str(epoch_threshold)]
+        if trace_sample is not None:
+            command += ["--trace-sample", str(trace_sample)]
+        if log_json is not None:
+            command += ["--log-json", log_json]
+        if slow_ms is not None:
+            command += ["--slow-ms", str(slow_ms)]
         super().__init__(command)
 
 
@@ -262,6 +271,7 @@ def server_config_from_args(args) -> dict:
         "snapshot": args.snapshot,
         "index": args.index,
         "index_dir": args.index_dir,
+        "trace_sample": args.trace_sample,
     }
 
 
@@ -583,6 +593,52 @@ def run_overload_phase(server_config: dict):
         "client_exhausted": counters["exhausted"],
         "clean_shutdown": exit_code == 0,
     }
+
+
+#: the sampling rates the trace-overhead phase compares: off (the seed
+#: fast path), production-style 1%, and everything-sampled
+TRACE_OVERHEAD_SAMPLES = (0.0, 0.01, 1.0)
+
+
+def run_trace_overhead_phase(server_config: dict, clients: int):
+    """Measure what request tracing costs on a warm closed loop.
+
+    The same workload is replayed against three fresh servers — sampling
+    off, 1% and 100% — after a warm-up pass, so the comparison is LRU-hit
+    heavy (the worst case for tracing overhead: the admission span is the
+    only real work a cache hit does).  The numbers ride the JSON record
+    and are **never asserted**: tracing-off must merely stay the obvious
+    baseline when a human reads the report.
+    """
+    requests = build_workload(0.5, datasets=("karate",))
+    results = {}
+    for sample in TRACE_OVERHEAD_SAMPLES:
+        config = dict(server_config, max_queue=0)
+        config.pop("trace_sample", None)
+        if sample:
+            config["trace_sample"] = sample
+        server = ServerProcess(("karate",), **config)
+        try:
+            with ServingClientPool(HOST, server.port, size=clients) as pool:
+                run_closed_loop(pool, requests, clients)  # warm the caches
+                walls = []
+                latencies: list[float] = []
+                for _ in range(3):
+                    wall, replay = run_closed_loop(pool, requests, clients)
+                    walls.append(wall)
+                    latencies.extend(replay)
+        finally:
+            server.shutdown()
+        results[f"sample_{sample}"] = {
+            "wall_seconds": round(statistics.median(walls), 4),
+            "p50_ms": percentile_ms(latencies, 0.50),
+            "p95_ms": percentile_ms(latencies, 0.95),
+            "requests": len(requests) * clients,
+        }
+    baseline = results["sample_0.0"]["wall_seconds"]
+    for block in results.values():
+        block["vs_off"] = round(block["wall_seconds"] / baseline, 3) if baseline else None
+    return results
 
 
 def percentile_ms(latencies, fraction: float) -> float:
@@ -1313,6 +1369,10 @@ def run(
     # queries, executed vs served as window scans over the index
     index_rows, index_report = run_index_phase(scale, server_config)
 
+    # the observability story: what span recording costs at 0% / 1% / 100%
+    # sampling on a warm (cache-hit heavy) loop; recorded, never asserted
+    trace_overhead = run_trace_overhead_phase(server_config, clients)
+
     rows = [
         (f"cold x1 client ({len(requests)} reqs)", per_query_cold_seconds, served_cold_wall),
         (
@@ -1361,6 +1421,14 @@ def run(
         f"{index_report['indexed_wall_seconds']}s "
         f"({index_report['speedup']:.2f}x, {index_report['index_hits']} index hits)"
     )
+    print(
+        "trace overhead (warm closed loop): "
+        + ", ".join(
+            f"{key.removeprefix('sample_')}: {block['wall_seconds']}s "
+            f"({block['vs_off']}x)"
+            for key, block in trace_overhead.items()
+        )
+    )
 
     overload_ok = overload["failed"] == 0 and overload["server_shed"] > 0
 
@@ -1398,6 +1466,7 @@ def run(
             server_totals=totals,
             admission=overload,
             index=index_report,
+            trace_overhead=trace_overhead,
         )
     return 0 if parity and overload_ok else 1
 
@@ -1453,6 +1522,15 @@ def main(argv=None) -> int:
         default=None,
         help="forwarded to `repro serve --index-dir`; with --index and no "
         "dir the bench builds indexes into a temporary one",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="P",
+        help="forwarded to `repro serve --trace-sample`; with --parity-only "
+        "this runs every parity smoke with tracing on (the span machinery "
+        "must not perturb results)",
     )
     parser.add_argument(
         "--cluster",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight sub-commands expose the library without writing any code:
+Nine sub-commands expose the library without writing any code:
 
 * ``datasets`` — list the built-in datasets with their Table-1 statistics;
 * ``algorithms`` — list the registered community-search algorithms;
@@ -23,7 +23,10 @@ Eight sub-commands expose the library without writing any code:
   ``repro.dynamic``);
 * ``coordinator`` — run the cluster control plane (membership, per-host
   shard placement, failover, the versioned routing table; see
-  ``repro.cluster``).
+  ``repro.cluster``);
+* ``top`` — show the cluster health plane: per-dataset qps, merged p50/p99
+  latency, shed rate and epoch lag, aggregated by the coordinator from the
+  metric summaries nodes piggyback on their heartbeats (see ``repro.obs``).
 
 Errors are production-shaped: unknown dataset/algorithm names, bad query
 nodes and invalid parameters print a one-line ``error: ...`` message to
@@ -195,6 +198,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 64; 0 always refreezes)",
     )
     serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="sample this fraction of requests for distributed tracing "
+        "(0.0..1.0; default 0 = off).  Sampled responses carry a trace_id "
+        "whose span tree (admission, queue wait, execution — including "
+        "inside worker processes — and epoch publishes) is served by the "
+        "'trace' wire op (see repro.obs)",
+    )
+    serve.add_argument(
+        "--log-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit structured JSON logs (slow queries, request errors, "
+        "worker crashes, heartbeat failures) to PATH, or stderr when the "
+        "flag is given without a value",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log any query served slower than this many milliseconds as a "
+        "structured slow_query event (requires --log-json to be visible)",
+    )
+    serve.add_argument(
         "--join",
         default=None,
         metavar="HOST:PORT",
@@ -312,6 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="host-placement policy: spread datasets to the least-assigned "
         "node, or rotate (default least-loaded)",
     )
+
+    top = subparsers.add_parser(
+        "top",
+        help="show the cluster health plane: per-dataset qps, p50/p99 "
+        "latency (merged across replicas), shed rate, errors and epoch "
+        "lag, aggregated by the coordinator from heartbeat summaries",
+    )
+    top.add_argument(
+        "coordinator",
+        metavar="HOST:PORT",
+        help="the coordinator's address (e.g. 127.0.0.1:7530)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw health mapping as JSON instead of the table",
+    )
     return parser
 
 
@@ -407,6 +456,14 @@ def _command_serve(args) -> int:
         raise ValueError("--workers must be a positive integer")
     if args.max_queue < 0:
         raise ValueError("--max-queue must be >= 0 (0 disables the bound)")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise ValueError("--trace-sample must be between 0.0 and 1.0")
+    if args.slow_ms is not None and args.slow_ms < 0:
+        raise ValueError("--slow-ms must be >= 0")
+    if args.log_json is not None:
+        from .obs import configure_json_logging
+
+        configure_json_logging(args.log_json)
     if args.workers is not None and args.executor not in (None, "pool"):
         # a flag-shaped message here; the engine/placement guard the same
         # combination for API users (and own the executor defaulting)
@@ -429,6 +486,8 @@ def _command_serve(args) -> int:
         index_dir=args.index_dir,
         epochs=args.epochs,
         epoch_threshold=args.epoch_threshold,
+        trace_sample=args.trace_sample,
+        slow_query_ms=args.slow_ms,
     )
     if args.join is None:
         return run_server(engine, args.host, args.port)
@@ -558,6 +617,46 @@ def _command_mutate(args) -> int:
     return 0
 
 
+def _command_top(args) -> int:
+    from .cluster import parse_address
+    from .serving.client import ServingClient
+
+    host, port = parse_address(args.coordinator)  # ValueError → flag-shaped error
+    with ServingClient(host, port) as client:
+        stats = client.stats()
+    if not stats.get("ok"):
+        error = stats.get("error", {})
+        raise ValueError(f"{error.get('code', 'error')}: {error.get('message', stats)}")
+    health = stats.get("health") or {}
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    live = stats.get("live_nodes", "?")
+    version = stats.get("version", "?")
+    print(f"cluster: {len(health)} dataset(s), {live} live node(s), table v{version}")
+    if not health:
+        print("no health summaries reported yet (nodes piggyback them on heartbeats)")
+        return 0
+    header = (
+        f"{'dataset':<16} {'nodes':>5} {'qps':>8} {'p50_ms':>8} {'p99_ms':>8} "
+        f"{'shed%':>6} {'errors':>7} {'queries':>9} {'epoch':>6} {'lag':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, block in sorted(health.items()):
+        shed_pct = 100.0 * block.get("shed_rate", 0.0)
+        epoch = block.get("epoch")
+        lag = block.get("epoch_lag")
+        print(
+            f"{name:<16} {block.get('nodes', 0):>5} {block.get('qps', 0.0):>8.1f} "
+            f"{block.get('p50_ms', 0.0):>8.2f} {block.get('p99_ms', 0.0):>8.2f} "
+            f"{shed_pct:>6.2f} {block.get('errors', 0):>7} "
+            f"{block.get('queries', 0):>9} "
+            f"{'-' if epoch is None else epoch:>6} {'-' if lag is None else lag:>4}"
+        )
+    return 0
+
+
 def _command_coordinator(args) -> int:
     from .cluster import Coordinator, run_coordinator
 
@@ -592,6 +691,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_mutate(args)
         if args.command == "coordinator":
             return _command_coordinator(args)
+        if args.command == "top":
+            return _command_top(args)
     except BrokenPipeError:
         # piping into `head` and friends closes stdout early; exit quietly
         return 0

@@ -341,6 +341,19 @@ class ClusterClient:
         """The coordinator's membership/placement snapshot."""
         return self._coordinator_request({"op": "stats"})
 
+    def health(self) -> dict[str, Any]:
+        """The coordinator's per-dataset health aggregation (see repro.obs).
+
+        Each entry carries the live replica count, summed query/error/shed
+        counters, the cluster-wide qps, merged-histogram p50/p99 latency,
+        the shed rate, and (for epochal snapshots) the max epoch and lag.
+        """
+        stats = self.coordinator_stats()
+        if not stats.get("ok"):
+            raise ClusterError(f"coordinator refused stats: {stats.get('error')}")
+        health = stats.get("health")
+        return dict(health) if isinstance(health, dict) else {}
+
     def node_stats(self, address: str) -> dict[str, Any]:
         """One node's serving stats (per-shard counters + ``node`` block)."""
         return self._pool(address).stats()

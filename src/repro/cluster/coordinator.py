@@ -40,6 +40,7 @@ import time
 from typing import Any, Callable, Optional
 
 from ..datasets import list_datasets
+from ..obs.metrics import Histogram
 from ..serving.placement import ROUTING_POLICIES, LeastLoadedPolicy
 from ..serving.protocol import ProtocolError, decode_line, encode, error_payload
 from .node import parse_address
@@ -81,6 +82,10 @@ class NodeInfo:
         "alive",
         "heartbeats",
         "epochs",
+        "summary",
+        "rates",
+        "_prev_totals",
+        "_prev_time",
     )
 
     def __init__(self, node_id: str, address: str, index: int, now: float) -> None:
@@ -93,6 +98,14 @@ class NodeInfo:
         # dataset → snapshot epoch, as last reported on a heartbeat (empty
         # for nodes serving static snapshots; see repro.dynamic)
         self.epochs: dict[str, int] = {}
+        # dataset → metric summary ({queries, errors, shed, latency: wire
+        # histogram}), as last piggybacked on a heartbeat (see repro.obs)
+        self.summary: dict[str, Any] = {}
+        # dataset → queries/second, derived from the counter delta between
+        # the two most recent summary-carrying heartbeats
+        self.rates: dict[str, float] = {}
+        self._prev_totals: dict[str, int] = {}
+        self._prev_time: Optional[float] = None
 
     def describe(self) -> dict[str, Any]:
         info: dict[str, Any] = {
@@ -222,6 +235,7 @@ class Coordinator:
         node_id: str,
         now: Optional[float] = None,
         epochs: Optional[dict[str, int]] = None,
+        summary: Optional[dict[str, Any]] = None,
     ) -> dict[str, Any]:
         """Record a node heartbeat; returns the current version + ownership.
 
@@ -229,6 +243,13 @@ class Coordinator:
         epochal snapshots piggyback it on every heartbeat); the coordinator
         records it per node and publishes the per-dataset maximum in the
         routing table so clients can detect replicas lagging behind.
+
+        ``summary`` is the node's per-dataset metric summary (cumulative
+        ``queries``/``errors``/``shed`` counters plus a wire-form latency
+        histogram, see :meth:`ServingEngine.health_summary`).  The
+        coordinator stores the latest one per node, derives a
+        queries-per-second rate from the counter delta between consecutive
+        heartbeats, and aggregates across live replicas in :meth:`health`.
         """
         node = self._nodes.get(node_id)
         if node is None:
@@ -251,6 +272,35 @@ class Coordinator:
                     "'epochs' must map dataset names to non-negative integers",
                 )
             node.epochs = dict(epochs)
+        if summary is not None:
+            if not isinstance(summary, dict) or not all(
+                isinstance(name, str) and isinstance(entry, dict)
+                for name, entry in summary.items()
+            ):
+                raise ProtocolError(
+                    "bad_request",
+                    "'summary' must map dataset names to metric objects",
+                )
+            elapsed = (
+                now - node._prev_time if node._prev_time is not None else 0.0
+            )
+            totals: dict[str, int] = {}
+            rates: dict[str, float] = {}
+            for name, entry in summary.items():
+                queries = entry.get("queries")
+                if not isinstance(queries, int) or isinstance(queries, bool):
+                    continue
+                totals[name] = queries
+                previous = node._prev_totals.get(name)
+                # counters are cumulative, so a smaller value means the node
+                # restarted — skip the rate for one interval rather than
+                # reporting a negative qps
+                if previous is not None and elapsed > 0.0 and queries >= previous:
+                    rates[name] = (queries - previous) / elapsed
+            node.summary = dict(summary)
+            node.rates = rates
+            node._prev_totals = totals
+            node._prev_time = now
         if not node.alive:
             # declared dead but still beating (e.g. a long GC pause): rejoin
             node.alive = True
@@ -372,6 +422,72 @@ class Coordinator:
                 epochs[name] = max(reported)
         return dict(sorted(epochs.items()))
 
+    def health(self) -> dict[str, Any]:
+        """Per-dataset health aggregated across the live replicas.
+
+        For each dataset with at least one live, summary-reporting replica:
+        summed ``queries``/``errors``/``shed`` counters, the qps sum of the
+        per-node heartbeat-delta rates, ``p50_ms``/``p99_ms`` read from the
+        **merged** wire-form latency histograms (bucket counts add, so the
+        percentile is over the cluster-wide distribution — no raw samples
+        are shipped or re-sorted), the shed rate, and — for epochal
+        snapshots — the maximum epoch plus the live replicas' lag behind it.
+        """
+        health: dict[str, Any] = {}
+        for name, assigned in sorted(self._assignments.items()):
+            merged: Optional[Histogram] = None
+            queries = errors = shed = reporting = 0
+            qps = 0.0
+            epochs: list[int] = []
+            for node_id in assigned:
+                node = self._nodes[node_id]
+                if not node.alive:
+                    continue
+                if name in node.epochs:
+                    epochs.append(node.epochs[name])
+                entry = node.summary.get(name)
+                if not isinstance(entry, dict):
+                    continue
+                reporting += 1
+
+                def _count(field: str, entry=entry) -> int:
+                    value = entry.get(field)
+                    if isinstance(value, int) and not isinstance(value, bool):
+                        return value
+                    return 0
+
+                queries += _count("queries")
+                errors += _count("errors")
+                shed += _count("shed")
+                qps += node.rates.get(name, 0.0)
+                wire = entry.get("latency")
+                if isinstance(wire, dict):
+                    try:
+                        hist = Histogram.from_wire(wire)
+                    except (KeyError, TypeError, ValueError):
+                        continue  # malformed latency block; keep the counters
+                    if merged is None:
+                        merged = hist
+                    else:
+                        merged.merge(hist)
+            if reporting == 0:
+                continue
+            block: dict[str, Any] = {
+                "nodes": reporting,
+                "queries": queries,
+                "errors": errors,
+                "shed": shed,
+                "qps": round(qps, 3),
+                "shed_rate": round(shed / queries, 6) if queries else 0.0,
+                "p50_ms": round(merged.percentile(0.50), 3) if merged else 0.0,
+                "p99_ms": round(merged.percentile(0.99), 3) if merged else 0.0,
+            }
+            if epochs:
+                block["epoch"] = max(epochs)
+                block["epoch_lag"] = max(epochs) - min(epochs)
+            health[name] = block
+        return health
+
     def route_table(self) -> dict[str, Any]:
         """The published table: dataset → replica addresses, plus version.
 
@@ -406,6 +522,7 @@ class Coordinator:
                 name: list(assigned) for name, assigned in sorted(self._assignments.items())
             },
             "epochs": self.dataset_epochs(),
+            "health": self.health(),
             "registrations": self.registrations,
             "deregistrations": self.deregistrations,
             "failovers": self.failovers,
@@ -481,7 +598,9 @@ class CoordinatorServer:
                 "ok": True,
                 "op": "heartbeat",
                 **coordinator.heartbeat(
-                    payload.get("node_id"), epochs=payload.get("epochs")
+                    payload.get("node_id"),
+                    epochs=payload.get("epochs"),
+                    summary=payload.get("summary"),
                 ),
             }
         if op == "deregister":

@@ -26,9 +26,11 @@ wire idiom everywhere.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Any, Callable, Optional
 
+from ..obs.log import log_event
 from ..serving.client import ServingClient
 
 __all__ = ["NodeAgent", "parse_address"]
@@ -151,11 +153,28 @@ class NodeAgent:
     def _register_once(self) -> bool:
         try:
             response = self._request({"op": "register", "address": self.advertise})
-        except OSError:
+        except OSError as exc:
             self.heartbeat_failures += 1
+            log_event(
+                "register_failed",
+                level=logging.WARNING,
+                coordinator=f"{self.coordinator_host}:{self.coordinator_port}",
+                advertise=self.advertise,
+                error=f"{type(exc).__name__}: {exc}",
+                failures=self.heartbeat_failures,
+            )
+            self._close_client()
             return False
         if not response.get("ok"):
             self.heartbeat_failures += 1
+            log_event(
+                "register_refused",
+                level=logging.WARNING,
+                coordinator=f"{self.coordinator_host}:{self.coordinator_port}",
+                advertise=self.advertise,
+                error=str(response.get("error")),
+                failures=self.heartbeat_failures,
+            )
             return False
         self.node_id = response["node_id"]
         self.registrations += 1
@@ -171,16 +190,39 @@ class NodeAgent:
             # can publish the cluster-wide maximum (see repro.dynamic);
             # static snapshots report nothing and cost nothing on the wire
             payload["epochs"] = epochs
+        summary = self._health_summary()
+        if summary:
+            # piggyback the engine's per-dataset metric summary (cumulative
+            # counters + a wire-form latency histogram) so the coordinator
+            # can aggregate cluster-wide qps/p99/shed-rate without a second
+            # scrape channel; engine-less agents report nothing
+            payload["summary"] = summary
         try:
             response = self._request(payload)
-        except OSError:
+        except OSError as exc:
             self.heartbeat_failures += 1
+            log_event(
+                "heartbeat_failed",
+                level=logging.WARNING,
+                node_id=self.node_id,
+                coordinator=f"{self.coordinator_host}:{self.coordinator_port}",
+                error=f"{type(exc).__name__}: {exc}",
+                failures=self.heartbeat_failures,
+            )
             self._close_client()
             return
         if not response.get("ok"):
             # the coordinator restarted and forgot us: register again.  Its
             # version counter restarted too, so the cached one is meaningless
             self.heartbeat_failures += 1
+            log_event(
+                "heartbeat_refused",
+                level=logging.WARNING,
+                node_id=self.node_id,
+                coordinator=f"{self.coordinator_host}:{self.coordinator_port}",
+                error=str(response.get("error")),
+                failures=self.heartbeat_failures,
+            )
             self.node_id = None
             self.table_version = None
             return
@@ -240,6 +282,16 @@ class NodeAgent:
     def _dataset_epochs(self) -> dict[str, int]:
         """The engine's per-dataset epochs ({} when static or engine-less)."""
         provider = getattr(self.engine, "dataset_epochs", None)
+        if provider is None:
+            return {}
+        try:
+            return dict(provider())
+        except Exception:  # noqa: BLE001 - heartbeats must not die on stats
+            return {}
+
+    def _health_summary(self) -> dict[str, Any]:
+        """The engine's per-dataset metric summary ({} when engine-less)."""
+        provider = getattr(self.engine, "health_summary", None)
         if provider is None:
             return {}
         try:

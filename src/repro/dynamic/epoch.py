@@ -30,6 +30,7 @@ reruns on the incremental path.
 from __future__ import annotations
 
 from time import perf_counter
+from time import time as wall_time
 from typing import Any, Optional
 
 from ..graph.csr import FrozenGraph, csr_core_numbers, freeze
@@ -123,6 +124,9 @@ class EpochManager:
             raise ValueError(f"epoch must be >= 0, got {epoch}")
         self.threshold = threshold
         self.epoch = epoch
+        # optional observability hook (a repro.obs.trace.Tracer): when set,
+        # traced mutations get epoch.prepare / index.repair spans
+        self.tracer = None
         self.frozen = frozen if frozen is not None else freeze(graph)
         self._graph = graph
         self._core: Optional[dict[Node, int]] = None
@@ -169,13 +173,18 @@ class EpochManager:
     # ------------------------------------------------------------------
     # two-phase publication
     # ------------------------------------------------------------------
-    def prepare(self, batch: DeltaBatch) -> PreparedEpoch:
+    def prepare(self, batch: DeltaBatch, trace=None) -> PreparedEpoch:
         """Compute the next epoch's snapshot without exposing it yet.
 
         Raises ``GraphError`` on a semantically invalid op (the committed
         state is untouched — everything runs on copies) and ``ValueError``
-        on an empty batch.
+        on an empty batch.  ``trace`` is an optional observability context
+        (see :mod:`repro.obs.trace`); combined with an attached
+        ``tracer`` it spans the whole prepare and the index maintenance
+        section inside it.
         """
+        tracer = self.tracer if trace is not None else None
+        prepare_started = wall_time() if tracer is not None else 0.0
         ops = list(batch)
         if not ops:
             raise ValueError("cannot publish an epoch from an empty delta batch")
@@ -235,6 +244,7 @@ class EpochManager:
         index_mode: Optional[str] = None
         index_seconds = 0.0
         if self.index is not None:
+            index_wall_started = wall_time() if tracer is not None else 0.0
             index_started = perf_counter()
             if incremental and self.index.format_version >= 2:
                 try:
@@ -250,6 +260,24 @@ class EpochManager:
                 )
                 index_mode = "rebuilt"
             index_seconds = perf_counter() - index_started
+            if tracer is not None:
+                tracer.emit(
+                    trace,
+                    "index.repair",
+                    index_wall_started,
+                    index_wall_started + index_seconds,
+                    mode=index_mode,
+                )
+        if tracer is not None:
+            tracer.emit(
+                trace,
+                "epoch.prepare",
+                prepare_started,
+                wall_time(),
+                epoch=self.epoch + 1,
+                mode="incremental" if incremental else "refreeze",
+                ops=len(ops),
+            )
         return PreparedEpoch(
             epoch=self.epoch + 1,
             mode="incremental" if incremental else "refreeze",

@@ -1,0 +1,71 @@
+"""repro.obs — the serving stack's telemetry subsystem (PR 10).
+
+Three planes, stdlib only:
+
+- :mod:`repro.obs.trace` — sampled request tracing into a bounded span
+  ring, exposed by the ``trace`` wire op.
+- :mod:`repro.obs.metrics` — O(1) counters/gauges/fixed-bucket
+  histograms that pickle across worker pipes, merge associatively, and
+  render as Prometheus text exposition (the ``metrics`` wire op).
+- :mod:`repro.obs.log` — structured JSON slow-query/error logging over
+  stdlib ``logging``.
+
+:class:`Telemetry` bundles one engine's tracer + registry + slow-query
+threshold and is threaded down through placement, shards, replicas and
+executors; every component also accepts ``telemetry=None`` so direct
+construction in tests keeps working (and costs nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .log import JsonFormatter, configure_json_logging, get_logger, log_event
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import TraceContext, Tracer, make_span, new_id
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
+    "make_span",
+    "new_id",
+]
+
+
+class Telemetry:
+    """One serving engine's observability bundle.
+
+    ``tracer`` makes the per-request sampling decision and holds the
+    span ring; ``registry`` is the engine-side fold target for worker
+    metric deltas; ``slow_query_ms`` (None = off) is the threshold past
+    which a served query is logged as a ``slow_query`` event.
+    """
+
+    __slots__ = ("tracer", "registry", "slow_query_ms")
+
+    def __init__(
+        self,
+        *,
+        trace_sample: float = 0.0,
+        trace_capacity: int = 4096,
+        slow_query_ms: Optional[float] = None,
+    ) -> None:
+        self.tracer = Tracer(sample=trace_sample, capacity=trace_capacity)
+        self.registry = MetricsRegistry()
+        self.slow_query_ms = slow_query_ms

@@ -1,0 +1,79 @@
+"""Structured JSON logging on top of stdlib ``logging`` — no deps.
+
+One logger (``repro.obs``) carries every structured event in the stack:
+slow queries, replica batch failures, worker-process deaths, node
+register/heartbeat failures.  Unconfigured it holds a ``NullHandler``
+and events cost one ``isEnabledFor`` check (and suppress stdlib's
+``lastResort`` stderr fallback); ``repro serve --log-json [PATH]``
+installs a :class:`JsonFormatter` handler writing one JSON object per
+line to stderr or a file.
+
+Events always carry an ``event`` name and whatever keyword fields the
+call site attaches — crucially including ``trace_id`` wherever a trace
+context is in scope, so a respawned worker or a shed request can be
+joined back to its trace.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional
+
+__all__ = ["JsonFormatter", "configure_json_logging", "get_logger", "log_event"]
+
+_LOGGER_NAME = "repro.obs"
+
+
+class JsonFormatter(logging.Formatter):
+    """One compact JSON object per record: ts, level, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "obs", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[1] is not None:
+            payload.setdefault(
+                "error",
+                f"{type(record.exc_info[1]).__name__}: {record.exc_info[1]}",
+            )
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger() -> logging.Logger:
+    """The shared structured logger; silent until configured."""
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not logger.handlers:
+        # a NullHandler keeps stdlib's lastResort handler from spraying
+        # unformatted warnings to stderr on an unconfigured server
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def configure_json_logging(
+    path: Optional[str] = None, level: int = logging.INFO
+) -> logging.Handler:
+    """Attach a JSONL handler (stderr when ``path`` is None or ``-``)."""
+    if path is None or path == "-":
+        handler: logging.Handler = logging.StreamHandler(sys.stderr)
+    else:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    handler.setFormatter(JsonFormatter())
+    logger = get_logger()
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler
+
+
+def log_event(event: str, *, level: int = logging.INFO, **fields: Any) -> None:
+    """Emit one structured event if the obs logger is enabled for it."""
+    logger = get_logger()
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"obs": fields})

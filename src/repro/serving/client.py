@@ -108,6 +108,24 @@ class ServingClient:
         """Fetch the per-shard statistics snapshot."""
         return self.request({"op": "stats"})
 
+    def trace(self, trace_id: str | None = None) -> dict[str, Any]:
+        """Fetch one trace's span tree, or the most recent traces.
+
+        With ``trace_id`` (as returned in a sampled response's
+        ``trace_id`` field) the response carries that trace's ``spans``;
+        without, it carries ``traces`` — the newest sampled requests with
+        their span trees.  Requires the server to run with
+        ``--trace-sample`` > 0.
+        """
+        payload: dict[str, Any] = {"op": "trace"}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        return self.request(payload)
+
+    def metrics(self) -> dict[str, Any]:
+        """Fetch the Prometheus text exposition (in the ``text`` field)."""
+        return self.request({"op": "metrics"})
+
     def shutdown(self) -> dict[str, Any]:
         """Ask the server to shut down cleanly."""
         return self.request({"op": "shutdown"})

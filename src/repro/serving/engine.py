@@ -29,6 +29,8 @@ Typical in-process use::
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import logging
 import time
 from typing import Any, Callable, Optional
 
@@ -36,6 +38,9 @@ from ..datasets import list_datasets
 from ..dynamic import DeltaBatch
 from ..experiments.registry import list_algorithms
 from ..graph import GraphError
+from ..obs import Telemetry
+from ..obs.log import log_event
+from ..obs.metrics import MetricsRegistry
 from .placement import Placement
 from .protocol import (
     ProtocolError,
@@ -69,6 +74,9 @@ class ServingEngine:
         index_dir: Optional[str] = None,
         epochs: bool = False,
         epoch_threshold: int = 64,
+        trace_sample: float = 0.0,
+        trace_capacity: int = 4096,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self._known_datasets = set(list_datasets())
         self._known_algorithms = set(list_algorithms())
@@ -83,6 +91,14 @@ class ServingEngine:
         if executor is None:
             # PR 3 compatibility: ``workers=N`` alone meant "process pool"
             executor = "pool" if workers is not None else "inline"
+        # one telemetry bundle per engine: the tracer samples at the front
+        # door, the registry folds worker metric deltas, and both ride down
+        # through placement into shards, replicas and executors
+        self.telemetry = Telemetry(
+            trace_sample=trace_sample,
+            trace_capacity=trace_capacity,
+            slow_query_ms=slow_query_ms,
+        )
         self._placement = Placement(
             self._known_datasets,
             cache_size=cache_size,
@@ -98,6 +114,7 @@ class ServingEngine:
             index_dir=index_dir,
             epochs=epochs,
             epoch_threshold=epoch_threshold,
+            telemetry=self.telemetry,
         )
         self._started = False
         self._loop = None  # captured at start() for thread-safe preloads
@@ -172,14 +189,18 @@ class ServingEngine:
                 f"refetch the routing table from the coordinator",
             )
 
-    async def mutate(self, dataset: str, batch: DeltaBatch) -> dict[str, Any]:
+    async def mutate(
+        self, dataset: str, batch: DeltaBatch, trace=None
+    ) -> dict[str, Any]:
         """Apply a delta batch to ``dataset``, publishing the next epoch.
 
         Cluster-gated like :meth:`submit`: a node must own a dataset to
         mutate it.  Requires the engine to run with ``epochs=True``
         (``bad_request`` otherwise); a semantically invalid op — removing
         an absent edge, say — fails with ``bad_query`` and the published
-        state is untouched.
+        state is untouched.  ``trace`` is the sampled observability
+        context; when present the epoch manager spans prepare/commit and
+        the index repair under it.
         """
         if dataset not in self._known_datasets:
             raise ProtocolError(
@@ -189,7 +210,7 @@ class ServingEngine:
             )
         self._check_owner(dataset)
         try:
-            return await self._placement.apply_delta(dataset, batch)
+            return await self._placement.apply_delta(dataset, batch, trace=trace)
         except GraphError as exc:
             # a well-formed request the graph rejects (removing an absent
             # edge, a stale required index): same class as a query for an
@@ -224,14 +245,49 @@ class ServingEngine:
         This is the single entry point the TCP server uses: validation
         failures and execution failures alike come back as structured
         ``{"ok": false, "error": ...}`` payloads.
+
+        Queries and mutations are sampled for tracing here, at the front
+        door: a sampled request carries its context down every hop and
+        returns ``trace_id`` on the wire, and the engine emits the root
+        span around the whole dispatch.  Unsampled requests take exactly
+        the pre-observability path (and byte-identical responses).
         """
         request_id = payload.get("id") if isinstance(payload, dict) else None
+        tracer = self.telemetry.tracer
+        ctx = None
+        root_name = "request"
+        wall_started: Optional[float] = None
         try:
             op = payload.get("op", "query") if isinstance(payload, dict) else None
             if op == "ping":
                 return {"ok": True, "op": "ping", **_with_id(request_id)}
             if op == "stats":
                 return {"ok": True, "op": "stats", **self.stats(), **_with_id(request_id)}
+            if op == "trace":
+                trace_id = payload.get("trace_id")
+                if trace_id is not None and not isinstance(trace_id, str):
+                    raise ProtocolError("bad_request", "'trace_id' must be a string")
+                if trace_id is not None:
+                    return {
+                        "ok": True,
+                        "op": "trace",
+                        "trace_id": trace_id,
+                        "spans": tracer.spans(trace_id),
+                        **_with_id(request_id),
+                    }
+                return {
+                    "ok": True,
+                    "op": "trace",
+                    "traces": tracer.recent(),
+                    **_with_id(request_id),
+                }
+            if op == "metrics":
+                return {
+                    "ok": True,
+                    "op": "metrics",
+                    "text": self.metrics_text(),
+                    **_with_id(request_id),
+                }
             if op == "shutdown":
                 # acknowledged here for protocol completeness; stopping the
                 # transport is the owner's job (QueryServer intercepts this
@@ -241,18 +297,48 @@ class ServingEngine:
                 request = parse_request(
                     payload, self._known_datasets, self._known_algorithms
                 )
+                ctx = tracer.sample_request()
+                if ctx is not None:
+                    request = dataclasses.replace(request, trace=ctx)
+                    wall_started = time.time()
                 started = time.perf_counter()
                 result, cached, coalesced, epoch = await self.submit_traced(request)
+                served = time.perf_counter() - started
+                if ctx is not None:
+                    tracer.emit_root(
+                        ctx,
+                        "request",
+                        wall_started,
+                        wall_started + served,
+                        dataset=request.dataset,
+                        algorithm=request.algorithm,
+                        cached=cached,
+                        coalesced=coalesced,
+                    )
+                slow_ms = self.telemetry.slow_query_ms
+                if slow_ms is not None and served * 1000.0 >= slow_ms:
+                    log_event(
+                        "slow_query",
+                        level=logging.WARNING,
+                        dataset=request.dataset,
+                        algorithm=request.algorithm,
+                        served_ms=round(served * 1000.0, 3),
+                        cached=cached,
+                        coalesced=coalesced,
+                        trace_id=ctx.trace_id if ctx is not None else None,
+                    )
                 return result_payload(
                     request,
                     result,
                     cached=cached,
                     coalesced=coalesced,
-                    served_seconds=time.perf_counter() - started,
+                    served_seconds=served,
                     request_id=request_id,
                     epoch=epoch,
+                    trace_id=ctx.trace_id if ctx is not None else None,
                 )
             if op == "mutate":
+                root_name = "mutate"
                 dataset = payload.get("dataset")
                 if not isinstance(dataset, str) or not dataset:
                     raise ProtocolError("bad_request", "request needs a 'dataset' string")
@@ -260,20 +346,59 @@ class ServingEngine:
                     batch = DeltaBatch.from_wire(payload.get("ops"))
                 except ValueError as exc:
                     raise ProtocolError("bad_request", str(exc)) from None
-                applied = await self.mutate(dataset, batch)
-                return {
+                ctx = tracer.sample_request()
+                if ctx is not None:
+                    wall_started = time.time()
+                applied = await self.mutate(dataset, batch, trace=ctx)
+                response = {
                     "ok": True,
                     "op": "mutate",
                     "dataset": dataset,
                     **applied,
                     **_with_id(request_id),
                 }
+                if ctx is not None:
+                    tracer.emit_root(
+                        ctx,
+                        "mutate",
+                        wall_started,
+                        time.time(),
+                        dataset=dataset,
+                        epoch=applied.get("epoch"),
+                    )
+                    response["trace_id"] = ctx.trace_id
+                return response
             raise ProtocolError("bad_request", f"unknown operation {op!r}")
         except ProtocolError as exc:
-            return error_payload(exc, request_id)
+            trace_id = ctx.trace_id if ctx is not None else None
+            if ctx is not None and wall_started is not None:
+                tracer.emit_root(
+                    ctx, root_name, wall_started, time.time(), error=exc.code
+                )
+            log_event(
+                "request_error",
+                level=logging.WARNING,
+                code=exc.code,
+                message=exc.message,
+                trace_id=trace_id,
+            )
+            return error_payload(exc, request_id, trace_id=trace_id)
         except Exception as exc:  # noqa: BLE001 - the server must stay up
+            trace_id = ctx.trace_id if ctx is not None else None
+            if ctx is not None and wall_started is not None:
+                tracer.emit_root(
+                    ctx, root_name, wall_started, time.time(), error="internal_error"
+                )
+            log_event(
+                "internal_error",
+                level=logging.ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+                trace_id=trace_id,
+            )
             return error_payload(
-                ProtocolError("internal_error", f"{type(exc).__name__}: {exc}"), request_id
+                ProtocolError("internal_error", f"{type(exc).__name__}: {exc}"),
+                request_id,
+                trace_id=trace_id,
             )
 
     # ------------------------------------------------------------------
@@ -344,7 +469,67 @@ class ServingEngine:
             stats["node"] = provider()
         elif self._owned_datasets is not None:
             stats["node"] = {"owned": sorted(self._owned_datasets)}
+        if self.telemetry.tracer.enabled:
+            # conditional on purpose: with tracing off the stats payload is
+            # byte-identical to a pre-observability server
+            stats["obs"] = {
+                "trace_sample": self.telemetry.tracer.sample,
+                "spans": len(self.telemetry.tracer),
+                "slow_query_ms": self.telemetry.slow_query_ms,
+            }
         return stats
+
+    def metrics_text(self) -> str:
+        """Every metric as Prometheus text exposition (the ``metrics`` op).
+
+        Scraped on demand: a fresh registry snapshot is assembled from the
+        live shard counters and histograms (the same objects the ``stats``
+        blocks read, so the two surfaces can never disagree), then the
+        engine registry — where worker processes' shipped deltas
+        accumulate — is merged in.
+        """
+        snapshot = MetricsRegistry()
+        for name, shard in sorted(self._placement.shards.items()):
+            labels = {"dataset": name}
+            snapshot.counter("repro_queries_total", **labels).inc(shard.queries)
+            snapshot.counter("repro_cache_hits_total", **labels).inc(shard.cache_hits)
+            snapshot.counter("repro_cache_misses_total", **labels).inc(shard.cache_misses)
+            snapshot.counter("repro_coalesced_total", **labels).inc(shard.coalesced)
+            snapshot.counter("repro_errors_total", **labels).inc(shard.errors)
+            snapshot.counter("repro_shed_total", **labels).inc(shard.shed)
+            snapshot.counter("repro_retried_total", **labels).inc(shard.retried)
+            snapshot.gauge("repro_queue_depth", **labels).set(
+                shard.replica_set.total_queued()
+            )
+            snapshot.gauge("repro_cache_entries", **labels).set(len(shard._cache))
+            snapshot.histogram("repro_request_latency_ms", **labels).merge(
+                shard.latency_hist
+            )
+            snapshot.histogram("repro_execution_latency_ms", **labels).merge(
+                shard.execution_hist
+            )
+        for name, epoch in self._placement.dataset_epochs().items():
+            snapshot.gauge("repro_epoch", dataset=name).set(epoch)
+        snapshot.merge(self.telemetry.registry)
+        return snapshot.exposition()
+
+    def health_summary(self) -> dict[str, Any]:
+        """Compact per-dataset metrics for the cluster health plane.
+
+        JSON-safe and deliberately tiny — it piggybacks on every node
+        heartbeat.  The latency histogram rides along in wire form so the
+        coordinator can *merge* histograms across nodes and answer cluster
+        p99 questions without ever seeing a raw sample.
+        """
+        return {
+            name: {
+                "queries": shard.queries,
+                "errors": shard.errors,
+                "shed": shard.shed,
+                "latency": shard.latency_hist.to_wire(),
+            }
+            for name, shard in sorted(self._placement.shards.items())
+        }
 
 
 def _with_id(request_id: Any) -> dict[str, Any]:

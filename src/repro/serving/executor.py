@@ -42,13 +42,19 @@ shards never see a raw traceback.
 from __future__ import annotations
 
 import asyncio
+import logging
+import os
 import threading
+import time
 from dataclasses import replace
 from typing import Any, Optional, Union
 
 from ..datasets import Dataset
 from ..experiments.registry import get_algorithm
 from ..graph import FrozenGraph, GraphError, freeze
+from ..obs.log import log_event
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import make_span
 from .protocol import ProtocolError, QueryRequest
 
 __all__ = [
@@ -147,9 +153,10 @@ class InlineExecutor:
 
     kind = "inline"
 
-    def __init__(self, frozen: FrozenGraph, *, index=None) -> None:
+    def __init__(self, frozen: FrozenGraph, *, index=None, telemetry=None) -> None:
         self._frozen = frozen
         self._index = index
+        self._telemetry = telemetry
         self.index_hits = 0
 
     async def start(self) -> None:  # nothing to warm up
@@ -164,12 +171,25 @@ class InlineExecutor:
     def _execute_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
         outcomes: list[Outcome] = []
         for request in requests:
+            traced = request.trace is not None and self._telemetry is not None
+            started = time.time() if traced else 0.0
             outcome, hit = execute_traced(
                 self._frozen, request.algorithm, request.param_dict(), request.nodes,
                 self._index,
             )
             if hit:
                 self.index_hits += 1
+            if traced:
+                self._telemetry.tracer.emit(
+                    request.trace,
+                    "execute",
+                    started,
+                    time.time(),
+                    executor=self.kind,
+                    pid=os.getpid(),
+                    index_hit=hit,
+                    ok=not isinstance(outcome, ProtocolError),
+                )
             outcomes.append(outcome)
         return outcomes
 
@@ -210,13 +230,36 @@ def _pool_worker_init(
     globals()["_POOL_INDEX"] = index
 
 
-def _pool_worker_run(algorithm: str, params: tuple, nodes: tuple):
+def _pool_worker_run(algorithm: str, params: tuple, nodes: tuple, trace=None):
+    """Execute one item in a pool worker; everything comes back as values.
+
+    The outcome is tagged ``("ok"|"err", value)`` rather than raised so a
+    failing item's execute span still makes it back to the parent (the
+    span carries this worker's pid — the proof that trace ids survive the
+    process boundary).  ``trace`` is the request's ``TraceContext`` (or
+    None when unsampled, in which case no span is built at all).
+    """
+    started = time.time() if trace is not None else 0.0
     outcome, hit = execute_traced(
         _POOL_DATASET.graph, algorithm, dict(params), nodes, _POOL_INDEX
     )
+    span = None
+    if trace is not None:
+        span = make_span(
+            trace,
+            "execute",
+            started,
+            time.time(),
+            tags={
+                "executor": "pool",
+                "pid": os.getpid(),
+                "index_hit": hit,
+                "ok": not isinstance(outcome, ProtocolError),
+            },
+        )
     if isinstance(outcome, ProtocolError):
-        raise outcome
-    return hit, outcome
+        return hit, ("err", outcome), span
+    return hit, ("ok", outcome), span
 
 
 class SharedProcessPool:
@@ -284,8 +327,9 @@ class PoolExecutor:
 
     kind = "pool"
 
-    def __init__(self, shared_pool: SharedProcessPool) -> None:
+    def __init__(self, shared_pool: SharedProcessPool, *, telemetry=None) -> None:
         self._shared = shared_pool
+        self._telemetry = telemetry
         self.index_hits = 0
 
     async def start(self) -> None:
@@ -296,20 +340,29 @@ class PoolExecutor:
         pool = self._shared.ensure_started()
         futures = [
             loop.run_in_executor(
-                pool, _pool_worker_run, request.algorithm, request.params, request.nodes
+                pool,
+                _pool_worker_run,
+                request.algorithm,
+                request.params,
+                request.nodes,
+                request.trace,
             )
             for request in requests
         ]
         outcomes: list[Outcome] = []
         for future in futures:
             try:
-                hit, outcome = await future
+                hit, tagged, span = await future
             except Exception as exc:  # noqa: BLE001 - mapped to structured codes
                 outcomes.append(as_protocol_error(exc))
                 continue
+            if span is not None and self._telemetry is not None:
+                # the span was built inside the pool worker; fold it into
+                # the parent's ring so the trace op sees one tree
+                self._telemetry.tracer.add(span)
             if hit:
                 self.index_hits += 1
-            outcomes.append(outcome)
+            outcomes.append(tagged[1])
         return outcomes
 
     async def close(self) -> None:
@@ -347,8 +400,13 @@ def _worker_process_main(
     index segment the same zero-copy way (``index`` carries a pickled copy
     where shared memory is unavailable).  The handshake reports the
     snapshot/index modes and the resident memory the snapshot cost this
-    worker, then the loop answers ``("batch", items)`` messages — each
-    reply also carries how many items the index served — until
+    worker, then the loop answers ``("batch", items)`` messages — items
+    are ``(algorithm, params, nodes, trace)`` tuples, and each reply
+    ``("batch", outcomes, hits, extra)`` also carries how many items the
+    index served plus the observability payload ``extra``: the execute
+    spans of traced items (built here, with this child's pid, so trace
+    ids provably survive the process boundary) and a mergeable metrics
+    delta the parent folds into the engine registry — until
     ``("stop", None)`` or pipe close.
     """
     attached = None
@@ -388,6 +446,7 @@ def _worker_process_main(
         finally:
             conn.close()
         return
+    pid = os.getpid()
     while True:
         try:
             kind, payload = conn.recv()
@@ -397,15 +456,43 @@ def _worker_process_main(
             break
         outcomes = []
         hits = 0
-        for algorithm, params, nodes in payload:
+        spans = []
+        # per-batch metrics delta: tiny, local, shipped back with the reply
+        # and folded into the engine registry — the mergeable-metrics path
+        delta = MetricsRegistry()
+        execute_hist = delta.histogram("repro_worker_execute_ms", dataset=dataset.name)
+        executed = delta.counter("repro_worker_executed_total", dataset=dataset.name)
+        errored = delta.counter("repro_worker_errors_total", dataset=dataset.name)
+        for algorithm, params, nodes, trace in payload:
+            started_wall = time.time() if trace is not None else 0.0
+            started = time.perf_counter()
             outcome, hit = execute_traced(frozen, algorithm, dict(params), nodes, index)
+            elapsed = time.perf_counter() - started
+            execute_hist.record(elapsed * 1000.0)
+            executed.inc()
             if hit:
                 hits += 1
-            if isinstance(outcome, ProtocolError):
-                outcomes.append(("err", outcome))
-            else:
-                outcomes.append(("ok", outcome))
-        conn.send(("batch", outcomes, hits))
+            failed = isinstance(outcome, ProtocolError)
+            if failed:
+                errored.inc()
+            if trace is not None:
+                spans.append(
+                    make_span(
+                        trace,
+                        "execute",
+                        started_wall,
+                        started_wall + elapsed,
+                        tags={
+                            "executor": "process",
+                            "pid": pid,
+                            "index_hit": hit,
+                            "ok": not failed,
+                        },
+                    )
+                )
+            outcomes.append(("err", outcome) if failed else ("ok", outcome))
+        extra = {"spans": spans, "metrics": delta.to_wire()}
+        conn.send(("batch", outcomes, hits, extra))
     if attached_index is not None:
         try:
             attached_index.detach()
@@ -441,11 +528,13 @@ class WorkerProcessExecutor:
         index_descriptor=None,
         index=None,
         start_timeout: float = 120.0,
+        telemetry=None,
     ) -> None:
         self._dataset = dataset
         self._descriptor = descriptor
         self._index_descriptor = index_descriptor
         self._index = index
+        self._telemetry = telemetry
         self._start_timeout = start_timeout
         self._proc = None
         self._conn = None
@@ -536,6 +625,20 @@ class WorkerProcessExecutor:
                 self._conn.send(("batch", items))
                 return self._conn.recv()
             except (EOFError, OSError) as exc:
+                # the original exception used to vanish here (only a terse
+                # RuntimeError survived); log it with the traced requests it
+                # took down so the respawn is attributable
+                log_event(
+                    "worker_died",
+                    level=logging.ERROR,
+                    dataset=self._dataset.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    restarts=max(self.restarts, 0),
+                    batch_size=len(items),
+                    trace_ids=[
+                        item[3][0] for item in items if item[3] is not None
+                    ],
+                )
                 self._teardown()
                 raise RuntimeError(
                     f"worker process for {self._dataset.name!r} died mid-batch "
@@ -565,11 +668,19 @@ class WorkerProcessExecutor:
                 self._spawn()
 
     async def run_batch(self, requests: list[QueryRequest]) -> list[Outcome]:
-        items = [(request.algorithm, request.params, request.nodes) for request in requests]
+        items = [
+            (request.algorithm, request.params, request.nodes, request.trace)
+            for request in requests
+        ]
         loop = asyncio.get_running_loop()
-        _, tagged, hits = await loop.run_in_executor(None, self._roundtrip, items)
+        _, tagged, hits, extra = await loop.run_in_executor(None, self._roundtrip, items)
         if hits:
             self.index_hits += hits
+        if self._telemetry is not None and isinstance(extra, dict):
+            # the child's execute spans and metrics delta, folded into the
+            # parent's ring/registry — the cross-process observability path
+            self._telemetry.tracer.add_many(extra.get("spans"))
+            self._telemetry.registry.merge_wire(extra.get("metrics"))
         return [outcome for _tag, outcome in tagged]
 
     async def close(self) -> None:

@@ -27,7 +27,11 @@ queueing/coalescing/LRU logic in front of the replica set built here.
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from typing import Any, Callable, Optional
+
+from ..obs.log import log_event
 
 from ..datasets import Dataset, load_dataset
 from ..dynamic import DeltaBatch, EpochManager
@@ -137,11 +141,14 @@ class Replica:
     stops pulling new ones — requests still queued get structured errors.
     """
 
-    def __init__(self, index: int, executor, *, key: str, max_batch: int) -> None:
+    def __init__(
+        self, index: int, executor, *, key: str, max_batch: int, telemetry=None
+    ) -> None:
         self.index = index
         self.executor = executor
         self.key = key
         self.max_batch = max_batch
+        self._telemetry = telemetry
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._on_complete: Optional[Callable] = None
@@ -180,7 +187,9 @@ class Replica:
         return self.qsize() + self.inflight
 
     def enqueue(self, request: QueryRequest, future: asyncio.Future) -> None:
-        self._queue.put_nowait((request, future))
+        # the monotonic enqueue stamp feeds the queue-wait span of traced
+        # requests (and is one cheap perf_counter read either way)
+        self._queue.put_nowait((request, future, time.perf_counter()))
         depth = self.qsize()
         if depth > self.max_queued:
             self.max_queued = depth
@@ -203,7 +212,8 @@ class Replica:
             self.batches += 1
             if len(batch) > self.max_batch_size:
                 self.max_batch_size = len(batch)
-            requests = [request for request, _ in batch]
+            requests = [request for request, _future, _enqueued in batch]
+            self._emit_queue_wait(batch)
             self.inflight = len(batch)
             try:
                 outcomes = await self.executor.run_batch(requests)
@@ -215,18 +225,52 @@ class Replica:
                 # e.g. submitting to a broken pool or a dead worker process
                 # raises for the whole batch; fail it structurally and keep
                 # draining the queue rather than silently wedging the replica
+                # — but never silently: the original exception goes to the
+                # structured log with the traced requests it took down
+                log_event(
+                    "replica_batch_error",
+                    level=logging.ERROR,
+                    dataset=self.key,
+                    replica=self.index,
+                    batch_size=len(batch),
+                    error=f"{type(exc).__name__}: {exc}",
+                    trace_ids=[
+                        request.trace[0]
+                        for request in requests
+                        if request.trace is not None
+                    ],
+                )
                 outcomes = [as_protocol_error(exc) for _ in batch]
             finally:
                 self.inflight = 0
-            for (request, future), outcome in zip(batch, outcomes):
+            for (request, future, _enqueued), outcome in zip(batch, outcomes):
                 if isinstance(outcome, ProtocolError):
                     self.errors += 1
                 self._on_complete(request, future, outcome)
             if self._draining:
                 break
 
+    def _emit_queue_wait(self, batch) -> None:
+        """Span the time each traced request spent queued on this replica,
+        ending the moment its micro-batch is handed to the executor."""
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.tracer.enabled:
+            return
+        end = time.time()
+        now = time.perf_counter()
+        for request, _future, enqueued in batch:
+            if request.trace is not None:
+                telemetry.tracer.emit(
+                    request.trace,
+                    "queue.wait",
+                    end - (now - enqueued),
+                    end,
+                    replica=self.index,
+                    batch_size=len(batch),
+                )
+
     def _fail_batch(self, batch, message: str) -> None:
-        for request, future in batch:
+        for request, future, _enqueued in batch:
             self._on_complete(request, future, ProtocolError("internal_error", message))
 
     # -- lifecycle ---------------------------------------------------------
@@ -330,6 +374,7 @@ class ReplicaSet:
         snapshot: str = "private",
         index=None,
         index_reason: Optional[str] = None,
+        telemetry=None,
     ) -> "ReplicaSet":
         """Construct ``count`` replicas of ``dataset`` on the given strategy."""
         if count < 1:
@@ -388,18 +433,25 @@ class ReplicaSet:
         replicas = []
         for replica_index in range(count):
             if executor == "inline":
-                engine_executor = InlineExecutor(frozen, index=index)
+                engine_executor = InlineExecutor(frozen, index=index, telemetry=telemetry)
             elif executor == "pool":
-                engine_executor = PoolExecutor(shared_pool)
+                engine_executor = PoolExecutor(shared_pool, telemetry=telemetry)
             else:
                 engine_executor = WorkerProcessExecutor(
                     dataset,
                     descriptor=descriptor,
                     index_descriptor=index_descriptor,
                     index=index_copy,
+                    telemetry=telemetry,
                 )
             replicas.append(
-                Replica(replica_index, engine_executor, key=key, max_batch=max_batch)
+                Replica(
+                    replica_index,
+                    engine_executor,
+                    key=key,
+                    max_batch=max_batch,
+                    telemetry=telemetry,
+                )
             )
         return cls(
             replicas,
@@ -517,6 +569,7 @@ class Placement:
         index_dir: Optional[str] = None,
         epochs: bool = False,
         epoch_threshold: int = 64,
+        telemetry=None,
     ) -> None:
         if epoch_threshold < 0:
             raise ValueError(f"epoch_threshold must be >= 0, got {epoch_threshold}")
@@ -573,6 +626,7 @@ class Placement:
         self.replica_overrides = overrides
         self.epochs = bool(epochs)
         self.epoch_threshold = epoch_threshold
+        self.telemetry = telemetry
         self._shards: dict[str, Shard] = {}
         self._managers: dict[str, EpochManager] = {}
         self._mutation_locks: dict[str, asyncio.Lock] = {}
@@ -667,6 +721,8 @@ class Placement:
         manager: Optional[EpochManager] = None
         if self.epochs:
             manager = EpochManager(dataset.graph, threshold=self.epoch_threshold)
+            if self.telemetry is not None:
+                manager.tracer = self.telemetry.tracer
             frozen = manager.frozen
         else:
             frozen = freeze(dataset.graph)
@@ -690,6 +746,7 @@ class Placement:
             cache_size=self._options["cache_size"],
             max_queue=self._options["max_queue"],
             epoch=manager.epoch if manager is not None else None,
+            telemetry=self.telemetry,
         )
         if manager is not None:
             self._managers[key] = manager
@@ -710,6 +767,7 @@ class Placement:
             snapshot=self.snapshot,
             index=index,
             index_reason=index_reason,
+            telemetry=self.telemetry,
         )
 
     async def get_shard(self, name: str) -> Shard:
@@ -740,7 +798,9 @@ class Placement:
         return shard
 
     # -- mutations ---------------------------------------------------------
-    async def apply_delta(self, name: str, batch: DeltaBatch) -> dict[str, Any]:
+    async def apply_delta(
+        self, name: str, batch: DeltaBatch, trace=None
+    ) -> dict[str, Any]:
         """Apply a delta batch to ``name`` and publish the next epoch.
 
         One mutation at a time per dataset (an asyncio lock): the epoch
@@ -764,7 +824,7 @@ class Placement:
         lock = self._mutation_locks.setdefault(name, asyncio.Lock())
         loop = asyncio.get_running_loop()
         async with lock:
-            prepared = await loop.run_in_executor(None, manager.prepare, batch)
+            prepared = await loop.run_in_executor(None, manager.prepare, batch, trace)
 
             def _stage() -> ReplicaSet:
                 prepared.frozen.csr.adjacency_lists()
@@ -788,8 +848,19 @@ class Placement:
                 )
 
             replica_set = await loop.run_in_executor(None, _stage)
+            commit_started = time.time()
             manager.commit(prepared)
             await shard.swap(prepared.frozen, replica_set, epoch=prepared.epoch)
+            if trace is not None and self.telemetry is not None:
+                # the commit + atomic swap, from the traced mutation's view
+                self.telemetry.tracer.emit(
+                    trace,
+                    "epoch.commit",
+                    commit_started,
+                    time.time(),
+                    dataset=name,
+                    epoch=prepared.epoch,
+                )
         response = {
             "epoch": manager.epoch,
             "mode": prepared.mode,

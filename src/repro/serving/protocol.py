@@ -129,6 +129,10 @@ class QueryRequest:
     params: tuple[tuple[str, Any], ...] = ()
     attempt: int = 0
     min_epoch: Optional[int] = None
+    # the sampled observability context (trace_id, span_id) — metadata,
+    # never identity: cache_key excludes it so traced requests coalesce
+    # and cache exactly like untraced ones (see repro.obs.trace)
+    trace: Optional[tuple[str, str]] = None
 
     @property
     def cache_key(self) -> tuple:
@@ -231,6 +235,7 @@ def result_payload(
     served_seconds: Optional[float] = None,
     request_id: Any = None,
     epoch: Optional[int] = None,
+    trace_id: Optional[str] = None,
 ) -> dict[str, Any]:
     """Format a :class:`CommunityResult` as a response payload.
 
@@ -241,7 +246,10 @@ def result_payload(
     cache hit); ``served_ms``, when provided, is this request's actual wall
     time in the service — the number latency monitoring should use.
     ``epoch``, when the server runs with epochal snapshots, is the snapshot
-    version the result was computed against.
+    version the result was computed against.  ``trace_id``, when the request
+    was sampled for tracing, lets the client fetch the span tree back with
+    the ``trace`` op — unsampled responses stay byte-identical to a server
+    without observability.
     """
     failed = bool(result.extra.get("failed")) or not result.nodes
     score: Optional[float] = result.score
@@ -266,6 +274,8 @@ def result_payload(
         payload["served_ms"] = round(served_seconds * 1000.0, 3)
     if epoch is not None:
         payload["epoch"] = epoch
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
     reason = result.extra.get("reason")
     if reason is not None:
         payload["reason"] = reason
@@ -281,7 +291,11 @@ def result_payload(
     return payload
 
 
-def error_payload(error: ProtocolError, request_id: Any = None) -> dict[str, Any]:
+def error_payload(
+    error: ProtocolError,
+    request_id: Any = None,
+    trace_id: Optional[str] = None,
+) -> dict[str, Any]:
     """Format a :class:`ProtocolError` as a structured error response."""
     detail: dict[str, Any] = {"code": error.code, "message": error.message}
     if error.retry_after_ms is not None:
@@ -289,6 +303,8 @@ def error_payload(error: ProtocolError, request_id: Any = None) -> dict[str, Any
     payload: dict[str, Any] = {"ok": False, "error": detail}
     if request_id is not None:
         payload["id"] = request_id
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
     return payload
 
 

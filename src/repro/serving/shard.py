@@ -42,11 +42,12 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from typing import Any, Optional
 
 from ..datasets import Dataset
 from ..graph import FrozenGraph
+from ..obs.metrics import Histogram
 from .executor import Outcome
 from .protocol import ProtocolError, QueryRequest
 
@@ -76,6 +77,7 @@ class Shard:
         max_queue: int = 0,
         latency_window: int = 4096,
         epoch: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -106,11 +108,18 @@ class Shard:
         self.swaps = 0
         self.purged_entries = 0
         self.stale_rejections = 0
-        self._latencies: deque[float] = deque(maxlen=latency_window)
+        # PR 10: latency lives in O(1) fixed-bucket histograms instead of
+        # sample deques — recording is a bisect over static bounds, and the
+        # percentile reads for stats() and _retry_after_ms() walk cumulative
+        # bucket counts instead of copying + sorting up to 4096 floats.
+        # (``latency_window`` is retained in the signature for callers that
+        # still pass it; a histogram has no window to size.)
+        self.latency_hist = Histogram()
         # execution-only latencies (no cache hits / coalesced waits): the
         # retry_after_ms estimate must reflect what draining the queue
         # actually costs, which ~0ms cache hits would wash out
-        self._execution_latencies: deque[float] = deque(maxlen=latency_window // 4)
+        self.execution_hist = Histogram()
+        self._telemetry = telemetry
         self._bind(replica_set, epoch)
 
     # ------------------------------------------------------------------
@@ -211,6 +220,7 @@ class Shard:
             # refuse before the cache: a staleness-bounded read must never
             # be answered from a snapshot older than its bound
             self.stale_rejections += 1
+            self._admission_span(request, arrival, "stale_epoch")
             raise ProtocolError(
                 "stale_epoch",
                 f"shard {self.key!r} serves epoch {epoch or 0} but the request "
@@ -221,15 +231,17 @@ class Shard:
         if hit is not None:
             self._cache.move_to_end(key)
             self.cache_hits += 1
-            self._latencies.append(time.perf_counter() - arrival)
+            self.latency_hist.record((time.perf_counter() - arrival) * 1000.0)
+            self._admission_span(request, arrival, "hit")
             return hit, True, False, epoch
         self.cache_misses += 1
 
         pending = self._inflight.get(key)
         if pending is not None:
             self.coalesced += 1
+            self._admission_span(request, arrival, "coalesced")
             result = await asyncio.shield(pending)
-            self._latencies.append(time.perf_counter() - arrival)
+            self.latency_hist.record((time.perf_counter() - arrival) * 1000.0)
             return result, False, True, epoch
 
         if self._closed or not self._started:
@@ -241,24 +253,45 @@ class Shard:
         queued = self.replica_set.total_queued()
         if self.max_queue and queued >= self.max_queue:
             self.shed += 1
+            retry_after = self._retry_after_ms()
+            self._admission_span(request, arrival, "shed", retry_after_ms=retry_after)
             raise ProtocolError(
                 "overloaded",
                 f"shard {self.key!r} queue is full "
                 f"({queued} queued, bound {self.max_queue}); retry later",
-                retry_after_ms=self._retry_after_ms(),
+                retry_after_ms=retry_after,
             )
 
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
+        self._admission_span(request, arrival, "miss", queued=queued)
         self.replica_set.route().enqueue(request, future)
         depth = queued + 1
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
         result = await asyncio.shield(future)
-        elapsed = time.perf_counter() - arrival
-        self._latencies.append(elapsed)
-        self._execution_latencies.append(elapsed)
+        elapsed_ms = (time.perf_counter() - arrival) * 1000.0
+        self.latency_hist.record(elapsed_ms)
+        self.execution_hist.record(elapsed_ms)
         return result, False, False, epoch
+
+    def _admission_span(self, request: QueryRequest, arrival: float, disposition: str, **tags) -> None:
+        """Emit the shard's cache/admission span for a traced request.
+
+        Covers the LRU/coalesce/shed decision: the span's ``disposition``
+        tag says how the request left admission (hit, coalesced, miss,
+        shed, stale_epoch).  Wall-clock endpoints are reconstructed from
+        the monotonic arrival stamp so they compare cleanly with spans
+        emitted in worker processes.  Free when the request is unsampled.
+        """
+        if request.trace is None or self._telemetry is None:
+            return
+        end = time.time()
+        start = end - (time.perf_counter() - arrival)
+        self._telemetry.tracer.emit(
+            request.trace, "shard.admit", start, end,
+            dataset=self.key, disposition=disposition, **tags,
+        )
 
     def _retry_after_ms(self) -> int:
         """Estimate when a shed client should retry, from recent latency.
@@ -267,11 +300,16 @@ class Shard:
         queued work ÷ replicas): long enough that an immediate re-poll is
         pointless, short enough that capacity is not left idle.  Clamped to
         [5 ms, 1000 ms]; with no execution history yet, a flat 25 ms.
+
+        The p50 is read from the O(1) execution histogram (one walk over
+        ~18 cumulative bucket counts) instead of copying and sorting the
+        sample window on every shed decision; the derivation formula is
+        unchanged, so the estimate agrees with the old sorted-deque one
+        to within bucket resolution.
         """
-        latencies = list(self._execution_latencies)
-        if not latencies:
+        if self.execution_hist.count == 0:
             return 25
-        p50_ms = latency_percentile(latencies, 0.50) * 1000.0
+        p50_ms = self.execution_hist.percentile(0.50)
         backlog = max(1, self.replica_set.total_pending()) / max(1, len(self.replica_set))
         return int(min(1000.0, max(5.0, p50_ms * backlog / 2.0)))
 
@@ -340,7 +378,6 @@ class Shard:
 
     def stats(self) -> dict[str, Any]:
         """Return a JSON-serialisable snapshot of the shard counters."""
-        latencies = list(self._latencies)
         replicas = self.replica_set.stats()
         epoch_block = (
             {
@@ -382,10 +419,12 @@ class Shard:
             ),
             "cache_entries": len(self._cache),
             "replicas": replicas,
+            # same keys as the pre-PR-10 deque block, now read from the
+            # histogram: p50/p95 are bucket-resolution, max stays exact
             "latency_ms": {
-                "count": len(latencies),
-                "p50": round(latency_percentile(latencies, 0.50) * 1000.0, 3),
-                "p95": round(latency_percentile(latencies, 0.95) * 1000.0, 3),
-                "max": round(max(latencies, default=0.0) * 1000.0, 3),
+                "count": self.latency_hist.count,
+                "p50": round(self.latency_hist.percentile(0.50), 3),
+                "p95": round(self.latency_hist.percentile(0.95), 3),
+                "max": round(self.latency_hist.max, 3),
             },
         }
